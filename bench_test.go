@@ -1,0 +1,267 @@
+// Benchmarks: one per figure of the paper's evaluation (regenerating the
+// plotted series at reduced scale; use cmd/sasbench for full-scale runs) and
+// micro-benchmarks for the core primitives and per-method build/query costs.
+package structaware_test
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"testing"
+
+	"structaware/internal/aware"
+	"structaware/internal/expt"
+	"structaware/internal/ipps"
+	"structaware/internal/kd"
+	"structaware/internal/paggr"
+	"structaware/internal/structure"
+	"structaware/internal/twopass"
+	"structaware/internal/varopt"
+	"structaware/internal/wavelet"
+	"structaware/internal/workload"
+	"structaware/internal/xmath"
+)
+
+// benchOpts is the reduced-scale profile used by the figure benchmarks.
+func benchOpts() expt.Options {
+	return expt.Options{Scale: 0.02, Queries: 10, Seed: 1, Out: io.Discard}
+}
+
+func runFigure(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := expt.Runners[name](benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- One benchmark per figure (paper §6) ----------------------------------
+
+func Benchmark_Fig2a_NetworkErrorVsSize(b *testing.B)     { runFigure(b, "fig2a") }
+func Benchmark_Fig2b_NetworkErrorVsWeight(b *testing.B)   { runFigure(b, "fig2b") }
+func Benchmark_Fig2c_NetworkErrorVsRanges(b *testing.B)   { runFigure(b, "fig2c") }
+func Benchmark_Fig3a_NetworkBuildThroughput(b *testing.B) { runFigure(b, "fig3a") }
+func Benchmark_Fig3b_TicketBuildThroughput(b *testing.B)  { runFigure(b, "fig3b") }
+func Benchmark_Fig3c_QueryTime(b *testing.B)              { runFigure(b, "fig3c") }
+func Benchmark_Fig4a_TicketErrorVsSize(b *testing.B)      { runFigure(b, "fig4a") }
+func Benchmark_Fig4b_TicketUniformArea(b *testing.B)      { runFigure(b, "fig4b") }
+func Benchmark_Fig4c_TicketUniformWeight(b *testing.B)    { runFigure(b, "fig4c") }
+
+// Validation experiments (DESIGN.md).
+
+func Benchmark_V3_DiscrepancyScaling(b *testing.B) { runFigure(b, "v3") }
+func Benchmark_V5_TwoPassParity(b *testing.B)      { runFigure(b, "v5") }
+
+// ---- Shared fixtures --------------------------------------------------------
+
+var (
+	benchOnce sync.Once
+	benchDS   *structure.Dataset
+	benchQs   []structure.Query
+)
+
+func fixtures(b *testing.B) (*structure.Dataset, []structure.Query) {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds, err := workload.Network(workload.NetworkConfig{Pairs: 20000, Bits: 16, Seed: 9})
+		if err != nil {
+			panic(err)
+		}
+		benchDS = ds
+		r := xmath.NewRand(10)
+		benchQs = workload.Battery(100, func() structure.Query {
+			return workload.UniformAreaQuery(ds, 1, 0.2, r)
+		})
+	})
+	return benchDS, benchQs
+}
+
+// ---- Micro: core primitives -------------------------------------------------
+
+func BenchmarkPairAggregate(b *testing.B) {
+	r := xmath.NewRand(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		paggr.PairValues(0.3, 0.4, r)
+	}
+}
+
+func BenchmarkStreamThreshold(b *testing.B) {
+	r := xmath.NewRand(2)
+	ws := make([]float64, 100000)
+	for i := range ws {
+		ws[i] = 1 + 100*r.Float64()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, _ := ipps.NewStreamThreshold(1000)
+		for _, w := range ws {
+			_ = st.Process(w)
+		}
+	}
+	b.SetBytes(int64(len(ws)) * 8)
+}
+
+func BenchmarkStreamVarOpt(b *testing.B) {
+	r := xmath.NewRand(3)
+	ws := make([]float64, 100000)
+	for i := range ws {
+		ws[i] = 1 + 100*r.Float64()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, _ := varopt.NewStream(1000, r)
+		for j, w := range ws {
+			_ = st.Process(j, w)
+		}
+	}
+	b.SetBytes(int64(len(ws)) * 8)
+}
+
+// ---- Micro: per-method construction ----------------------------------------
+
+func benchBuild(b *testing.B, method string, size int) {
+	ds, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.BuildSummary(method, ds, size, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(ds.Len()))
+}
+
+func BenchmarkBuildAwareTwoPass(b *testing.B) { benchBuild(b, expt.MAware, 1000) }
+func BenchmarkBuildAwareMainMem(b *testing.B) { benchBuild(b, expt.MAwareMM, 1000) }
+func BenchmarkBuildOblivious(b *testing.B)    { benchBuild(b, expt.MObliv, 1000) }
+func BenchmarkBuildWavelet(b *testing.B)      { benchBuild(b, expt.MWavelet, 1000) }
+func BenchmarkBuildQDigest(b *testing.B)      { benchBuild(b, expt.MQDigest, 1000) }
+func BenchmarkBuildSketch(b *testing.B)       { benchBuild(b, expt.MSketch, 1000) }
+
+// ---- Micro: per-method query answering --------------------------------------
+
+func benchQuery(b *testing.B, method string, dyadic bool) {
+	ds, qs := fixtures(b)
+	built, err := expt.BuildSummary(method, ds, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := built.Summary
+	if dyadic {
+		s = expt.DyadicWavelet{W: built.Summary.(*wavelet.Summary2D)}
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.EstimateQuery(qs[i%len(qs)])
+	}
+	_ = sink
+}
+
+func BenchmarkQuerySample(b *testing.B)        { benchQuery(b, expt.MAware, false) }
+func BenchmarkQueryWaveletFast(b *testing.B)   { benchQuery(b, expt.MWavelet, false) }
+func BenchmarkQueryWaveletDyadic(b *testing.B) { benchQuery(b, expt.MWavelet, true) }
+func BenchmarkQueryQDigest(b *testing.B)       { benchQuery(b, expt.MQDigest, false) }
+func BenchmarkQuerySketch(b *testing.B)        { benchQuery(b, expt.MSketch, false) }
+
+// ---- Micro: structure-aware building blocks ---------------------------------
+
+func BenchmarkKDBuild(b *testing.B) {
+	ds, _ := fixtures(b)
+	tau, err := ipps.Threshold(ds.Weights, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := ipps.Probabilities(ds.Weights, tau)
+	items := make([]int, 0, ds.Len())
+	for i, pi := range p {
+		if pi > 0 && pi < 1 {
+			items = append(items, i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := append([]int(nil), items...)
+		if _, err := kd.Build(ds, work, p, kd.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(items)))
+}
+
+func BenchmarkKDLocate(b *testing.B) {
+	ds, _ := fixtures(b)
+	p := make([]float64, ds.Len())
+	for i := range p {
+		p[i] = 0.1
+	}
+	items := make([]int, ds.Len())
+	for i := range items {
+		items[i] = i
+	}
+	tree, err := kd.Build(ds, items, p, kd.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.LocateItem(ds, i%ds.Len())
+	}
+}
+
+func BenchmarkOrderSummarize(b *testing.B) {
+	ds, _ := fixtures(b)
+	tau, _ := ipps.Threshold(ds.Weights, 1000)
+	p0 := ipps.Probabilities(ds.Weights, tau)
+	order := make([]int, ds.Len())
+	for i := range order {
+		order[i] = i
+	}
+	r := xmath.NewRand(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := append([]float64(nil), p0...)
+		aware.Order(p, order, r)
+	}
+	b.SetBytes(int64(ds.Len()))
+}
+
+func BenchmarkBitTrieSummarize(b *testing.B) {
+	ds, _ := fixtures(b)
+	tau, _ := ipps.Threshold(ds.Weights, 1000)
+	p0 := ipps.Probabilities(ds.Weights, tau)
+	order := make([]int, ds.Len())
+	for i := range order {
+		order[i] = i
+	}
+	coords := ds.Coords[0]
+	sort.Slice(order, func(a, c int) bool { return coords[order[a]] < coords[order[c]] })
+	r := xmath.NewRand(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := append([]float64(nil), p0...)
+		aware.BitTrie(p, order, coords, ds.Axes[0].Bits, r)
+	}
+	b.SetBytes(int64(ds.Len()))
+}
+
+func BenchmarkTwoPassStreamCSVScale(b *testing.B) {
+	// End-to-end out-of-core cost: the slice source stands in for the file
+	// (parsing is benchmarked separately by the CSV source tests).
+	ds, _ := fixtures(b)
+	pts := make([][]uint64, ds.Len())
+	for i := range pts {
+		pts[i] = ds.Point(i, nil)
+	}
+	src := &twopass.SliceSource{Points: pts, Weights: ds.Weights}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := twopass.ProductStream(src, ds.Axes, 1000, twopass.Config{}, xmath.NewRand(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(ds.Len()))
+}

@@ -1,0 +1,78 @@
+// Command sasbench regenerates the figures of the paper's evaluation (§6)
+// and the validation experiments from DESIGN.md, printing tab-separated
+// series.
+//
+// Usage:
+//
+//	sasbench -exp fig2a [-scale 0.1] [-queries 50] [-seed 1] [-o out.tsv]
+//	sasbench -exp all -scale 0.05
+//	sasbench -list
+//
+// Scale 1.0 reproduces the paper's dataset cardinalities (196K network
+// pairs, 500K ticket records); smaller scales keep the comparison shapes at
+// a fraction of the runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"structaware/internal/expt"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig2a..fig4c, v1..v5, or 'all')")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper scale)")
+		queries = flag.Int("queries", 50, "queries per configuration")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range expt.RunnerNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "sasbench: -exp is required (use -list to see ids)")
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sasbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	opts := expt.Options{Scale: *scale, Queries: *queries, Seed: *seed, Out: w}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = expt.RunnerNames()
+	}
+	for _, name := range names {
+		run, ok := expt.Runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sasbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Fprintf(w, "## experiment %s (scale %g, seed %d)\n", name, *scale, *seed)
+		if err := run(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "sasbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "## %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

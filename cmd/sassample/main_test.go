@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structaware/internal/core"
+)
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]core.Method{
+		"aware":   core.Aware,
+		"aware2p": core.AwareTwoPass,
+		"obliv":   core.Oblivious,
+		"poisson": core.Poisson,
+	}
+	for name, want := range cases {
+		got, err := parseMethod(name)
+		if err != nil || got != want {
+			t.Fatalf("parseMethod(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseMethod("bogus"); err == nil {
+		t.Fatal("unknown method must error")
+	}
+}
+
+func TestParseBox(t *testing.T) {
+	box, err := parseBox("1:10:20:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box[0].Lo != 1 || box[0].Hi != 10 || box[1].Lo != 20 || box[1].Hi != 30 {
+		t.Fatalf("box %v", box)
+	}
+	for _, bad := range []string{"1:2:3", "a:2:3:4", "1:2:3:4:5", ""} {
+		if _, err := parseBox(bad); err == nil {
+			t.Fatalf("parseBox(%q) must error", bad)
+		}
+	}
+}
+
+func TestReadCSVEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.csv")
+	content := "# comment\n5,6,1.5\n7,8,2\n5,6,0.5\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := readCSV(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("len %d want 2 (dedup)", ds.Len())
+	}
+	if ds.TotalWeight() != 4 {
+		t.Fatalf("total %v want 4", ds.TotalWeight())
+	}
+	// Sampling the tiny CSV keeps everything.
+	sum, err := core.Build(ds, core.Config{Size: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Size() != 2 {
+		t.Fatalf("size %d", sum.Size())
+	}
+	if _, err := readCSV(filepath.Join(dir, "missing.csv"), 8); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

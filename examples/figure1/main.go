@@ -1,0 +1,100 @@
+// Figure 1 of the paper, as runnable code: VarOpt sampling over a hierarchy
+// of ten leaves with weights 6,4,2,3,2,4,3,8,7,1 and sample size s=4.
+// IPPS probabilities are computed (τ=10), the hierarchy summarizer runs the
+// lowest-LCA pair-aggregation schedule, and the program verifies that every
+// internal node holds the floor or ceiling of its expected sample count.
+//
+// Run with: go run ./examples/figure1
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"structaware/internal/aware"
+	"structaware/internal/hierarchy"
+	"structaware/internal/ipps"
+	"structaware/internal/paggr"
+	"structaware/internal/xmath"
+)
+
+func main() {
+	// The tree of Figure 1: root with three subtrees.
+	b := hierarchy.NewBuilder()
+	x := b.AddChild(0)
+	y := b.AddChild(0)
+	z := b.AddChild(0)
+	x1 := b.AddChild(x)
+	x2 := b.AddChild(x)
+	leaves := []int32{
+		b.AddChild(x1), b.AddChild(x1), // leaves 1,2 (w=3,6)
+		b.AddChild(x2), b.AddChild(x2), // leaves 3,4 (w=4,7)
+	}
+	leaves = append(leaves, b.AddChild(y)) // leaf 5 (w=1)
+	y1 := b.AddChild(y)
+	leaves = append(leaves, b.AddChild(y1), b.AddChild(y1)) // leaves 6,7 (w=8,4)
+	z1 := b.AddChild(z)
+	leaves = append(leaves, b.AddChild(z1), b.AddChild(z1)) // leaves 8,9 (w=2,3)
+	leaves = append(leaves, b.AddChild(z))                  // leaf 10 (w=2)
+	tree, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	weights := []float64{3, 6, 4, 7, 1, 8, 4, 2, 3, 2}
+	const s = 4
+	tau, err := ipps.Threshold(weights, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := ipps.Probabilities(weights, tau)
+	fmt.Printf("IPPS threshold τ = %g for sample size s = %d\n", tau, s)
+	fmt.Print("leaf IPPS probabilities: ")
+	for _, v := range p {
+		fmt.Printf("%.1f ", v)
+	}
+	fmt.Println()
+
+	itemsAtLeaf := make([][]int, tree.NumLeaves())
+	for item, leaf := range leaves {
+		pos, _ := tree.LeafPosition(leaf)
+		itemsAtLeaf[pos] = append(itemsAtLeaf[pos], item)
+	}
+
+	r := xmath.NewRand(2011)
+	ipps.NormalizeToInteger(p, 1e-9)
+	aware.Hierarchy(tree, itemsAtLeaf, p, r)
+	sample := paggr.SampleIndices(p)
+	fmt.Printf("\nstructure-aware VarOpt sample (|S| = %d): leaves ", len(sample))
+	for _, i := range sample {
+		fmt.Printf("%d ", i+1)
+	}
+	fmt.Println()
+
+	// Verify the Figure 1 property: every internal node's sample count is
+	// the floor or ceiling of its expectation.
+	p0 := ipps.Probabilities(weights, tau)
+	fmt.Println("\nper-node expected vs actual sample counts:")
+	for v := int32(0); int(v) < tree.NumNodes(); v++ {
+		if tree.IsLeaf(v) {
+			continue
+		}
+		lo, hi, ok := tree.LeafInterval(v)
+		if !ok {
+			continue
+		}
+		var exp, got float64
+		for pos := lo; pos <= hi; pos++ {
+			for _, i := range itemsAtLeaf[pos] {
+				exp += p0[i]
+				got += p[i]
+			}
+		}
+		status := "ok"
+		if got < math.Floor(exp)-1e-9 || got > math.Ceil(exp)+1e-9 {
+			status = "VIOLATION"
+		}
+		fmt.Printf("  node %2d: expected %.1f, sampled %.0f  [%s]\n", v, exp, got, status)
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: build a structure-aware sample over a small 2-D dataset and
+// answer range, multi-range and subset queries from it.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"structaware"
+	"structaware/internal/xmath"
+)
+
+func main() {
+	// A toy "flow matrix": 20,000 weighted keys over a 2^16 × 2^16 domain of
+	// source × destination addresses (both prefix hierarchies).
+	r := xmath.NewRand(42)
+	axes := []structaware.Axis{structaware.BitTrieAxis(16), structaware.BitTrieAxis(16)}
+	var points [][]uint64
+	var weights []float64
+	for i := 0; i < 20000; i++ {
+		// Cluster sources into a few subnets.
+		subnet := uint64(r.Intn(8)) << 13
+		points = append(points, []uint64{subnet | r.Uint64()&0x1fff, r.Uint64() & 0xffff})
+		weights = append(weights, math.Exp(4*r.Float64()))
+	}
+	ds, err := structaware.NewDataset(axes, points, weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d distinct keys, total weight %.0f\n", ds.Len(), ds.TotalWeight())
+
+	// Draw a structure-aware VarOpt sample of exactly 500 keys.
+	sum, err := structaware.Build(ds, structaware.Config{Size: 500, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summary: %d keys, IPPS threshold τ=%.2f\n\n", sum.Size(), sum.Tau)
+
+	// 1. Range query: traffic from subnet 3 to the lower half of the space.
+	box := structaware.Range{
+		{Lo: 3 << 13, Hi: 4<<13 - 1},
+		{Lo: 0, Hi: 1<<15 - 1},
+	}
+	fmt.Printf("range query     exact %10.0f   estimate %10.0f\n", ds.RangeSum(box), sum.EstimateRange(box))
+
+	// 2. Multi-range query: two disjoint subnets at once.
+	q := structaware.Query{
+		{{Lo: 0, Hi: 1<<13 - 1}, {Lo: 0, Hi: 1<<16 - 1}},
+		{{Lo: 5 << 13, Hi: 6<<13 - 1}, {Lo: 0, Hi: 1<<16 - 1}},
+	}
+	fmt.Printf("multi-range     exact %10.0f   estimate %10.0f\n", ds.QuerySum(q), sum.EstimateQuery(q))
+
+	// 3. Arbitrary subset query — something no deterministic range summary
+	// supports directly: keys whose source and destination share their top
+	// 4 bits.
+	pred := func(pt []uint64) bool { return pt[0]>>12 == pt[1]>>12 }
+	var exact float64
+	for i := 0; i < ds.Len(); i++ {
+		if pred([]uint64{ds.Coords[0][i], ds.Coords[1][i]}) {
+			exact += ds.Weights[i]
+		}
+	}
+	fmt.Printf("subset query    exact %10.0f   estimate %10.0f\n\n", exact, sum.EstimateSubset(pred))
+
+	// 4. Representative keys: the sample contains actual keys of the
+	// selected subpopulation, with unbiased weights.
+	keys, ws := sum.RepresentativeKeys(box, 5)
+	fmt.Println("five representative flows in the queried range:")
+	for i, k := range keys {
+		fmt.Printf("  src %5d -> dst %5d   adjusted weight %8.1f\n", k[0], k[1], ws[i])
+	}
+}

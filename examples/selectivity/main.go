@@ -1,0 +1,119 @@
+// Selectivity: a classic database use of summaries — estimating the
+// selectivity of range predicates on a skewed numeric column, and computing
+// approximate quantiles for histogram bucket boundaries. Compares the
+// structure-aware sample against the 1-D q-digest on the same footprint.
+//
+// Run with: go run ./examples/selectivity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"structaware"
+	"structaware/internal/qdigest"
+	"structaware/internal/xmath"
+)
+
+const bits = 24
+
+func main() {
+	// A skewed "order value" column: log-normal-ish values, 200K rows.
+	r := xmath.NewRand(3)
+	n := 200000
+	pts := make([][]uint64, n)
+	ws := make([]float64, n)
+	for i := range pts {
+		v := math.Exp(1.2*gaussian(r) + 10)
+		if v >= 1<<bits {
+			v = 1<<bits - 1
+		}
+		pts[i] = []uint64{uint64(v)}
+		ws[i] = 1 // row counts
+	}
+	ds, err := structaware.NewDataset([]structaware.Axis{structaware.OrderedAxis(bits)}, pts, ws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := ds.TotalWeight()
+	fmt.Printf("column: %d distinct values, %.0f rows\n\n", ds.Len(), rows)
+
+	const budget = 2000
+	sum, err := structaware.Build(ds, structaware.Config{Size: budget, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qd, err := qdigest.Build1D(ds.Coords[0], ds.Weights, bits, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Selectivity of WHERE value BETWEEN lo AND hi predicates.
+	fmt.Println("range predicate selectivity (exact vs sample vs q-digest):")
+	fmt.Println("        predicate          exact    sample   qdigest")
+	for _, pred := range [][2]uint64{
+		{0, 20000}, {20000, 40000}, {40000, 100000}, {100000, 1 << 23}, {1 << 23, 1<<24 - 1},
+	} {
+		rg := structaware.Range{{Lo: pred[0], Hi: pred[1]}}
+		exact := ds.RangeSum(rg) / rows
+		est := sum.EstimateRange(rg) / rows
+		dig := qd.EstimateInterval(pred[0], pred[1]) / rows
+		fmt.Printf("  [%8d, %8d]   %7.4f   %7.4f   %7.4f\n", pred[0], pred[1], exact, est, dig)
+	}
+
+	// Equi-depth histogram boundaries from approximate quantiles.
+	fmt.Println("\nequi-depth histogram boundaries (deciles):")
+	fmt.Println("  phi    exact     sample    qdigest")
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		sq, err := sum.Quantile(0, phi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dq := qd.Quantile(phi)
+		eq := exactQuantile(ds.Coords[0], ds.Weights, phi)
+		fmt.Printf("  %.2f  %8d  %8d  %8d\n", phi, eq, sq, dq)
+	}
+	fmt.Println("\nthe sample additionally answers arbitrary predicates (e.g. value%1000==0)")
+	mod := sum.EstimateSubset(func(pt []uint64) bool { return pt[0]%1000 == 0 })
+	var exactMod float64
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Coords[0][i]%1000 == 0 {
+			exactMod += ds.Weights[i]
+		}
+	}
+	fmt.Printf("  exact %.0f rows, sample estimate %.0f rows\n", exactMod, mod)
+}
+
+// gaussian draws a standard normal via Box–Muller.
+func gaussian(r *xmath.SplitMix) float64 {
+	u1, u2 := r.Float64(), r.Float64()
+	if u1 <= 0 {
+		u1 = 1e-12
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func exactQuantile(xs []uint64, ws []float64, phi float64) uint64 {
+	type kv struct {
+		x uint64
+		w float64
+	}
+	items := make([]kv, len(xs))
+	total := 0.0
+	for i := range xs {
+		items[i] = kv{xs[i], ws[i]}
+		total += ws[i]
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].x < items[b].x })
+	target := phi * total
+	cum := 0.0
+	for _, it := range items {
+		cum += it.w
+		if cum >= target {
+			return it.x
+		}
+	}
+	return items[len(items)-1].x
+}

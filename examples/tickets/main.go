@@ -1,0 +1,64 @@
+// Tickets: summarizing trouble-ticket records keyed by two explicit
+// hierarchies (trouble code × network location), then drilling down: the
+// category-level counts come from hierarchy-node range queries against the
+// sample.
+//
+// Run with: go run ./examples/tickets
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"structaware"
+	"structaware/internal/workload"
+)
+
+func main() {
+	ds, err := workload.Tickets(workload.TicketConfig{
+		TroubleLeaves:  600,
+		LocationLeaves: 4000,
+		Tickets:        60000,
+		Seed:           5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trouble := ds.Axes[0].Tree
+	location := ds.Axes[1].Tree
+	fmt.Printf("ticket table: %d distinct (code,location) pairs, %.0f tickets\n",
+		ds.Len(), ds.TotalWeight())
+	fmt.Printf("trouble hierarchy: %d nodes, %d leaves; location hierarchy: %d nodes, %d leaves\n",
+		trouble.NumNodes(), trouble.NumLeaves(), location.NumNodes(), location.NumLeaves())
+
+	sum, err := structaware.Build(ds, structaware.Config{Size: 800, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summary: %d keys (%.1f%% of the data)\n\n", sum.Size(), 100*float64(sum.Size())/float64(ds.Len()))
+
+	// Drill-down: ticket volume per top-level trouble category, estimated
+	// from the sample. Hierarchy nodes are contiguous leaf intervals, so
+	// each category is a single box query.
+	locAll := structaware.Interval{Lo: 0, Hi: uint64(location.NumLeaves()) - 1}
+	fmt.Println("tickets per top-level trouble category (exact vs estimate):")
+	for _, cat := range trouble.Children(trouble.Root()) {
+		lo, hi, ok := trouble.LeafInterval(cat)
+		if !ok {
+			continue
+		}
+		box := structaware.Range{{Lo: lo, Hi: hi}, locAll}
+		fmt.Printf("  category %2d (%4d codes): exact %7.0f   estimate %7.0f\n",
+			cat, hi-lo+1, ds.RangeSum(box), sum.EstimateRange(box))
+	}
+
+	// Cross-hierarchy question: tickets of the first category in the first
+	// top-level region — a 2-D box over both hierarchies.
+	cat := trouble.Children(trouble.Root())[0]
+	reg := location.Children(location.Root())[0]
+	clo, chi, _ := trouble.LeafInterval(cat)
+	rlo, rhi, _ := location.LeafInterval(reg)
+	box := structaware.Range{{Lo: clo, Hi: chi}, {Lo: rlo, Hi: rhi}}
+	fmt.Printf("\ncategory %d × region %d: exact %.0f, estimate %.0f\n",
+		cat, reg, ds.RangeSum(box), sum.EstimateRange(box))
+}

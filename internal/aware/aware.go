@@ -1,0 +1,129 @@
+// Package aware implements the one-dimensional structure-aware VarOpt
+// summarization schemes of §3 of Cohen, Cormode, Duffield (VLDB 2011):
+//
+//   - Disjoint ranges: pair-aggregate within ranges first ⇒ every range
+//     receives ⌊p(R)⌋ or ⌈p(R)⌉ samples (max discrepancy ∆ < 1).
+//   - Hierarchy: aggregate pairs with lowest LCA ⇒ ∆ < 1 on every node of
+//     the hierarchy (optimal).
+//   - Order (OSSUMMARIZE, the paper's Algorithm 5): carry one active key
+//     left-to-right ⇒ ∆ < 1 on prefixes, hence ∆ < 2 on all intervals
+//     (Theorem 1 shows < 2 is best possible for a VarOpt sample).
+//   - Systematic sampling (Appendix D): ∆ < 1 on all intervals, but only
+//     satisfies VarOpt conditions (i)+(ii) — kept as an ablation because its
+//     positive correlations break Chernoff bounds on arbitrary subsets.
+//
+// All functions operate in place on a vector p of IPPS inclusion
+// probabilities and drive every entry to 0 or 1; the sample is the set of
+// entries equal to 1 (extract with paggr.SampleIndices). If Σp is integral,
+// the sample size is exactly Σp.
+package aware
+
+import (
+	"structaware/internal/hierarchy"
+	"structaware/internal/paggr"
+	"structaware/internal/xmath"
+)
+
+// Order runs OSSUMMARIZE over the items listed in `order` (all item indices,
+// sorted by their key coordinate). It scans left to right keeping a single
+// active (unset) key and pair-aggregating it with the next unset key — this
+// is exactly the paper's Algorithm 5. Any final leftover (possible only when
+// Σp is non-integral) is resolved by an unbiased Bernoulli draw.
+func Order(p []float64, order []int, r xmath.Rand) {
+	left := paggr.AggregateSequence(p, order, r)
+	paggr.ResolveLeftover(p, left, r)
+}
+
+// Disjoint summarizes a partition structure: groups lists the item indices
+// of each range. Pairs within a range are aggregated first, so each range's
+// sample count is ⌊p(R)⌋ or ⌈p(R)⌉; the per-range leftovers are then
+// aggregated across ranges (arbitrary order, as the paper allows).
+func Disjoint(p []float64, groups [][]int, r xmath.Rand) {
+	leftovers := make([]int, 0, len(groups))
+	for _, g := range groups {
+		if left := paggr.AggregateSequence(p, g, r); left >= 0 {
+			leftovers = append(leftovers, left)
+		}
+	}
+	left := paggr.AggregateSequence(p, leftovers, r)
+	paggr.ResolveLeftover(p, left, r)
+}
+
+// Hierarchy summarizes over an explicit tree following the lowest-LCA pair
+// selection rule: a post-order traversal carries at most one unset item per
+// subtree upward, aggregating children's leftovers at their common parent.
+// itemsAtLeaf[pos] lists the item indices located at linearized leaf
+// position pos (usually one item, but co-located items are allowed).
+//
+// The resulting sample has |S ∩ R| ∈ {⌊p(R)⌋, ⌈p(R)⌉} for the leaf set R of
+// every tree node: maximum range discrepancy ∆ < 1.
+func Hierarchy(t *hierarchy.Tree, itemsAtLeaf [][]int, p []float64, r xmath.Rand) {
+	left := hierarchyNode(t, t.Root(), itemsAtLeaf, p, r)
+	paggr.ResolveLeftover(p, left, r)
+}
+
+// hierarchyNode returns the index of the at-most-one unset item under v.
+func hierarchyNode(t *hierarchy.Tree, v int32, itemsAtLeaf [][]int, p []float64, r xmath.Rand) int {
+	if t.IsLeaf(v) {
+		pos, ok := t.LeafPosition(v)
+		if !ok || int(pos) >= len(itemsAtLeaf) {
+			return -1
+		}
+		return paggr.AggregateSequence(p, itemsAtLeaf[pos], r)
+	}
+	active := -1
+	for _, c := range t.Children(v) {
+		cl := hierarchyNode(t, c, itemsAtLeaf, p, r)
+		if cl < 0 {
+			continue
+		}
+		if active < 0 {
+			active = cl
+			continue
+		}
+		out := paggr.PairAggregate(p, active, cl, r)
+		active = out.Leftover
+	}
+	return active
+}
+
+// Systematic performs systematic sampling over the given key order with
+// random offset alpha ∈ [0,1): item i (with cumulative probability interval
+// H_i = (Σ_{j<i} p_j, Σ_{j≤i} p_j]) is selected iff H_i contains h+alpha for
+// some integer h. Every interval's discrepancy is below 1 and inclusion
+// probabilities are exact, but joint inclusions are positively correlated —
+// it is NOT a VarOpt scheme (paper, Appendix D).
+//
+// p is driven to 0/1 in place.
+func Systematic(p []float64, order []int, alpha float64) {
+	if alpha < 0 || alpha >= 1 {
+		alpha = alpha - float64(int(alpha))
+		if alpha < 0 {
+			alpha++
+		}
+	}
+	var cum xmath.KahanSum
+	next := alpha
+	if next == 0 {
+		// The selection points are h+alpha for integer h and item i is taken
+		// when a point falls in (C_{i-1}, C_i]; with alpha = 0 the point 0
+		// can never be matched, so the first effective point is 1.
+		next = 1
+	}
+	for _, i := range order {
+		pi := p[i]
+		if pi <= 0 {
+			p[i] = 0
+			continue
+		}
+		cum.Add(pi)
+		if cum.Sum() >= next {
+			p[i] = 1
+			for cum.Sum() >= next {
+				next++
+			}
+		} else {
+			p[i] = 0
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package aware
+
+import (
+	"sort"
+
+	"structaware/internal/paggr"
+	"structaware/internal/xmath"
+)
+
+// BitTrie summarizes over the implicit binary hierarchy of b-bit keys (e.g.
+// IPv4 prefixes): pair aggregation follows the induced trie of the present
+// keys, so every prefix range receives ⌊p⌋ or ⌈p⌉ samples (∆ < 1), exactly
+// as the explicit-hierarchy scheme of §3.
+//
+// order must list the item indices sorted ascending by coords[·]; p is
+// driven to 0/1 in place. The traversal is a divide-and-conquer on bit
+// positions: the sorted span is split at the first bit where keys diverge,
+// children are summarized recursively, and their leftovers aggregate at the
+// split — which is precisely the lowest-LCA rule on the trie.
+func BitTrie(p []float64, order []int, coords []uint64, bits int, r xmath.Rand) {
+	left := bitTrieSpan(p, order, coords, uint(bits), 0, r)
+	paggr.ResolveLeftover(p, left, r)
+}
+
+// bitTrieSpan summarizes order[…] (sorted, all sharing their top `bits-bit`
+// prefix above level `level`) and returns its leftover item, or -1.
+func bitTrieSpan(p []float64, order []int, coords []uint64, bits, level uint, r xmath.Rand) int {
+	if len(order) == 0 {
+		return -1
+	}
+	if len(order) == 1 {
+		i := order[0]
+		p[i] = xmath.SnapProb(p[i])
+		if xmath.IsSet(p[i]) {
+			return -1
+		}
+		return i
+	}
+	if level >= bits {
+		// Identical keys (co-located duplicates): aggregate sequentially.
+		return paggr.AggregateSequence(p, order, r)
+	}
+	bit := uint64(1) << (bits - level - 1)
+	// The span is sorted, so keys with the level-bit clear form a prefix.
+	cut := sort.Search(len(order), func(k int) bool {
+		return coords[order[k]]&bit != 0
+	})
+	if cut == 0 || cut == len(order) {
+		// All keys agree on this bit: descend without splitting.
+		return bitTrieSpan(p, order, coords, bits, level+1, r)
+	}
+	a := bitTrieSpan(p, order[:cut], coords, bits, level+1, r)
+	b := bitTrieSpan(p, order[cut:], coords, bits, level+1, r)
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	out := paggr.PairAggregate(p, a, b, r)
+	return out.Leftover
+}

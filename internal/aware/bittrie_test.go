@@ -1,0 +1,139 @@
+package aware
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"structaware/internal/paggr"
+	"structaware/internal/xmath"
+)
+
+func sortedOrder(coords []uint64) []int {
+	order := make([]int, len(coords))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return coords[order[a]] < coords[order[b]] })
+	return order
+}
+
+func TestBitTrieExactSizeAndPrefixDiscrepancy(t *testing.T) {
+	r := xmath.NewRand(1)
+	const bits = 10
+	for trial := 0; trial < 100; trial++ {
+		n := 10 + r.Intn(200)
+		coords := make([]uint64, n)
+		for i := range coords {
+			coords[i] = r.Uint64() & ((1 << bits) - 1)
+		}
+		p, target := randomIntegralProbs(r, n)
+		p0 := append([]float64(nil), p...)
+		order := sortedOrder(coords)
+		BitTrie(p, order, coords, bits, r)
+		if got := len(paggr.SampleIndices(p)); got != target {
+			t.Fatalf("trial %d: size %d want %d", trial, got, target)
+		}
+		// Every prefix at every level: discrepancy < 1.
+		for level := 1; level <= bits; level++ {
+			shift := uint(bits - level)
+			devs := map[uint64]float64{}
+			for i := 0; i < n; i++ {
+				devs[coords[i]>>shift] += p[i] - p0[i]
+			}
+			for pfx, d := range devs {
+				if math.Abs(d) >= 1+1e-9 {
+					t.Fatalf("trial %d level %d prefix %d: deviation %v", trial, level, pfx, d)
+				}
+			}
+		}
+	}
+}
+
+func TestBitTrieDuplicateCoordinates(t *testing.T) {
+	// Items sharing a coordinate exercise the level >= bits fallback.
+	r := xmath.NewRand(2)
+	coords := []uint64{5, 5, 5, 9, 9, 12, 12, 12, 12, 3}
+	for trial := 0; trial < 200; trial++ {
+		p := []float64{0.4, 0.4, 0.4, 0.3, 0.3, 0.5, 0.5, 0.5, 0.5, 0.2}
+		// Sum = 4.0 exactly.
+		order := sortedOrder(coords)
+		BitTrie(p, order, coords, 4, r)
+		if got := len(paggr.SampleIndices(p)); got != 4 {
+			t.Fatalf("size %d want 4", got)
+		}
+	}
+}
+
+func TestBitTrieInclusionProbabilities(t *testing.T) {
+	r := xmath.NewRand(3)
+	coords := []uint64{0, 3, 7, 8, 12, 13, 14, 15}
+	p0 := []float64{0.3, 0.6, 0.4, 0.7, 0.1, 0.4, 0.3, 0.2}
+	order := sortedOrder(coords)
+	const trials = 60000
+	counts := make([]int, len(coords))
+	for k := 0; k < trials; k++ {
+		p := append([]float64(nil), p0...)
+		BitTrie(p, order, coords, 4, r)
+		for _, i := range paggr.SampleIndices(p) {
+			counts[i]++
+		}
+	}
+	for i := range p0 {
+		got := float64(counts[i]) / trials
+		if math.Abs(got-p0[i]) > 0.01 {
+			t.Fatalf("item %d inclusion %v want %v", i, got, p0[i])
+		}
+	}
+}
+
+func TestBitTrieEmptyAndSingle(t *testing.T) {
+	r := xmath.NewRand(4)
+	// Empty input.
+	BitTrie(nil, nil, nil, 8, r)
+	// Single set item.
+	p := []float64{1.0}
+	BitTrie(p, []int{0}, []uint64{3}, 8, r)
+	if p[0] != 1 {
+		t.Fatal("settled item must stay settled")
+	}
+	// Single fractional item resolves unbiasedly.
+	hits := 0
+	const trials = 20000
+	for k := 0; k < trials; k++ {
+		q := []float64{0.25}
+		BitTrie(q, []int{0}, []uint64{3}, 8, r)
+		if q[0] == 1 {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/trials-0.25) > 0.01 {
+		t.Fatalf("single-item resolve rate %v want 0.25", float64(hits)/trials)
+	}
+}
+
+func TestSystematicNegativeAlphaNormalized(t *testing.T) {
+	p := []float64{0.5, 0.5, 0.5, 0.5}
+	Systematic(p, []int{0, 1, 2, 3}, -0.75) // normalizes to 0.25
+	if got := len(paggr.SampleIndices(p)); got != 2 {
+		t.Fatalf("size %d want 2", got)
+	}
+	p2 := []float64{0.5, 0.5, 0.5, 0.5}
+	Systematic(p2, []int{0, 1, 2, 3}, 7.25) // normalizes to 0.25
+	for i := range p {
+		if p[i] != p2[i] {
+			t.Fatal("alpha normalization must wrap consistently")
+		}
+	}
+}
+
+func TestSystematicSkipsZeroProbability(t *testing.T) {
+	p := []float64{0, 0.5, 0, 0.5}
+	Systematic(p, []int{0, 1, 2, 3}, 0.6)
+	if p[0] != 0 || p[2] != 0 {
+		t.Fatal("zero-probability items must stay out")
+	}
+	if got := len(paggr.SampleIndices(p)); got != 1 {
+		t.Fatalf("size %d want 1", got)
+	}
+}

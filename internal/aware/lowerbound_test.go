@@ -1,0 +1,81 @@
+package aware
+
+import (
+	"testing"
+
+	"structaware/internal/paggr"
+	"structaware/internal/xmath"
+)
+
+// TestOrderDiscrepancyBoundIsTight exercises Theorem 1(ii): no VarOpt
+// sample distribution can guarantee interval discrepancy ∆ bounded away
+// from 2. The adversarial input is the theorem's: many keys of tiny equal
+// probability ε. Our summarizer guarantees ∆ < 2 on every run; the theorem
+// says values close to 2 must actually occur — so over many runs the
+// observed maximum should exceed 1.5 (if it never did, the algorithm would
+// certify ∆ ≤ 1.5, contradicting the theorem).
+func TestOrderDiscrepancyBoundIsTight(t *testing.T) {
+	const (
+		eps    = 1.0 / 40 // ε = 1/(4m) with m = 10
+		trials = 400
+	)
+	n := 2000 // Σp = 50 ≥ 5m
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	r := xmath.NewRand(17)
+	worst := 0.0
+	for trial := 0; trial < trials; trial++ {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = eps
+		}
+		p0 := append([]float64(nil), p...)
+		Order(p, order, r)
+		if d := intervalDiscrepancy(p0, p, order); d > worst {
+			worst = d
+		}
+		if worst > 1.5 {
+			break
+		}
+	}
+	if worst >= 2+1e-9 {
+		t.Fatalf("discrepancy %v violates the upper bound 2", worst)
+	}
+	if worst <= 1.5 {
+		t.Fatalf("max observed discrepancy %v; Theorem 1(ii) predicts values approaching 2", worst)
+	}
+}
+
+// TestHierarchyLeftoverCarrySmall verifies the mechanism behind the ∆ < 1
+// hierarchy bound directly: during summarization, at most one unset item
+// exists per subtree boundary, so after the run every subtree's deviation is
+// attributable to a single Bernoulli leftover.
+func TestHierarchyLeftoverCarrySmall(t *testing.T) {
+	r := xmath.NewRand(18)
+	for trial := 0; trial < 100; trial++ {
+		n := 10 + r.Intn(50)
+		tree, itemsAtLeaf := buildRandomTree(r, n)
+		p, _ := randomIntegralProbs(r, n)
+		p0 := append([]float64(nil), p...)
+		Hierarchy(tree, itemsAtLeaf, p, r)
+		// Deviation of every node is in (-1, 1).
+		for v := int32(0); int(v) < tree.NumNodes(); v++ {
+			lo, hi, ok := tree.LeafInterval(v)
+			if !ok {
+				continue
+			}
+			var dev float64
+			for pos := lo; pos <= hi; pos++ {
+				for _, i := range itemsAtLeaf[pos] {
+					dev += p[i] - p0[i]
+				}
+			}
+			if dev <= -1-1e-9 || dev >= 1+1e-9 {
+				t.Fatalf("node %d deviation %v outside (-1,1)", v, dev)
+			}
+		}
+		_ = paggr.SampleIndices(p)
+	}
+}

@@ -1,0 +1,164 @@
+// Package bounds provides the tail bounds of Appendix A of Cohen, Cormode,
+// Duffield (VLDB 2011) — Chernoff bounds on the number of samples from a
+// subset, and the induced bounds on Horvitz–Thompson estimates — plus
+// measurement utilities for range discrepancy (the ∆ of §2) used by the
+// test suite and the validation experiments.
+package bounds
+
+import (
+	"math"
+
+	"structaware/internal/hierarchy"
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+// ChernoffUpper bounds Pr[X_J >= a] for a Poisson or VarOpt sample where
+// the subset J has expected sample count mu and a >= mu (the bracketed form
+// of the paper's Eq. 2): e^(a-mu) (mu/a)^a.
+func ChernoffUpper(mu, a float64) float64 {
+	if a <= mu {
+		return 1
+	}
+	if mu == 0 {
+		return 0
+	}
+	return math.Exp(a - mu + a*math.Log(mu/a))
+}
+
+// ChernoffLower bounds Pr[X_J <= a] for a <= mu (Eq. 3, bracketed form).
+func ChernoffLower(mu, a float64) float64 {
+	if a >= mu {
+		return 1
+	}
+	if a == 0 {
+		return math.Exp(-mu)
+	}
+	return math.Exp(a - mu + a*math.Log(mu/a))
+}
+
+// EstimateTail bounds Pr[a(J) >= h] (or <= h on the other side) for the HT
+// estimate of a subset with true weight w under IPPS threshold tau (Eq. 4):
+// e^((h-w)/tau) (w/h)^(h/tau).
+func EstimateTail(w, h, tau float64) float64 {
+	if tau <= 0 || h <= 0 || w <= 0 {
+		return 1
+	}
+	return math.Exp((h-w)/tau + (h/tau)*math.Log(w/h))
+}
+
+// VCSampleSize returns the ε-approximation sample size of Theorem 2
+// (Vapnik–Chervonenkis) with constant c: c·ε⁻²(d·log(d/ε) + log(1/δ)).
+func VCSampleSize(eps, delta float64, d int, c float64) float64 {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	dd := float64(d)
+	return c / (eps * eps) * (dd*math.Log(dd/eps) + math.Log(1/delta))
+}
+
+// IntervalDiscrepancy1D returns the maximum discrepancy over all intervals
+// of the ordered keys: max over intervals I of |#sampled in I − mass in I|.
+// order lists item indices sorted by coordinate; p0 holds the pre-sampling
+// inclusion probabilities; sampled marks the drawn sample.
+//
+// Computed in O(n) via prefix deviations: an interval's discrepancy is the
+// difference of two prefix deviations, so the maximum over intervals is
+// max(dev) − min(dev) with dev_0 = 0 included.
+func IntervalDiscrepancy1D(order []int, p0 []float64, sampled []bool) float64 {
+	minDev, maxDev, dev := 0.0, 0.0, 0.0
+	for _, i := range order {
+		dev -= p0[i]
+		if sampled[i] {
+			dev++
+		}
+		if dev < minDev {
+			minDev = dev
+		}
+		if dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return maxDev - minDev
+}
+
+// PrefixDiscrepancy1D returns the maximum discrepancy over prefixes of the
+// order (the hierarchy-path special case with ∆ < 1 for aware samples).
+func PrefixDiscrepancy1D(order []int, p0 []float64, sampled []bool) float64 {
+	worst, dev := 0.0, 0.0
+	for _, i := range order {
+		dev -= p0[i]
+		if sampled[i] {
+			dev++
+		}
+		if a := math.Abs(dev); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// HierarchyDiscrepancy returns the maximum discrepancy over all nodes of the
+// tree. itemsAtLeaf maps linearized leaf positions to item indices.
+func HierarchyDiscrepancy(t *hierarchy.Tree, itemsAtLeaf [][]int, p0 []float64, sampled []bool) float64 {
+	// Leaf-position deviations, then a max over node intervals via prefix
+	// sums.
+	nLeaves := t.NumLeaves()
+	prefix := make([]float64, nLeaves+1)
+	for pos := 0; pos < nLeaves; pos++ {
+		dev := 0.0
+		for _, i := range itemsAtLeaf[pos] {
+			dev -= p0[i]
+			if sampled[i] {
+				dev++
+			}
+		}
+		prefix[pos+1] = prefix[pos] + dev
+	}
+	worst := 0.0
+	for v := int32(0); int(v) < t.NumNodes(); v++ {
+		lo, hi, ok := t.LeafInterval(v)
+		if !ok {
+			continue
+		}
+		if d := math.Abs(prefix[hi+1] - prefix[lo]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// BoxDiscrepancy returns the maximum and mean discrepancy of the sample over
+// the given boxes: |#sampled in box − Σ p0 in box|.
+func BoxDiscrepancy(ds *structure.Dataset, p0 []float64, sampled []bool, boxes []structure.Range) (maxD, meanD float64) {
+	var acc xmath.KahanSum
+	for _, box := range boxes {
+		var mass, count float64
+		for i := range p0 {
+			if ds.InRange(i, box) {
+				mass += p0[i]
+				if sampled[i] {
+					count++
+				}
+			}
+		}
+		d := math.Abs(count - mass)
+		if d > maxD {
+			maxD = d
+		}
+		acc.Add(d)
+	}
+	if len(boxes) > 0 {
+		meanD = acc.Sum() / float64(len(boxes))
+	}
+	return maxD, meanD
+}
+
+// EpsApproximation converts a maximum range discrepancy ∆ of a size-s sample
+// into the ε of an ε-approximation: ε = ∆/s.
+func EpsApproximation(delta float64, s int) float64 {
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	return delta / float64(s)
+}

@@ -1,0 +1,199 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"structaware/internal/hierarchy"
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+func TestChernoffBoundsBasicShape(t *testing.T) {
+	// Bounds are probabilities in [0,1], monotone in the deviation.
+	if ChernoffUpper(10, 10) != 1 || ChernoffLower(10, 10) != 1 {
+		t.Fatal("no deviation: trivial bound 1")
+	}
+	prev := 1.0
+	for a := 11.0; a < 40; a++ {
+		b := ChernoffUpper(10, a)
+		if b <= 0 || b > prev+1e-12 {
+			t.Fatalf("upper bound not decreasing: %v at a=%v", b, a)
+		}
+		prev = b
+	}
+	prev = 1.0
+	for a := 9.0; a >= 0; a-- {
+		b := ChernoffLower(10, a)
+		if b < 0 || b > prev+1e-12 {
+			t.Fatalf("lower bound not decreasing: %v at a=%v", b, a)
+		}
+		prev = b
+	}
+	if got := ChernoffLower(10, 0); !xmath.AlmostEqual(got, math.Exp(-10), 1e-12) {
+		t.Fatalf("P[X<=0] bound %v want e^-10", got)
+	}
+}
+
+func TestChernoffUpperDominatesEmpirical(t *testing.T) {
+	// Empirical check against Poisson-binomial samples: the bound must hold.
+	r := xmath.NewRand(1)
+	p := make([]float64, 40)
+	mu := 0.0
+	for i := range p {
+		p[i] = 0.25
+		mu += p[i]
+	}
+	const trials = 20000
+	a := 16.0 // mu = 10
+	count := 0
+	for k := 0; k < trials; k++ {
+		x := 0
+		for i := range p {
+			if r.Float64() < p[i] {
+				x++
+			}
+		}
+		if float64(x) >= a {
+			count++
+		}
+	}
+	emp := float64(count) / trials
+	if emp > ChernoffUpper(mu, a) {
+		t.Fatalf("empirical %v exceeds Chernoff bound %v", emp, ChernoffUpper(mu, a))
+	}
+}
+
+func TestEstimateTailTrivialCases(t *testing.T) {
+	if EstimateTail(5, 10, 0) != 1 {
+		t.Fatal("tau=0 gives trivial bound")
+	}
+	b := EstimateTail(100, 150, 10)
+	if b <= 0 || b >= 1 {
+		t.Fatalf("bound %v out of (0,1)", b)
+	}
+	if EstimateTail(100, 300, 10) >= b {
+		t.Fatal("larger deviation must give smaller bound")
+	}
+}
+
+func TestVCSampleSize(t *testing.T) {
+	s1 := VCSampleSize(0.1, 0.01, 2, 1)
+	s2 := VCSampleSize(0.05, 0.01, 2, 1)
+	if !(s2 > s1) || s1 <= 0 {
+		t.Fatalf("VC size must grow as eps shrinks: %v vs %v", s1, s2)
+	}
+	if !math.IsInf(VCSampleSize(0, 0.1, 2, 1), 1) {
+		t.Fatal("eps=0 must be infinite")
+	}
+}
+
+func TestIntervalDiscrepancy1D(t *testing.T) {
+	// Items at positions 0..3 with p=0.5 each; sample = {0,1}. Prefix
+	// deviations are 0, 0.5, 1, 0.5, 0, so the worst interval ({0,1} with
+	// count 2 vs mass 1, or {2,3} with count 0 vs mass 1) has discrepancy 1.
+	order := []int{0, 1, 2, 3}
+	p0 := []float64{0.5, 0.5, 0.5, 0.5}
+	sampled := []bool{true, true, false, false}
+	got := IntervalDiscrepancy1D(order, p0, sampled)
+	if !xmath.AlmostEqual(got, 1.0, 1e-12) {
+		t.Fatalf("interval discrepancy %v want 1", got)
+	}
+}
+
+func TestIntervalDiscrepancyMatchesBruteForce(t *testing.T) {
+	r := xmath.NewRand(2)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(30)
+		order := make([]int, n)
+		p0 := make([]float64, n)
+		sampled := make([]bool, n)
+		for i := range order {
+			order[i] = i
+			p0[i] = r.Float64()
+			sampled[i] = r.Float64() < p0[i]
+		}
+		fast := IntervalDiscrepancy1D(order, p0, sampled)
+		// Brute force over all intervals.
+		worst := 0.0
+		for a := 0; a < n; a++ {
+			mass, cnt := 0.0, 0.0
+			for b := a; b < n; b++ {
+				mass += p0[order[b]]
+				if sampled[order[b]] {
+					cnt++
+				}
+				if d := math.Abs(cnt - mass); d > worst {
+					worst = d
+				}
+			}
+		}
+		if !xmath.AlmostEqual(fast, worst, 1e-9) {
+			t.Fatalf("trial %d: fast %v brute %v", trial, fast, worst)
+		}
+	}
+}
+
+func TestPrefixDiscrepancy1D(t *testing.T) {
+	order := []int{0, 1, 2}
+	p0 := []float64{0.9, 0.9, 0.2}
+	sampled := []bool{true, true, false}
+	// Prefix devs: 0.1, 0.2, 0.0 → max 0.2.
+	got := PrefixDiscrepancy1D(order, p0, sampled)
+	if !xmath.AlmostEqual(got, 0.2, 1e-9) {
+		t.Fatalf("prefix discrepancy %v want 0.2", got)
+	}
+}
+
+func TestHierarchyDiscrepancy(t *testing.T) {
+	b := hierarchy.NewBuilder()
+	c1 := b.AddChild(0)
+	c2 := b.AddChild(0)
+	l1 := b.AddChild(c1)
+	l2 := b.AddChild(c1)
+	l3 := b.AddChild(c2)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	itemsAtLeaf := make([][]int, tree.NumLeaves())
+	for item, leaf := range []int32{l1, l2, l3} {
+		pos, _ := tree.LeafPosition(leaf)
+		itemsAtLeaf[pos] = []int{item}
+	}
+	p0 := []float64{0.5, 0.5, 0.5}
+	sampled := []bool{true, true, false}
+	// Node c1: count 2, mass 1 → dev 1; node c2: dev 0.5; root: dev 0.5.
+	got := HierarchyDiscrepancy(tree, itemsAtLeaf, p0, sampled)
+	if !xmath.AlmostEqual(got, 1.0, 1e-9) {
+		t.Fatalf("hierarchy discrepancy %v want 1", got)
+	}
+}
+
+func TestBoxDiscrepancy(t *testing.T) {
+	axes := []structure.Axis{structure.OrderedAxis(4), structure.OrderedAxis(4)}
+	ds, err := structure.NewDataset(axes,
+		[][]uint64{{1, 1}, {2, 2}, {10, 10}}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := []float64{0.5, 0.5, 0.5}
+	sampled := []bool{true, true, false}
+	boxes := []structure.Range{
+		{{Lo: 0, Hi: 4}, {Lo: 0, Hi: 4}},   // contains items 0,1: count 2, mass 1 → 1
+		{{Lo: 8, Hi: 15}, {Lo: 8, Hi: 15}}, // item 2: count 0, mass 0.5 → 0.5
+	}
+	maxD, meanD := BoxDiscrepancy(ds, p0, sampled, boxes)
+	if !xmath.AlmostEqual(maxD, 1, 1e-9) || !xmath.AlmostEqual(meanD, 0.75, 1e-9) {
+		t.Fatalf("box discrepancy max=%v mean=%v", maxD, meanD)
+	}
+}
+
+func TestEpsApproximation(t *testing.T) {
+	if got := EpsApproximation(2, 100); !xmath.AlmostEqual(got, 0.02, 1e-12) {
+		t.Fatalf("eps %v want 0.02", got)
+	}
+	if !math.IsInf(EpsApproximation(1, 0), 1) {
+		t.Fatal("s=0 must be infinite")
+	}
+}

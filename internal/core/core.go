@@ -1,0 +1,357 @@
+// Package core is the top of the sampling stack: it orchestrates IPPS
+// threshold computation, the structure-aware (and baseline) VarOpt
+// summarization schemes, and packages the result as a queryable sample-based
+// summary with Horvitz–Thompson estimation.
+//
+// This is the layer a user of the library interacts with (re-exported by the
+// root package structaware): pick a Method, a sample size, and Build a
+// Summary from a Dataset. The Summary answers range-sum, multi-range and
+// arbitrary subset-sum queries unbiasedly, and also returns representative
+// sampled keys — the flexibility benefits of sampling the paper argues for.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"structaware/internal/aware"
+	"structaware/internal/ipps"
+	"structaware/internal/kd"
+	"structaware/internal/paggr"
+	"structaware/internal/structure"
+	"structaware/internal/twopass"
+	"structaware/internal/varopt"
+	"structaware/internal/xmath"
+)
+
+// Method selects the sampling scheme.
+type Method int
+
+const (
+	// Aware is the paper's main contribution: main-memory structure-aware
+	// VarOpt sampling. One-dimensional datasets use the hierarchy (∆ < 1) or
+	// order (∆ < 2) summarizer depending on the axis kind; multi-dimensional
+	// datasets use KD-HIERARCHY (§4).
+	Aware Method = iota
+	// AwareTwoPass is the I/O-efficient two-pass construction of §5.
+	AwareTwoPass
+	// Oblivious is structure-oblivious VarOpt (the "obliv" baseline).
+	Oblivious
+	// Poisson is independent IPPS sampling (random sample size).
+	Poisson
+	// Systematic is order-based systematic sampling: ∆ < 1 on intervals but
+	// not VarOpt (no Chernoff bounds on arbitrary subsets); an ablation.
+	Systematic
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Aware:
+		return "aware"
+	case AwareTwoPass:
+		return "aware2p"
+	case Oblivious:
+		return "obliv"
+	case Poisson:
+		return "poisson"
+	case Systematic:
+		return "systematic"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config configures Build.
+type Config struct {
+	// Size is the target sample size s (exact for VarOpt methods).
+	Size int
+	// Method selects the scheme; the zero value is Aware.
+	Method Method
+	// Oversample sets the two-pass guide-sample factor (default 5).
+	Oversample int
+	// Seed makes the construction deterministic; 0 means seed 1.
+	Seed uint64
+}
+
+func (c Config) rand() *xmath.SplitMix {
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return xmath.NewRand(seed)
+}
+
+// Summary is a sample-based summary: sampled keys with original and HT
+// adjusted weights. It is self-contained (does not reference the source
+// dataset), so it can outlive the data, be serialized, and be queried
+// directly — the workflow of the paper's introduction.
+type Summary struct {
+	// Axes describes the key domain (shared with the source dataset).
+	Axes []structure.Axis
+	// Coords[d][k] is sampled key k's coordinate on axis d.
+	Coords [][]uint64
+	// Weights[k] is the original weight of sampled key k.
+	Weights []float64
+	// Tau is the IPPS threshold; the adjusted weight of key k is
+	// max(Weights[k], Tau).
+	Tau float64
+	// Method records how the summary was built.
+	Method Method
+}
+
+// ErrNoData is returned when the dataset has no positive-weight keys.
+var ErrNoData = errors.New("core: dataset has no positive-weight keys")
+
+// Build draws a sample summary from the dataset according to cfg.
+func Build(ds *structure.Dataset, cfg Config) (*Summary, error) {
+	if cfg.Size <= 0 {
+		return nil, ipps.ErrBadSize
+	}
+	if ds.Len() == 0 {
+		return nil, ErrNoData
+	}
+	r := cfg.rand()
+	switch cfg.Method {
+	case Oblivious:
+		sm, err := varopt.Batch(ds.Weights, cfg.Size, r)
+		if err != nil {
+			return nil, mapErr(err)
+		}
+		return fromIndices(ds, sm.Indices, sm.Tau, cfg.Method), nil
+	case Poisson:
+		sm, err := varopt.Poisson(ds.Weights, cfg.Size, r)
+		if err != nil {
+			return nil, mapErr(err)
+		}
+		return fromIndices(ds, sm.Indices, sm.Tau, cfg.Method), nil
+	case AwareTwoPass:
+		res, err := buildTwoPass(ds, cfg, r)
+		if err != nil {
+			return nil, mapErr(err)
+		}
+		return fromIndices(ds, res.Indices, res.Tau, cfg.Method), nil
+	case Aware, Systematic:
+		idx, tau, err := buildMainMemory(ds, cfg, r)
+		if err != nil {
+			return nil, mapErr(err)
+		}
+		return fromIndices(ds, idx, tau, cfg.Method), nil
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", cfg.Method)
+	}
+}
+
+func mapErr(err error) error {
+	if errors.Is(err, varopt.ErrEmpty) {
+		return ErrNoData
+	}
+	return err
+}
+
+func buildTwoPass(ds *structure.Dataset, cfg Config, r *xmath.SplitMix) (*twopass.Result, error) {
+	tc := twopass.Config{Oversample: cfg.Oversample}
+	if ds.Dims() == 1 {
+		if ds.Axes[0].Kind == structure.Explicit {
+			// §5's ancestor partition: ∆ < 1 w.h.p. on hierarchy nodes,
+			// strictly better than linearizing to an order (∆ < 2).
+			return twopass.Hierarchy(ds, 0, cfg.Size, tc, r)
+		}
+		return twopass.Order(ds, 0, cfg.Size, tc, r)
+	}
+	return twopass.Product(ds, cfg.Size, tc, r)
+}
+
+// buildMainMemory runs the main-memory structure-aware (or systematic)
+// summarization and returns the sampled indices and τ.
+func buildMainMemory(ds *structure.Dataset, cfg Config, r *xmath.SplitMix) ([]int, float64, error) {
+	tau, err := ipps.Threshold(ds.Weights, cfg.Size)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := ipps.Probabilities(ds.Weights, tau)
+	if tau > 0 {
+		ipps.NormalizeToInteger(p, 1e-6)
+	}
+
+	switch {
+	case cfg.Method == Systematic:
+		order := coordOrder(ds, 0)
+		aware.Systematic(p, order, r.Float64())
+	case ds.Dims() == 1:
+		summarize1D(ds, 0, p, r)
+	default:
+		// Product structure: KD-HIERARCHY over the fractional keys (§4).
+		var fractional []int
+		for i, pi := range p {
+			if pi > 0 && pi < 1 {
+				fractional = append(fractional, i)
+			}
+		}
+		if len(fractional) > 1 {
+			tree, err := kd.Build(ds, fractional, p, kd.Config{})
+			if err != nil {
+				return nil, 0, err
+			}
+			tree.Summarize(p, r)
+		} else if len(fractional) == 1 {
+			paggr.ResolveLeftover(p, fractional[0], r)
+		}
+	}
+	idx := paggr.SampleIndices(p)
+	if len(idx) == 0 {
+		return nil, 0, ErrNoData
+	}
+	return idx, tau, nil
+}
+
+// summarize1D dispatches on the axis kind: hierarchy axes get the ∆ < 1
+// scheme, ordered axes the ∆ < 2 order scheme.
+func summarize1D(ds *structure.Dataset, axis int, p []float64, r *xmath.SplitMix) {
+	ax := ds.Axes[axis]
+	order := coordOrder(ds, axis)
+	switch ax.Kind {
+	case structure.BitTrie:
+		aware.BitTrie(p, order, ds.Coords[axis], ax.Bits, r)
+	case structure.Explicit:
+		itemsAtLeaf := make([][]int, ax.Tree.NumLeaves())
+		for i, pos := range ds.Coords[axis] {
+			itemsAtLeaf[pos] = append(itemsAtLeaf[pos], i)
+		}
+		aware.Hierarchy(ax.Tree, itemsAtLeaf, p, r)
+	default:
+		aware.Order(p, order, r)
+	}
+}
+
+// coordOrder returns item indices sorted by their coordinate on the axis.
+func coordOrder(ds *structure.Dataset, axis int) []int {
+	order := make([]int, ds.Len())
+	for i := range order {
+		order[i] = i
+	}
+	coords := ds.Coords[axis]
+	sort.Slice(order, func(a, b int) bool { return coords[order[a]] < coords[order[b]] })
+	return order
+}
+
+// fromIndices materializes a Summary from sampled dataset indices.
+func fromIndices(ds *structure.Dataset, indices []int, tau float64, m Method) *Summary {
+	s := &Summary{
+		Axes:    ds.Axes,
+		Coords:  make([][]uint64, ds.Dims()),
+		Weights: make([]float64, len(indices)),
+		Tau:     tau,
+		Method:  m,
+	}
+	for d := range s.Coords {
+		s.Coords[d] = make([]uint64, len(indices))
+	}
+	for k, i := range indices {
+		for d := range s.Coords {
+			s.Coords[d][k] = ds.Coords[d][i]
+		}
+		s.Weights[k] = ds.Weights[i]
+	}
+	return s
+}
+
+// Size returns the number of sampled keys.
+func (s *Summary) Size() int { return len(s.Weights) }
+
+// AdjustedWeight returns the HT adjusted weight of sampled key k.
+func (s *Summary) AdjustedWeight(k int) float64 {
+	return ipps.AdjustedWeight(s.Weights[k], s.Tau)
+}
+
+// EstimateTotal returns the unbiased estimate of the total weight.
+func (s *Summary) EstimateTotal() float64 {
+	var sum xmath.KahanSum
+	for k := range s.Weights {
+		sum.Add(s.AdjustedWeight(k))
+	}
+	return sum.Sum()
+}
+
+// inRange reports whether sampled key k lies in the box r.
+func (s *Summary) inRange(k int, r structure.Range) bool {
+	for d, iv := range r {
+		if !iv.Contains(s.Coords[d][k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimateRange returns the unbiased HT estimate of the weight in box r, by
+// scanning the sample — the paper's query procedure ("we just compute the
+// intersection of the sample with each query rectangle").
+func (s *Summary) EstimateRange(r structure.Range) float64 {
+	var sum xmath.KahanSum
+	for k := range s.Weights {
+		if s.inRange(k, r) {
+			sum.Add(s.AdjustedWeight(k))
+		}
+	}
+	return sum.Sum()
+}
+
+// EstimateQuery returns the unbiased estimate over a multi-range query
+// (disjoint boxes).
+func (s *Summary) EstimateQuery(q structure.Query) float64 {
+	var sum xmath.KahanSum
+	for k := range s.Weights {
+		for _, r := range q {
+			if s.inRange(k, r) {
+				sum.Add(s.AdjustedWeight(k))
+				break
+			}
+		}
+	}
+	return sum.Sum()
+}
+
+// EstimateSubset returns the unbiased estimate of the weight of an arbitrary
+// key subset, given as a membership predicate over key coordinates. This is
+// the "arbitrary subset-sum" flexibility that dedicated summaries lack.
+func (s *Summary) EstimateSubset(member func(pt []uint64) bool) float64 {
+	var sum xmath.KahanSum
+	buf := make([]uint64, len(s.Axes))
+	for k := range s.Weights {
+		for d := range s.Coords {
+			buf[d] = s.Coords[d][k]
+		}
+		if member(buf) {
+			sum.Add(s.AdjustedWeight(k))
+		}
+	}
+	return sum.Sum()
+}
+
+// RepresentativeKeys returns the sampled keys inside box r (up to limit;
+// limit <= 0 means all), with their adjusted weights: a representative
+// sample of the selected subpopulation.
+func (s *Summary) RepresentativeKeys(r structure.Range, limit int) ([][]uint64, []float64) {
+	var keys [][]uint64
+	var ws []float64
+	for k := range s.Weights {
+		if !s.inRange(k, r) {
+			continue
+		}
+		pt := make([]uint64, len(s.Axes))
+		for d := range s.Coords {
+			pt[d] = s.Coords[d][k]
+		}
+		keys = append(keys, pt)
+		ws = append(ws, s.AdjustedWeight(k))
+		if limit > 0 && len(keys) >= limit {
+			break
+		}
+	}
+	return keys, ws
+}
+
+// MemoryFootprint returns the summary's size in "elements of the original
+// data" (keys plus weights), the unit the paper's space axis uses.
+func (s *Summary) MemoryFootprint() int { return s.Size() }

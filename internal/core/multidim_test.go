@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+// makeND builds a d-dimensional dataset with clustered coordinates.
+func makeND(t *testing.T, n, dims, bits int, seed uint64) *structure.Dataset {
+	t.Helper()
+	r := xmath.NewRand(seed)
+	axes := make([]structure.Axis, dims)
+	for d := range axes {
+		axes[d] = structure.OrderedAxis(bits)
+	}
+	mask := (uint64(1) << uint(bits)) - 1
+	pts := make([][]uint64, n)
+	ws := make([]float64, n)
+	for i := range pts {
+		pt := make([]uint64, dims)
+		for d := range pt {
+			pt[d] = r.Uint64() & mask
+		}
+		pts[i] = pt
+		ws[i] = math.Exp(3 * r.Float64())
+	}
+	ds, err := structure.NewDataset(axes, pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildThreeAndFourDimensions(t *testing.T) {
+	for _, dims := range []int{3, 4} {
+		ds := makeND(t, 2000, dims, 10, uint64(dims))
+		sum, err := Build(ds, Config{Size: 150, Seed: 5})
+		if err != nil {
+			t.Fatalf("d=%d: %v", dims, err)
+		}
+		if sum.Size() != 150 {
+			t.Fatalf("d=%d: size %d want 150", dims, sum.Size())
+		}
+		// Box estimates must be unbiased-ish and bounded: check a battery of
+		// random boxes against exact with a generous bound derived from the
+		// d-dimensional discrepancy (2d·s^{(d-1)/d} boundary cells).
+		r := xmath.NewRand(77)
+		s := 150.0
+		bound := (2*float64(dims)*math.Pow(s, float64(dims-1)/float64(dims)) + 4) * sum.Tau
+		for q := 0; q < 40; q++ {
+			box := make(structure.Range, dims)
+			for d := range box {
+				n := ds.Axes[d].DomainSize()
+				w := 1 + r.Uint64()%(n/2)
+				lo := r.Uint64() % (n - w)
+				box[d] = structure.Interval{Lo: lo, Hi: lo + w}
+			}
+			exact := ds.RangeSum(box)
+			got := sum.EstimateRange(box)
+			if math.Abs(got-exact) > bound {
+				t.Fatalf("d=%d: error %v exceeds discrepancy bound %v", dims, math.Abs(got-exact), bound)
+			}
+		}
+	}
+}
+
+func TestBuildTwoPassThreeDimensions(t *testing.T) {
+	ds := makeND(t, 3000, 3, 10, 9)
+	sum, err := Build(ds, Config{Size: 120, Method: AwareTwoPass, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sum.Size() - 120; d < -1 || d > 1 {
+		t.Fatalf("size %d want 120±1", sum.Size())
+	}
+}
+
+func TestMixedAxisKinds(t *testing.T) {
+	// One BitTrie axis + one Ordered axis + one BitTrie axis.
+	r := xmath.NewRand(31)
+	axes := []structure.Axis{
+		structure.BitTrieAxis(12),
+		structure.OrderedAxis(8),
+		structure.BitTrieAxis(10),
+	}
+	pts := make([][]uint64, 1500)
+	ws := make([]float64, 1500)
+	for i := range pts {
+		pts[i] = []uint64{r.Uint64() & 0xfff, r.Uint64() & 0xff, r.Uint64() & 0x3ff}
+		ws[i] = 1 + 5*r.Float64()
+	}
+	ds, err := structure.NewDataset(axes, pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Build(ds, Config{Size: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Size() != 100 {
+		t.Fatalf("size %d", sum.Size())
+	}
+	// Prefix × interval × prefix box.
+	box := structure.Range{
+		{Lo: 0, Hi: 0x7ff},
+		{Lo: 10, Hi: 200},
+		{Lo: 0x200, Hi: 0x3ff},
+	}
+	exact := ds.RangeSum(box)
+	got := sum.EstimateRange(box)
+	if math.Abs(got-exact) > 40*sum.Tau {
+		t.Fatalf("mixed-axis estimate too far: |%v-%v| with τ=%v", got, exact, sum.Tau)
+	}
+}
+
+// TestMultiRangeHierarchyLemma4 exercises Appendix C on a one-dimensional
+// hierarchy, where every query range is a node of the aggregation tree: the
+// error of a query spanning ℓ disjoint hierarchy ranges is deterministically
+// below ℓ (each range contributes one leftover Bernoulli) and its RMS
+// concentrates around √(Σ leftover variances) ≤ √(ℓ/4).
+func TestMultiRangeHierarchyLemma4(t *testing.T) {
+	ds := make1DBitTrie(t, 4000, 16, 41)
+	s := 300
+	const ell = 16
+	level := 5 // 32 prefixes; take every other one
+	width := ds.Axes[0].DomainSize() >> uint(level)
+	var q structure.Query
+	for k := 0; k < ell; k++ {
+		pfx := uint64(2 * k)
+		q = append(q, structure.Range{{Lo: pfx * width, Hi: (pfx+1)*width - 1}})
+	}
+	exact := ds.QuerySum(q)
+	var errs []float64
+	const trials = 80
+	for k := 0; k < trials; k++ {
+		sum, err := Build(ds, Config{Size: s, Seed: uint64(k + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := (sum.EstimateQuery(q) - exact) / sum.Tau
+		// Deterministic Lemma 4 bound: below ℓ.
+		if math.Abs(e) >= ell {
+			t.Fatalf("error %v (τ units) reaches deterministic bound ℓ=%d", e, ell)
+		}
+		errs = append(errs, e)
+	}
+	var rms float64
+	for _, e := range errs {
+		rms += e * e
+	}
+	rms = math.Sqrt(rms / trials)
+	// Concentration: √(ℓ/4) = 2 for ℓ=16; allow 2x statistical headroom.
+	if rms > 2*math.Sqrt(ell)/2 {
+		t.Fatalf("multi-range RMS error %v exceeds concentration scale √(ℓ/4)·2 = %v", rms, math.Sqrt(ell))
+	}
+}
+
+func make1DBitTrie(t *testing.T, n, bits int, seed uint64) *structure.Dataset {
+	t.Helper()
+	r := xmath.NewRand(seed)
+	axes := []structure.Axis{structure.BitTrieAxis(bits)}
+	mask := (uint64(1) << uint(bits)) - 1
+	pts := make([][]uint64, n)
+	ws := make([]float64, n)
+	for i := range pts {
+		pts[i] = []uint64{r.Uint64() & mask}
+		ws[i] = math.Exp(3 * r.Float64())
+	}
+	ds, err := structure.NewDataset(axes, pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}

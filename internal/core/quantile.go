@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+// ErrNoMass is returned by quantile estimation when the (restricted) sample
+// holds no weight.
+var ErrNoMass = errors.New("core: no sample mass in the selected region")
+
+// Quantile estimates the φ-quantile of the weight distribution along the
+// given axis: the smallest coordinate q such that the keys with coordinate
+// ≤ q hold at least φ of the total weight. This is the "order statistics
+// over subsets" workflow the paper's introduction lists among sampling's
+// advantages: it needs no extra structure, just the sample.
+func (s *Summary) Quantile(axis int, phi float64) (uint64, error) {
+	return s.QuantileInRange(axis, phi, s.fullRange())
+}
+
+// QuantileInRange restricts the quantile estimate to the keys inside the
+// box — e.g. "median flow destination within subnet X".
+func (s *Summary) QuantileInRange(axis int, phi float64, box structure.Range) (uint64, error) {
+	if axis < 0 || axis >= len(s.Axes) {
+		return 0, errors.New("core: axis out of range")
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	type kv struct {
+		coord uint64
+		w     float64
+	}
+	var items []kv
+	var total xmath.KahanSum
+	for k := range s.Weights {
+		if !s.inRange(k, box) {
+			continue
+		}
+		w := s.AdjustedWeight(k)
+		items = append(items, kv{s.Coords[axis][k], w})
+		total.Add(w)
+	}
+	if len(items) == 0 || total.Sum() <= 0 {
+		return 0, ErrNoMass
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].coord < items[b].coord })
+	target := phi * total.Sum()
+	var cum float64
+	for _, it := range items {
+		cum += it.w
+		if cum >= target {
+			return it.coord, nil
+		}
+	}
+	return items[len(items)-1].coord, nil
+}
+
+func (s *Summary) fullRange() structure.Range {
+	r := make(structure.Range, len(s.Axes))
+	for d, ax := range s.Axes {
+		r[d] = structure.Interval{Lo: 0, Hi: ax.DomainSize() - 1}
+	}
+	return r
+}

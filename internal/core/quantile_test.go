@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+// exactQuantile computes the true weighted quantile along an axis.
+func exactQuantile(ds *structure.Dataset, axis int, phi float64) uint64 {
+	type kv struct {
+		c uint64
+		w float64
+	}
+	items := make([]kv, ds.Len())
+	var total float64
+	for i := 0; i < ds.Len(); i++ {
+		items[i] = kv{ds.Coords[axis][i], ds.Weights[i]}
+		total += ds.Weights[i]
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].c < items[b].c })
+	target := phi * total
+	var cum float64
+	for _, it := range items {
+		cum += it.w
+		if cum >= target {
+			return it.c
+		}
+	}
+	return items[len(items)-1].c
+}
+
+func TestQuantileNearExact(t *testing.T) {
+	ds := make2D(t, 4000, 16, 51)
+	sum, err := Build(ds, Config{Size: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimated quantile's rank error is bounded by the prefix
+	// discrepancy: the weight between the true and estimated quantile
+	// coordinates is O(τ·∆). Verify via rank distance.
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got, err := sum.Quantile(0, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Weight below the estimated quantile should be close to φW.
+		below := ds.RangeSum(structure.Range{
+			{Lo: 0, Hi: got},
+			{Lo: 0, Hi: ds.Axes[1].DomainSize() - 1},
+		})
+		frac := below / ds.TotalWeight()
+		if math.Abs(frac-phi) > 0.05 {
+			t.Fatalf("phi=%v: estimated quantile covers %v of the weight", phi, frac)
+		}
+	}
+}
+
+func TestQuantileInRange(t *testing.T) {
+	ds := make2D(t, 3000, 14, 52)
+	sum, err := Build(ds, Config{Size: 600, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median destination within the first half of the source space.
+	box := structure.Range{
+		{Lo: 0, Hi: ds.Axes[0].DomainSize()/2 - 1},
+		{Lo: 0, Hi: ds.Axes[1].DomainSize() - 1},
+	}
+	got, err := sum.QuantileInRange(1, 0.5, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact conditional median.
+	below := 0.0
+	total := 0.0
+	for i := 0; i < ds.Len(); i++ {
+		if !ds.InRange(i, box) {
+			continue
+		}
+		total += ds.Weights[i]
+		if ds.Coords[1][i] <= got {
+			below += ds.Weights[i]
+		}
+	}
+	if math.Abs(below/total-0.5) > 0.08 {
+		t.Fatalf("conditional median covers %v of the region weight", below/total)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	ds := make2D(t, 500, 12, 53)
+	sum, err := Build(ds, Config{Size: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sum.Quantile(7, 0.5); err == nil {
+		t.Fatal("bad axis must error")
+	}
+	q0, err := sum.Quantile(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := sum.Quantile(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q0 > q1 {
+		t.Fatal("quantiles must be monotone in phi")
+	}
+	// Out-of-bounds phi values clamp.
+	if q, err := sum.Quantile(0, 2); err != nil || q != q1 {
+		t.Fatal("phi>1 must clamp to 1")
+	}
+	// Empty region errors.
+	empty := structure.Range{{Lo: 1, Hi: 0}, {Lo: 1, Hi: 0}}
+	if _, err := sum.QuantileInRange(0, 0.5, empty); err == nil {
+		t.Fatal("empty region must error")
+	}
+	// Sanity against the exact quantile on the full data.
+	got, _ := sum.Quantile(0, 0.5)
+	want := exactQuantile(ds, 0, 0.5)
+	span := float64(ds.Axes[0].DomainSize())
+	if math.Abs(float64(got)-float64(want)) > 0.4*span {
+		t.Fatalf("median %d too far from exact %d", got, want)
+	}
+	_ = xmath.Eps
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"structaware/internal/structure"
+)
+
+// Summaries outlive the data they summarize — the paper's workflow archives
+// or deletes the raw table once the summary is built. WriteTo/ReadSummary
+// give the Summary a compact, versioned binary encoding for that purpose.
+//
+// Layout (little endian):
+//
+//	magic "SAS1" | method u8 | tau f64 | dims u16 | per-axis {kind u8, bits u16}
+//	| size u32 | coords dims×size u64 | weights size f64
+//
+// Explicit-hierarchy axes serialize their kind and linearized domain width;
+// the tree itself is intentionally not embedded (it belongs to the schema,
+// not the sample). ReadSummary restores such axes as Ordered over the same
+// coordinate space, which answers every query expressible as intervals —
+// i.e. everything the linearized representation supports.
+
+var magic = [4]byte{'S', 'A', 'S', '1'}
+
+// ErrBadFormat is returned when decoding fails.
+var ErrBadFormat = errors.New("core: bad summary encoding")
+
+// WriteTo serializes the summary. It implements io.WriterTo.
+func (s *Summary) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return n, err
+	}
+	if err := write(uint8(s.Method)); err != nil {
+		return n, err
+	}
+	if err := write(s.Tau); err != nil {
+		return n, err
+	}
+	if err := write(uint16(len(s.Axes))); err != nil {
+		return n, err
+	}
+	for _, ax := range s.Axes {
+		if err := write(uint8(ax.Kind)); err != nil {
+			return n, err
+		}
+		bits := ax.Bits
+		if ax.Kind == structure.Explicit {
+			// Preserve the linearized domain width.
+			bits = 0
+			for (uint64(1) << uint(bits)) < ax.DomainSize() {
+				bits++
+			}
+		}
+		if err := write(uint16(bits)); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint32(s.Size())); err != nil {
+		return n, err
+	}
+	for d := range s.Axes {
+		if err := write(s.Coords[d]); err != nil {
+			return n, err
+		}
+	}
+	if err := write(s.Weights); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadSummary deserializes a summary written by WriteTo.
+func ReadSummary(r io.Reader) (*Summary, error) {
+	br := bufio.NewReader(r)
+	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+	var m [4]byte
+	if err := read(&m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m[:])
+	}
+	var method uint8
+	var tau float64
+	var dims uint16
+	if err := read(&method); err != nil {
+		return nil, fmt.Errorf("%w: method", ErrBadFormat)
+	}
+	if err := read(&tau); err != nil {
+		return nil, fmt.Errorf("%w: tau", ErrBadFormat)
+	}
+	if math.IsNaN(tau) || tau < 0 {
+		return nil, fmt.Errorf("%w: tau %v", ErrBadFormat, tau)
+	}
+	if err := read(&dims); err != nil {
+		return nil, fmt.Errorf("%w: dims", ErrBadFormat)
+	}
+	if dims == 0 || dims > 16 {
+		return nil, fmt.Errorf("%w: %d dims", ErrBadFormat, dims)
+	}
+	s := &Summary{Tau: tau, Method: Method(method), Axes: make([]structure.Axis, dims)}
+	for d := range s.Axes {
+		var kind uint8
+		var bits uint16
+		if err := read(&kind); err != nil {
+			return nil, fmt.Errorf("%w: axis kind", ErrBadFormat)
+		}
+		if err := read(&bits); err != nil {
+			return nil, fmt.Errorf("%w: axis bits", ErrBadFormat)
+		}
+		if bits == 0 || bits > 63 {
+			return nil, fmt.Errorf("%w: axis bits %d", ErrBadFormat, bits)
+		}
+		k := structure.AxisKind(kind)
+		if k == structure.Explicit {
+			// The tree is schema, not sample; reopen as an ordered view of
+			// the linearized coordinates.
+			k = structure.Ordered
+		}
+		s.Axes[d] = structure.Axis{Kind: k, Bits: int(bits)}
+	}
+	var size uint32
+	if err := read(&size); err != nil {
+		return nil, fmt.Errorf("%w: size", ErrBadFormat)
+	}
+	if size > 1<<30 {
+		return nil, fmt.Errorf("%w: size %d", ErrBadFormat, size)
+	}
+	s.Coords = make([][]uint64, dims)
+	for d := range s.Coords {
+		s.Coords[d] = make([]uint64, size)
+		if err := read(s.Coords[d]); err != nil {
+			return nil, fmt.Errorf("%w: coords", ErrBadFormat)
+		}
+	}
+	s.Weights = make([]float64, size)
+	if err := read(s.Weights); err != nil {
+		return nil, fmt.Errorf("%w: weights", ErrBadFormat)
+	}
+	for _, w := range s.Weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight %v", ErrBadFormat, w)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+func TestSummaryRoundTrip(t *testing.T) {
+	ds := make2D(t, 500, 14, 21)
+	orig, err := Build(ds, Config{Size: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != orig.Size() || got.Tau != orig.Tau || got.Method != orig.Method {
+		t.Fatalf("header mismatch: %v vs %v", got, orig)
+	}
+	for k := 0; k < orig.Size(); k++ {
+		if got.Weights[k] != orig.Weights[k] ||
+			got.Coords[0][k] != orig.Coords[0][k] ||
+			got.Coords[1][k] != orig.Coords[1][k] {
+			t.Fatalf("key %d mismatch", k)
+		}
+	}
+	// Estimates agree on queries.
+	box := structure.Range{{Lo: 0, Hi: 8000}, {Lo: 0, Hi: 16000}}
+	if !xmath.AlmostEqual(got.EstimateRange(box), orig.EstimateRange(box), 1e-12) {
+		t.Fatal("estimates diverge after round trip")
+	}
+}
+
+func TestSummaryRoundTripExplicitAxes(t *testing.T) {
+	// Explicit hierarchy axes come back as ordered views over the same
+	// linearized coordinates; interval estimates are preserved.
+	ds := make2D(t, 100, 10, 22)
+	orig, err := Build(ds, Config{Size: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Axes = []structure.Axis{orig.Axes[0], orig.Axes[1]}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != orig.Size() {
+		t.Fatal("size mismatch")
+	}
+}
+
+func TestReadSummaryRejectsCorruption(t *testing.T) {
+	ds := make2D(t, 100, 10, 23)
+	orig, err := Build(ds, Config{Size: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), full...)
+	bad[0] = 'X'
+	if _, err := ReadSummary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	// Truncations at every prefix length must error, not panic.
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadSummary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt a weight into NaN (last 8 bytes).
+	bad = append([]byte(nil), full...)
+	for i := len(bad) - 8; i < len(bad); i++ {
+		bad[i] = 0xff
+	}
+	if _, err := ReadSummary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("NaN weight must be rejected")
+	}
+}
+
+func TestReadSummaryEmptyInput(t *testing.T) {
+	if _, err := ReadSummary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input must error")
+	}
+}

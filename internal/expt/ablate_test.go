@@ -1,0 +1,33 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationRunnersRegistered(t *testing.T) {
+	for _, name := range []string{"a1", "a2", "a3", "a4"} {
+		if Runners[name] == nil {
+			t.Fatalf("runner %s missing", name)
+		}
+	}
+}
+
+func TestAblationRunnersSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runners are slow")
+	}
+	for _, name := range []string{"a1", "a2", "a3", "a4"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Runners[name](quickOpts(&buf)); err != nil {
+				t.Fatalf("%s: %v\n%s", name, err, buf.String())
+			}
+			if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) < 3 {
+				t.Fatalf("%s produced no data:\n%s", name, buf.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+// Package expt is the experiment harness: it builds each summary type at a
+// given size over a dataset, measures construction and query costs, and
+// regenerates every figure of the paper's evaluation (§6) plus the
+// validation experiments listed in DESIGN.md.
+//
+// Output is plain tab-separated rows with a commented header, one series
+// column per method — the same series the paper plots.
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"structaware/internal/core"
+	"structaware/internal/qdigest"
+	"structaware/internal/sketch"
+	"structaware/internal/structure"
+	"structaware/internal/wavelet"
+	"structaware/internal/xmath"
+)
+
+// Summary is the common query interface every summary type satisfies.
+type Summary interface {
+	// EstimateQuery estimates the total weight of a multi-range query.
+	EstimateQuery(q structure.Query) float64
+	// Size is the summary footprint in elements of the original data.
+	Size() int
+}
+
+// Method names, matching the paper's legend.
+const (
+	MAware        = "aware"    // structure-aware two-pass VarOpt (§4+§5)
+	MAwareMM      = "awaremm"  // structure-aware main-memory VarOpt (§4)
+	MObliv        = "obliv"    // structure-oblivious VarOpt
+	MWavelet      = "wavelet"  // 2-D Haar, top-s coefficients
+	MQDigest      = "qdigest"  // 2-D adaptive spatial partitioning (streaming)
+	MQDigestBatch = "qdigestb" // same family, optimized z-order batch build
+	MSketch       = "sketch"   // Count-Sketch over dyadic rectangles
+	MPoisson      = "poisson"  // Poisson IPPS (extra baseline)
+	MSystematic   = "systematic"
+)
+
+// AccuracyMethods is the method set of the accuracy figures (the paper drops
+// sketch after noting its error is off the scale in 2-D).
+var AccuracyMethods = []string{MAware, MObliv, MWavelet, MQDigest}
+
+// CostMethods is the method set of the construction/query-time figures.
+var CostMethods = []string{MAware, MObliv, MWavelet, MQDigest, MSketch}
+
+// Built couples a summary with its construction cost.
+type Built struct {
+	Name      string
+	Summary   Summary
+	BuildTime time.Duration
+}
+
+// axisBits returns the dyadic bit width covering axis d of the dataset.
+func axisBits(ds *structure.Dataset, d int) int {
+	b := xmath.Log2Ceil(ds.Axes[d].DomainSize())
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// BuildSummary constructs the named summary at the given size (elements) and
+// reports how long construction took.
+func BuildSummary(name string, ds *structure.Dataset, size int, seed uint64) (Built, error) {
+	start := time.Now()
+	var s Summary
+	var err error
+	switch name {
+	case MAware:
+		s, err = core.Build(ds, core.Config{Size: size, Method: core.AwareTwoPass, Seed: seed})
+	case MAwareMM:
+		s, err = core.Build(ds, core.Config{Size: size, Method: core.Aware, Seed: seed})
+	case MObliv:
+		s, err = core.Build(ds, core.Config{Size: size, Method: core.Oblivious, Seed: seed})
+	case MPoisson:
+		s, err = core.Build(ds, core.Config{Size: size, Method: core.Poisson, Seed: seed})
+	case MSystematic:
+		s, err = core.Build(ds, core.Config{Size: size, Method: core.Systematic, Seed: seed})
+	case MWavelet:
+		s, err = wavelet.Build2D(ds.Coords[0], ds.Coords[1], ds.Weights,
+			axisBits(ds, 0), axisBits(ds, 1), size)
+	case MQDigest:
+		// The paper's qdigest is a streaming structure: per-item descents
+		// through the materialized partition (this is what makes its
+		// construction slow in 2-D, Fig. 3). Insert everything, then meet
+		// the budget exactly.
+		var sd *qdigest.Stream2D
+		sd, err = qdigest.NewStream2D(axisBits(ds, 0), axisBits(ds, 1), size)
+		if err == nil {
+			for i := 0; i < ds.Len(); i++ {
+				sd.Insert(ds.Coords[0][i], ds.Coords[1][i], ds.Weights[i])
+			}
+			sd.Compact(size)
+			s = sd
+		}
+	case MQDigestBatch:
+		s, err = qdigest.Build2D(ds.Coords[0], ds.Coords[1], ds.Weights,
+			axisBits(ds, 0), axisBits(ds, 1), size)
+	case MSketch:
+		var d2 *sketch.Dyadic2D
+		d2, err = sketch.NewDyadic2D(axisBits(ds, 0), axisBits(ds, 1), size, 5, seed)
+		if err == nil {
+			for i := 0; i < ds.Len(); i++ {
+				d2.Update(ds.Coords[0][i], ds.Coords[1][i], ds.Weights[i])
+			}
+			s = d2
+		}
+	default:
+		return Built{}, fmt.Errorf("expt: unknown method %q", name)
+	}
+	if err != nil {
+		return Built{}, fmt.Errorf("expt: build %s: %w", name, err)
+	}
+	return Built{Name: name, Summary: s, BuildTime: time.Since(start)}, nil
+}
+
+// DyadicWavelet wraps a wavelet summary so queries go through the paper's
+// dyadic-decomposition procedure (used for the query-time experiment).
+type DyadicWavelet struct {
+	W *wavelet.Summary2D
+}
+
+// EstimateQuery answers via dyadic reconstruction.
+func (d DyadicWavelet) EstimateQuery(q structure.Query) float64 {
+	var sum float64
+	for _, r := range q {
+		sum += d.W.EstimateRangeDyadic(r)
+	}
+	return sum
+}
+
+// Size returns the coefficient count.
+func (d DyadicWavelet) Size() int { return d.W.Size() }
+
+// MeanAbsError returns the mean of |estimate − exact| / totalWeight over the
+// query battery — the paper's "absolute error" metric (error divided by the
+// total weight of all data).
+func MeanAbsError(s Summary, queries []structure.Query, exact []float64, totalWeight float64) float64 {
+	if len(queries) == 0 || totalWeight <= 0 {
+		return 0
+	}
+	var acc xmath.KahanSum
+	for i, q := range queries {
+		d := s.EstimateQuery(q) - exact[i]
+		if d < 0 {
+			d = -d
+		}
+		acc.Add(d / totalWeight)
+	}
+	return acc.Sum() / float64(len(queries))
+}
+
+// LogSizes returns the 1–3 spaced sweep [100, 300, 1000, ...] capped at max
+// (always including at least the smallest size).
+func LogSizes(max int) []int {
+	var out []int
+	for _, base := range []int{100, 300, 1000, 3000, 10000, 30000, 100000} {
+		if base >= max {
+			out = append(out, max)
+			break
+		}
+		out = append(out, base)
+	}
+	return out
+}

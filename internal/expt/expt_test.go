@@ -1,0 +1,169 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"structaware/internal/structure"
+	"structaware/internal/wavelet"
+	"structaware/internal/workload"
+	"structaware/internal/xmath"
+)
+
+// quick options for fast test runs.
+func quickOpts(buf *bytes.Buffer) Options {
+	return Options{Scale: 0.015, Queries: 10, Seed: 3, Out: buf}
+}
+
+func smallNetwork(t *testing.T) *structure.Dataset {
+	t.Helper()
+	ds, err := workload.Network(workload.NetworkConfig{Pairs: 4000, Bits: 14, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildSummaryAllMethods(t *testing.T) {
+	ds := smallNetwork(t)
+	for _, m := range append(append([]string{}, CostMethods...), MAwareMM, MPoisson, MSystematic) {
+		b, err := BuildSummary(m, ds, 200, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if b.Summary == nil || b.Summary.Size() == 0 {
+			t.Fatalf("%s: empty summary", m)
+		}
+		if b.BuildTime <= 0 {
+			t.Fatalf("%s: no build time recorded", m)
+		}
+	}
+	if _, err := BuildSummary("nope", ds, 100, 1); err == nil {
+		t.Fatal("unknown method must error")
+	}
+}
+
+func TestMeanAbsErrorSanity(t *testing.T) {
+	ds := smallNetwork(t)
+	r := xmath.NewRand(7)
+	queries := workload.Battery(10, func() structure.Query {
+		return workload.UniformAreaQuery(ds, 5, 0.3, r)
+	})
+	exact := workload.ExactAnswers(ds, queries)
+	b, err := BuildSummary(MAware, ds, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := MeanAbsError(b.Summary, queries, exact, ds.TotalWeight())
+	if e < 0 || e > 0.5 {
+		t.Fatalf("mean abs error %v implausible", e)
+	}
+	// An exact "summary" has zero error.
+	exactSummary := dsAsSummary{ds}
+	if got := MeanAbsError(exactSummary, queries, exact, ds.TotalWeight()); got > 1e-12 {
+		t.Fatalf("exact summary error %v", got)
+	}
+}
+
+type dsAsSummary struct{ ds *structure.Dataset }
+
+func (d dsAsSummary) EstimateQuery(q structure.Query) float64 { return d.ds.QuerySum(q) }
+func (d dsAsSummary) Size() int                               { return d.ds.Len() }
+
+func TestLogSizes(t *testing.T) {
+	s := LogSizes(5000)
+	want := []int{100, 300, 1000, 3000, 5000}
+	if len(s) != len(want) {
+		t.Fatalf("sizes %v want %v", s, want)
+	}
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("sizes %v want %v", s, want)
+		}
+	}
+	if got := LogSizes(50); len(got) != 1 || got[0] != 50 {
+		t.Fatalf("tiny max: %v", got)
+	}
+}
+
+func TestDyadicWaveletAgreesWithFast(t *testing.T) {
+	ds := smallNetwork(t)
+	b, err := BuildSummary(MWavelet, ds, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xmath.NewRand(9)
+	q := workload.UniformAreaQuery(ds, 3, 0.4, r)
+	fast := b.Summary.EstimateQuery(q)
+	dy := DyadicWavelet{W: b.Summary.(*wavelet.Summary2D)}
+	if got := dy.EstimateQuery(q); !xmath.AlmostEqual(got, fast, 1e-6) {
+		t.Fatalf("dyadic %v fast %v", got, fast)
+	}
+	if dy.Size() != b.Summary.Size() {
+		t.Fatal("sizes must agree")
+	}
+}
+
+func TestRunnersRegistryComplete(t *testing.T) {
+	for _, name := range []string{"fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c", "v1", "v2", "v3", "v4", "v5"} {
+		if Runners[name] == nil {
+			t.Fatalf("runner %s missing", name)
+		}
+	}
+	if len(RunnerNames()) != len(Runners) {
+		t.Fatal("RunnerNames incomplete")
+	}
+}
+
+func TestFigureRunnersSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runners are slow")
+	}
+	for _, name := range []string{"fig2a", "fig2b", "fig2c", "fig3c", "fig4a", "fig4b", "fig4c"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Runners[name](quickOpts(&buf)); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "#") || len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+				t.Fatalf("%s produced no data:\n%s", name, out)
+			}
+		})
+	}
+}
+
+func TestCostRunnersSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cost runners are slow")
+	}
+	for _, name := range []string{"fig3a", "fig3b"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Runners[name](quickOpts(&buf)); err != nil {
+				t.Fatal(err)
+			}
+			if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) < 3 {
+				t.Fatalf("%s produced no data", name)
+			}
+		})
+	}
+}
+
+func TestValidationRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation runners are slow")
+	}
+	for _, name := range []string{"v1", "v2", "v3", "v4", "v5"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Runners[name](quickOpts(&buf)); err != nil {
+				t.Fatalf("%s: %v\n%s", name, err, buf.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,459 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"structaware/internal/structure"
+	"structaware/internal/wavelet"
+	"structaware/internal/workload"
+	"structaware/internal/xmath"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Scale multiplies the paper's dataset cardinalities (1.0 = paper
+	// scale: 196K network pairs, 500K ticket records). Experiments stay
+	// meaningful down to ~0.02 for quick runs.
+	Scale float64
+	// Queries is the battery size per configuration (paper: 50).
+	Queries int
+	// Seed drives all randomness.
+	Seed uint64
+	// Out receives the tab-separated rows.
+	Out io.Writer
+}
+
+func (o Options) defaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Queries == 0 {
+		o.Queries = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func scaleInt(base int, scale float64, min int) int {
+	v := int(float64(base) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+func (o Options) network() (*structure.Dataset, error) {
+	return workload.Network(workload.NetworkConfig{
+		Pairs: scaleInt(196000, o.Scale, 2000),
+		Seed:  o.Seed,
+	})
+}
+
+func (o Options) tickets() (*structure.Dataset, error) {
+	return workload.Tickets(workload.TicketConfig{
+		TroubleLeaves:  scaleInt(4800, o.Scale, 100),
+		LocationLeaves: scaleInt(80000, o.Scale, 500),
+		Tickets:        scaleInt(500000, o.Scale, 4000),
+		Seed:           o.Seed,
+	})
+}
+
+func (o Options) sizes(ds *structure.Dataset) []int {
+	max := ds.Len() / 2
+	if max < 100 {
+		max = 100
+	}
+	if max > 100000 {
+		max = 100000
+	}
+	return LogSizes(max)
+}
+
+// Runners maps experiment ids to their functions; cmd/sasbench dispatches on
+// it. Every figure of the paper's evaluation appears here.
+var Runners = map[string]func(Options) error{
+	"fig2a": Fig2a, "fig2b": Fig2b, "fig2c": Fig2c,
+	"fig3a": Fig3a, "fig3b": Fig3b, "fig3c": Fig3c,
+	"fig4a": Fig4a, "fig4b": Fig4b, "fig4c": Fig4c,
+	"v1": V1, "v2": V2, "v3": V3, "v4": V4, "v5": V5,
+}
+
+// RunnerNames lists the experiment ids in a stable order.
+func RunnerNames() []string {
+	names := make([]string, 0, len(Runners))
+	for n := range Runners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// errorVsSize runs an accuracy-vs-summary-size sweep (Figs. 2a, 4a).
+func errorVsSize(o Options, ds *structure.Dataset, queries []structure.Query, label string) error {
+	exact := workload.ExactAnswers(ds, queries)
+	total := ds.TotalWeight()
+	fmt.Fprintf(o.Out, "# %s: mean absolute error (|est-exact|/W) vs summary size; n=%d keys, %d queries\n", label, ds.Len(), len(queries))
+	fmt.Fprintf(o.Out, "# size")
+	for _, m := range AccuracyMethods {
+		fmt.Fprintf(o.Out, "\t%s", m)
+	}
+	fmt.Fprintln(o.Out)
+	for _, size := range o.sizes(ds) {
+		fmt.Fprintf(o.Out, "%d", size)
+		for _, m := range AccuracyMethods {
+			b, err := BuildSummary(m, ds, size, o.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(o.Out, "\t%.6g", MeanAbsError(b.Summary, queries, exact, total))
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+// Fig2a — Network data, uniform-area queries (25 ranges per query):
+// accuracy vs summary size.
+func Fig2a(o Options) error {
+	o = o.defaults()
+	ds, err := o.network()
+	if err != nil {
+		return err
+	}
+	r := xmath.NewRand(o.Seed + 100)
+	queries := workload.Battery(o.Queries, func() structure.Query {
+		return workload.UniformAreaQuery(ds, 25, 0.25, r)
+	})
+	return errorVsSize(o, ds, queries, "fig2a network uniform-area 25-range queries")
+}
+
+// errorVsWeight runs an accuracy-vs-query-weight sweep at a fixed summary
+// size using uniform-weight queries at varying kd depths (Figs. 2b, 4c).
+func errorVsWeight(o Options, ds *structure.Dataset, numRects, size int, label string) error {
+	wc, err := workload.NewWeightCells(ds, 16)
+	if err != nil {
+		return err
+	}
+	total := ds.TotalWeight()
+	built := make(map[string]Built)
+	for _, m := range AccuracyMethods {
+		b, err := BuildSummary(m, ds, size, o.Seed)
+		if err != nil {
+			return err
+		}
+		built[m] = b
+	}
+	fmt.Fprintf(o.Out, "# %s: error vs query weight at summary size %d (%d-range uniform-weight queries)\n", label, size, numRects)
+	fmt.Fprintf(o.Out, "# weight")
+	for _, m := range AccuracyMethods {
+		fmt.Fprintf(o.Out, "\t%s", m)
+	}
+	fmt.Fprintln(o.Out)
+	r := xmath.NewRand(o.Seed + 200)
+	minDepth := xmath.Log2Ceil(uint64(numRects)) + 1
+	for depth := wc.MaxDepth(); depth >= minDepth; depth-- {
+		if len(wc.CellsAt(depth)) < numRects {
+			continue
+		}
+		count := o.Queries / 5
+		if count < 5 {
+			count = 5
+		}
+		var queries []structure.Query
+		for i := 0; i < count; i++ {
+			q, err := wc.QueryAt(depth, numRects, r)
+			if err != nil {
+				return err
+			}
+			queries = append(queries, q)
+		}
+		exact := workload.ExactAnswers(ds, queries)
+		meanW := xmath.Mean(exact) / total
+		if meanW <= 0 {
+			continue
+		}
+		fmt.Fprintf(o.Out, "%.6g", meanW)
+		for _, m := range AccuracyMethods {
+			fmt.Fprintf(o.Out, "\t%.6g", MeanAbsError(built[m].Summary, queries, exact, total))
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+// Fig2b — Network data, uniform-weight queries (10 ranges), size 2700:
+// accuracy vs query weight.
+func Fig2b(o Options) error {
+	o = o.defaults()
+	ds, err := o.network()
+	if err != nil {
+		return err
+	}
+	return errorVsWeight(o, ds, 10, 2700, "fig2b network uniform-weight")
+}
+
+// Fig2c — Network data: fixed total query weight (≈0.12 of the data),
+// varying the number of ranges per query.
+func Fig2c(o Options) error {
+	o = o.defaults()
+	ds, err := o.network()
+	if err != nil {
+		return err
+	}
+	wc, err := workload.NewWeightCells(ds, 16)
+	if err != nil {
+		return err
+	}
+	total := ds.TotalWeight()
+	size := 2700
+	built := make(map[string]Built)
+	for _, m := range AccuracyMethods {
+		b, err := BuildSummary(m, ds, size, o.Seed)
+		if err != nil {
+			return err
+		}
+		built[m] = b
+	}
+	fmt.Fprintf(o.Out, "# fig2c network: error vs ranges per query at fixed weight ≈0.12, size %d\n", size)
+	fmt.Fprintf(o.Out, "# ranges\tweight")
+	for _, m := range AccuracyMethods {
+		fmt.Fprintf(o.Out, "\t%s", m)
+	}
+	fmt.Fprintln(o.Out)
+	r := xmath.NewRand(o.Seed + 300)
+	for _, ranges := range []int{1, 2, 5, 10, 20, 40, 100} {
+		// weight ≈ ranges/2^depth = 0.12 → depth = log2(ranges/0.12).
+		depth := xmath.Log2Ceil(uint64(float64(ranges)/0.12)) - 0
+		for depth < 16 && len(wc.CellsAt(depth)) < ranges {
+			depth++
+		}
+		if len(wc.CellsAt(depth)) < ranges {
+			continue
+		}
+		count := o.Queries / 5
+		if count < 5 {
+			count = 5
+		}
+		var queries []structure.Query
+		for i := 0; i < count; i++ {
+			q, err := wc.QueryAt(depth, ranges, r)
+			if err != nil {
+				return err
+			}
+			queries = append(queries, q)
+		}
+		exact := workload.ExactAnswers(ds, queries)
+		fmt.Fprintf(o.Out, "%d\t%.4g", ranges, xmath.Mean(exact)/total)
+		for _, m := range AccuracyMethods {
+			fmt.Fprintf(o.Out, "\t%.6g", MeanAbsError(built[m].Summary, queries, exact, total))
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+// buildThroughput runs the construction-cost sweep (Figs. 3a, 3b).
+func buildThroughput(o Options, ds *structure.Dataset, label string) error {
+	fmt.Fprintf(o.Out, "# %s: construction throughput (items/s) vs summary size; n=%d\n", label, ds.Len())
+	fmt.Fprintf(o.Out, "# size")
+	for _, m := range CostMethods {
+		fmt.Fprintf(o.Out, "\t%s", m)
+	}
+	fmt.Fprintln(o.Out)
+	for _, size := range o.sizes(ds) {
+		fmt.Fprintf(o.Out, "%d", size)
+		for _, m := range CostMethods {
+			b, err := BuildSummary(m, ds, size, o.Seed)
+			if err != nil {
+				return err
+			}
+			secs := b.BuildTime.Seconds()
+			if secs <= 0 {
+				secs = 1e-9
+			}
+			fmt.Fprintf(o.Out, "\t%.6g", float64(ds.Len())/secs)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+// Fig3a — construction throughput on Network data.
+func Fig3a(o Options) error {
+	o = o.defaults()
+	ds, err := o.network()
+	if err != nil {
+		return err
+	}
+	return buildThroughput(o, ds, "fig3a network")
+}
+
+// Fig3b — construction throughput on Tech Ticket data.
+func Fig3b(o Options) error {
+	o = o.defaults()
+	ds, err := o.tickets()
+	if err != nil {
+		return err
+	}
+	return buildThroughput(o, ds, "fig3b tickets")
+}
+
+// Fig3c — time to answer a battery of single-rectangle queries vs summary
+// size (the paper uses 2500 rectangles; scaled by Options.Scale).
+func Fig3c(o Options) error {
+	o = o.defaults()
+	ds, err := o.network()
+	if err != nil {
+		return err
+	}
+	r := xmath.NewRand(o.Seed + 400)
+	nRects := scaleInt(2500, o.Scale, 100)
+	queries := workload.Battery(nRects, func() structure.Query {
+		return workload.UniformAreaQuery(ds, 1, 0.2, r)
+	})
+	fmt.Fprintf(o.Out, "# fig3c network: seconds to answer %d rectangle queries vs summary size\n", nRects)
+	fmt.Fprintf(o.Out, "# size")
+	for _, m := range CostMethods {
+		fmt.Fprintf(o.Out, "\t%s", m)
+	}
+	fmt.Fprintln(o.Out)
+	for _, size := range o.sizes(ds) {
+		fmt.Fprintf(o.Out, "%d", size)
+		for _, m := range CostMethods {
+			b, err := BuildSummary(m, ds, size, o.Seed)
+			if err != nil {
+				return err
+			}
+			s := b.Summary
+			if m == MWavelet {
+				// The paper's wavelet query path: dyadic decomposition.
+				s = DyadicWavelet{W: b.Summary.(*wavelet.Summary2D)}
+			}
+			start := time.Now()
+			var sink float64
+			for _, q := range queries {
+				sink += s.EstimateQuery(q)
+			}
+			el := time.Since(start).Seconds()
+			_ = sink
+			fmt.Fprintf(o.Out, "\t%.6g", el)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+// Fig4a — Tech Ticket data, uniform-weight queries: accuracy vs size.
+func Fig4a(o Options) error {
+	o = o.defaults()
+	ds, err := o.tickets()
+	if err != nil {
+		return err
+	}
+	wc, err := workload.NewWeightCells(ds, 12)
+	if err != nil {
+		return err
+	}
+	r := xmath.NewRand(o.Seed + 500)
+	depth := 7
+	for depth > 1 && len(wc.CellsAt(depth)) < 10 {
+		depth--
+	}
+	queries := make([]structure.Query, 0, o.Queries)
+	for i := 0; i < o.Queries; i++ {
+		q, err := wc.QueryAt(depth, 10, r)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, q)
+	}
+	return errorVsSize(o, ds, queries, "fig4a tickets uniform-weight 10-range queries")
+}
+
+// Fig4b — Tech Ticket data, uniform-area queries (25 ranges), size 2700:
+// accuracy vs query weight (bucketed).
+func Fig4b(o Options) error {
+	o = o.defaults()
+	ds, err := o.tickets()
+	if err != nil {
+		return err
+	}
+	total := ds.TotalWeight()
+	size := 2700
+	built := make(map[string]Built)
+	for _, m := range AccuracyMethods {
+		b, err := BuildSummary(m, ds, size, o.Seed)
+		if err != nil {
+			return err
+		}
+		built[m] = b
+	}
+	r := xmath.NewRand(o.Seed + 600)
+	queries := workload.Battery(o.Queries*2, func() structure.Query {
+		return workload.UniformAreaQuery(ds, 25, 0.2, r)
+	})
+	exact := workload.ExactAnswers(ds, queries)
+	// Bucket queries by weight decade.
+	type bucket struct {
+		qs []structure.Query
+		ex []float64
+	}
+	buckets := map[int]*bucket{}
+	for i, q := range queries {
+		if exact[i] <= 0 {
+			continue
+		}
+		d := decade(exact[i] / total)
+		if buckets[d] == nil {
+			buckets[d] = &bucket{}
+		}
+		buckets[d].qs = append(buckets[d].qs, q)
+		buckets[d].ex = append(buckets[d].ex, exact[i])
+	}
+	fmt.Fprintf(o.Out, "# fig4b tickets: error vs query weight, uniform-area 25-range queries, size %d\n", size)
+	fmt.Fprintf(o.Out, "# weight")
+	for _, m := range AccuracyMethods {
+		fmt.Fprintf(o.Out, "\t%s", m)
+	}
+	fmt.Fprintln(o.Out)
+	var decs []int
+	for d := range buckets {
+		decs = append(decs, d)
+	}
+	sort.Ints(decs)
+	for _, d := range decs {
+		bk := buckets[d]
+		fmt.Fprintf(o.Out, "%.6g", xmath.Mean(bk.ex)/total)
+		for _, m := range AccuracyMethods {
+			fmt.Fprintf(o.Out, "\t%.6g", MeanAbsError(built[m].Summary, bk.qs, bk.ex, total))
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+// decade returns floor(log10(frac)) clamped to [-6, 0].
+func decade(frac float64) int {
+	d := 0
+	for frac < 1 && d > -6 {
+		frac *= 10
+		d--
+	}
+	return d
+}
+
+// Fig4c — Tech Ticket data, uniform-weight queries (10 ranges), size 2700:
+// accuracy vs query weight.
+func Fig4c(o Options) error {
+	o = o.defaults()
+	ds, err := o.tickets()
+	if err != nil {
+		return err
+	}
+	return errorVsWeight(o, ds, 10, 2700, "fig4c tickets uniform-weight")
+}

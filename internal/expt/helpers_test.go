@@ -1,0 +1,48 @@
+package expt
+
+import (
+	"testing"
+)
+
+func TestDecadeBuckets(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want int
+	}{
+		{1, 0}, {0.5, -1}, {0.09, -2}, {0.009, -3}, {1e-9, -6}, {0, -6},
+	}
+	for _, c := range cases {
+		if got := decade(c.frac); got != c.want {
+			t.Fatalf("decade(%v) = %d want %d", c.frac, got, c.want)
+		}
+	}
+}
+
+func TestMeanAbsErrorEdgeCases(t *testing.T) {
+	if got := MeanAbsError(nil, nil, nil, 100); got != 0 {
+		t.Fatal("empty battery must be 0")
+	}
+	if got := MeanAbsError(nil, nil, nil, 0); got != 0 {
+		t.Fatal("zero weight must be 0")
+	}
+}
+
+func TestScaleInt(t *testing.T) {
+	if got := scaleInt(1000, 0.5, 100); got != 500 {
+		t.Fatalf("scaleInt %d", got)
+	}
+	if got := scaleInt(1000, 0.01, 100); got != 100 {
+		t.Fatalf("scaleInt floor %d", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.defaults()
+	if o.Scale != 1 || o.Queries != 50 || o.Seed != 1 {
+		t.Fatalf("defaults %+v", o)
+	}
+	o2 := Options{Scale: 0.25, Queries: 7, Seed: 9}.defaults()
+	if o2.Scale != 0.25 || o2.Queries != 7 || o2.Seed != 9 {
+		t.Fatal("explicit options must pass through")
+	}
+}

@@ -1,0 +1,298 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"structaware/internal/aware"
+	"structaware/internal/bounds"
+	"structaware/internal/core"
+	"structaware/internal/ipps"
+	"structaware/internal/paggr"
+	"structaware/internal/structure"
+	"structaware/internal/varopt"
+	"structaware/internal/workload"
+	"structaware/internal/xmath"
+)
+
+// V1 — hierarchy summarization: the maximum node discrepancy is < 1 on every
+// run (the paper's §3 guarantee), versus Θ(√s)-scale worst nodes for the
+// oblivious sample.
+func V1(o Options) error {
+	o = o.defaults()
+	r := xmath.NewRand(o.Seed)
+	fmt.Fprintln(o.Out, "# v1: max hierarchy-node discrepancy, aware (bound: <1) vs oblivious")
+	fmt.Fprintln(o.Out, "# trial\taware\tobliv")
+	worstAware := 0.0
+	for trial := 0; trial < 20; trial++ {
+		n := 2000
+		tree, err := workload.RandomHierarchy(r, n, 8)
+		if err != nil {
+			return err
+		}
+		itemsAtLeaf := make([][]int, tree.NumLeaves())
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			itemsAtLeaf[i] = []int{i}
+			weights[i] = math.Exp(4 * r.Float64())
+		}
+		s := 100
+		tau, err := ipps.Threshold(weights, s)
+		if err != nil {
+			return err
+		}
+		p0 := ipps.Probabilities(weights, tau)
+		ipps.NormalizeToInteger(p0, 1e-6)
+
+		p := append([]float64(nil), p0...)
+		aware.Hierarchy(tree, itemsAtLeaf, p, r)
+		sampled := make([]bool, n)
+		for _, i := range paggr.SampleIndices(p) {
+			sampled[i] = true
+		}
+		dAware := bounds.HierarchyDiscrepancy(tree, itemsAtLeaf, p0, sampled)
+
+		ob, err := varopt.Batch(weights, s, r)
+		if err != nil {
+			return err
+		}
+		sampledO := make([]bool, n)
+		for _, i := range ob.Indices {
+			sampledO[i] = true
+		}
+		dObliv := bounds.HierarchyDiscrepancy(tree, itemsAtLeaf, p0, sampledO)
+		if dAware > worstAware {
+			worstAware = dAware
+		}
+		fmt.Fprintf(o.Out, "%d\t%.4f\t%.4f\n", trial, dAware, dObliv)
+	}
+	fmt.Fprintf(o.Out, "# worst aware discrepancy over all trials: %.6f (theorem: < 1)\n", worstAware)
+	if worstAware >= 1 {
+		return fmt.Errorf("v1: hierarchy discrepancy %v violates the <1 bound", worstAware)
+	}
+	return nil
+}
+
+// V2 — order summarization: the maximum interval discrepancy is < 2
+// (Theorem 1), prefixes < 1; obliv shown for contrast.
+func V2(o Options) error {
+	o = o.defaults()
+	r := xmath.NewRand(o.Seed)
+	fmt.Fprintln(o.Out, "# v2: order-structure discrepancy, aware (bounds: prefix<1, interval<2) vs oblivious")
+	fmt.Fprintln(o.Out, "# trial\taware_prefix\taware_interval\tobliv_interval")
+	worstPrefix, worstInterval := 0.0, 0.0
+	for trial := 0; trial < 20; trial++ {
+		n := 3000
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = math.Exp(4 * r.Float64())
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		s := 150
+		tau, err := ipps.Threshold(weights, s)
+		if err != nil {
+			return err
+		}
+		p0 := ipps.Probabilities(weights, tau)
+		ipps.NormalizeToInteger(p0, 1e-6)
+
+		p := append([]float64(nil), p0...)
+		aware.Order(p, order, r)
+		sampled := make([]bool, n)
+		for _, i := range paggr.SampleIndices(p) {
+			sampled[i] = true
+		}
+		dPre := bounds.PrefixDiscrepancy1D(order, p0, sampled)
+		dInt := bounds.IntervalDiscrepancy1D(order, p0, sampled)
+
+		ob, err := varopt.Batch(weights, s, r)
+		if err != nil {
+			return err
+		}
+		sampledO := make([]bool, n)
+		for _, i := range ob.Indices {
+			sampledO[i] = true
+		}
+		dObliv := bounds.IntervalDiscrepancy1D(order, p0, sampledO)
+		worstPrefix = math.Max(worstPrefix, dPre)
+		worstInterval = math.Max(worstInterval, dInt)
+		fmt.Fprintf(o.Out, "%d\t%.4f\t%.4f\t%.4f\n", trial, dPre, dInt, dObliv)
+	}
+	fmt.Fprintf(o.Out, "# worst aware: prefix %.6f (<1), interval %.6f (<2)\n", worstPrefix, worstInterval)
+	if worstPrefix >= 1 || worstInterval >= 2 {
+		return fmt.Errorf("v2: order discrepancy bounds violated (%v, %v)", worstPrefix, worstInterval)
+	}
+	return nil
+}
+
+// V3 — 2-D box discrepancy scaling: aware discrepancy grows ≈ s^{1/4}
+// (2d·s^{(d-1)/d} mass in boundary cells ⇒ error ~ s^{(d-1)/2d}), oblivious
+// ≈ √s on heavy boxes.
+func V3(o Options) error {
+	o = o.defaults()
+	fmt.Fprintln(o.Out, "# v3: mean 2-D box discrepancy vs sample size (aware ~ s^0.25, obliv ~ s^0.5 on constant-fraction boxes)")
+	fmt.Fprintln(o.Out, "# s\taware\tobliv")
+	ds, err := workload.Network(workload.NetworkConfig{Pairs: scaleInt(60000, o.Scale, 5000), Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	r := xmath.NewRand(o.Seed + 1)
+	// Boxes covering a constant fraction of the domain.
+	boxes := make([]structure.Range, 40)
+	for i := range boxes {
+		boxes[i] = structure.Range{halfIv(r, ds.Axes[0].DomainSize()), halfIv(r, ds.Axes[1].DomainSize())}
+	}
+	for _, s := range []int{100, 400, 1600, 6400} {
+		if s > ds.Len()/2 {
+			break
+		}
+		tau, err := ipps.Threshold(ds.Weights, s)
+		if err != nil {
+			return err
+		}
+		p0 := ipps.Probabilities(ds.Weights, tau)
+		mean := func(m core.Method) (float64, error) {
+			var acc float64
+			const reps = 3
+			for k := 0; k < reps; k++ {
+				sum, err := core.Build(ds, core.Config{Size: s, Method: m, Seed: o.Seed + uint64(100*k+int(m))})
+				if err != nil {
+					return 0, err
+				}
+				sampledSet := make(map[[2]uint64]bool, sum.Size())
+				for j := 0; j < sum.Size(); j++ {
+					sampledSet[[2]uint64{sum.Coords[0][j], sum.Coords[1][j]}] = true
+				}
+				sampled := make([]bool, ds.Len())
+				for i := 0; i < ds.Len(); i++ {
+					if sampledSet[[2]uint64{ds.Coords[0][i], ds.Coords[1][i]}] {
+						sampled[i] = true
+					}
+				}
+				_, meanD := bounds.BoxDiscrepancy(ds, p0, sampled, boxes)
+				acc += meanD
+			}
+			return acc / reps, nil
+		}
+		aw, err := mean(core.Aware)
+		if err != nil {
+			return err
+		}
+		ob, err := mean(core.Oblivious)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "%d\t%.4f\t%.4f\n", s, aw, ob)
+	}
+	return nil
+}
+
+func halfIv(r *xmath.SplitMix, n uint64) structure.Interval {
+	w := n/4 + r.Uint64()%(n/4)
+	lo := r.Uint64() % (n - w)
+	return structure.Interval{Lo: lo, Hi: lo + w - 1}
+}
+
+// V4 — multi-range queries on a hierarchy (Appendix C): the aware error
+// grows like √ℓ with the number of ranges ℓ and never exceeds the
+// structure-oblivious √p(Q) scale.
+func V4(o Options) error {
+	o = o.defaults()
+	fmt.Fprintln(o.Out, "# v4: multi-range query error growth with number of ranges (hierarchy, Appendix C)")
+	fmt.Fprintln(o.Out, "# ranges\taware_rms\tobliv_rms\tsqrt(ranges)")
+	ds, err := o.network()
+	if err != nil {
+		return err
+	}
+	wc, err := workload.NewWeightCells(ds, 14)
+	if err != nil {
+		return err
+	}
+	s := 2000
+	tau, err := ipps.Threshold(ds.Weights, s)
+	if err != nil {
+		return err
+	}
+	r := xmath.NewRand(o.Seed + 2)
+	for _, ranges := range []int{1, 4, 16, 64} {
+		depth := xmath.Log2Ceil(uint64(ranges)) + 4
+		if len(wc.CellsAt(depth)) < ranges {
+			continue
+		}
+		var queries []structure.Query
+		for i := 0; i < 10; i++ {
+			q, err := wc.QueryAt(depth, ranges, r)
+			if err != nil {
+				return err
+			}
+			queries = append(queries, q)
+		}
+		exact := workload.ExactAnswers(ds, queries)
+		rms := func(m core.Method) (float64, error) {
+			var acc float64
+			const reps = 3
+			for k := 0; k < reps; k++ {
+				sum, err := core.Build(ds, core.Config{Size: s, Method: m, Seed: o.Seed + uint64(17*k+int(m)+1)})
+				if err != nil {
+					return 0, err
+				}
+				for i, q := range queries {
+					d := (sum.EstimateQuery(q) - exact[i]) / tau
+					acc += d * d
+				}
+			}
+			return math.Sqrt(acc / float64(reps*len(queries))), nil
+		}
+		aw, err := rms(core.Aware)
+		if err != nil {
+			return err
+		}
+		ob, err := rms(core.Oblivious)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "%d\t%.4f\t%.4f\t%.4f\n", ranges, aw, ob, math.Sqrt(float64(ranges)))
+	}
+	return nil
+}
+
+// V5 — the two-pass construction matches the main-memory variant: exact
+// sample size (±1 for floating-point residue) and comparable box
+// discrepancy, at O(s') working memory.
+func V5(o Options) error {
+	o = o.defaults()
+	fmt.Fprintln(o.Out, "# v5: two-pass (§5) vs main-memory (§4) structure-aware sampling")
+	fmt.Fprintln(o.Out, "# s\tsize_mm\tsize_2p\terr_mm\terr_2p\terr_obliv")
+	ds, err := workload.Network(workload.NetworkConfig{Pairs: scaleInt(60000, o.Scale, 5000), Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	r := xmath.NewRand(o.Seed + 3)
+	queries := workload.Battery(30, func() structure.Query {
+		return workload.UniformAreaQuery(ds, 10, 0.3, r)
+	})
+	exact := workload.ExactAnswers(ds, queries)
+	total := ds.TotalWeight()
+	for _, s := range []int{200, 1000, 5000} {
+		if s > ds.Len()/2 {
+			break
+		}
+		res := map[core.Method]*core.Summary{}
+		for _, m := range []core.Method{core.Aware, core.AwareTwoPass, core.Oblivious} {
+			sum, err := core.Build(ds, core.Config{Size: s, Method: m, Seed: o.Seed + uint64(int(m)+7)})
+			if err != nil {
+				return err
+			}
+			res[m] = sum
+		}
+		fmt.Fprintf(o.Out, "%d\t%d\t%d\t%.6g\t%.6g\t%.6g\n", s,
+			res[core.Aware].Size(), res[core.AwareTwoPass].Size(),
+			MeanAbsError(res[core.Aware], queries, exact, total),
+			MeanAbsError(res[core.AwareTwoPass], queries, exact, total),
+			MeanAbsError(res[core.Oblivious], queries, exact, total))
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+// Package hierarchy provides explicit rooted trees over key domains: the
+// "hierarchy" structure of Cohen, Cormode, Duffield (VLDB 2011), §3. Keys
+// live at the leaves; the ranges of interest are the leaf sets under internal
+// nodes (IP prefix sets, trouble-code categories, geographic areas, ...).
+//
+// Trees are DFS-linearized once at construction: every node maps to a
+// contiguous interval of leaf positions, so hierarchy ranges become intervals
+// over linear coordinates (which is also how §5 of the paper recommends
+// handling hierarchies in multi-dimensional and I/O-efficient settings).
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadTree is returned for malformed parent vectors.
+var ErrBadTree = errors.New("hierarchy: malformed tree")
+
+// Tree is an explicit rooted tree. Nodes are numbered 0..n-1; the root is
+// the unique node with parent -1. Leaves are nodes without children.
+type Tree struct {
+	parent   []int32
+	children [][]int32
+	depth    []int32
+	root     int32
+	// begin/end give each node's half-open interval [begin, end) of leaf
+	// positions in the DFS linearization.
+	begin []int32
+	end   []int32
+	// leafAt[pos] is the leaf occupying linearized position pos; leafPos is
+	// its inverse (only defined for leaves).
+	leafAt  []int32
+	leafPos []int32
+}
+
+// New builds a Tree from a parent vector. parents[v] is the parent of node v
+// or -1 for the root; exactly one root must exist and the structure must be
+// acyclic and connected.
+func New(parents []int32) (*Tree, error) {
+	n := len(parents)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrBadTree)
+	}
+	t := &Tree{
+		parent:   append([]int32(nil), parents...),
+		children: make([][]int32, n),
+		depth:    make([]int32, n),
+		root:     -1,
+		begin:    make([]int32, n),
+		end:      make([]int32, n),
+		leafPos:  make([]int32, n),
+	}
+	for v, p := range parents {
+		switch {
+		case p == -1:
+			if t.root != -1 {
+				return nil, fmt.Errorf("%w: multiple roots (%d and %d)", ErrBadTree, t.root, v)
+			}
+			t.root = int32(v)
+		case p < 0 || int(p) >= n:
+			return nil, fmt.Errorf("%w: parent of %d out of range: %d", ErrBadTree, v, p)
+		case int(p) == v:
+			return nil, fmt.Errorf("%w: self-loop at %d", ErrBadTree, v)
+		default:
+			t.children[p] = append(t.children[p], int32(v))
+		}
+	}
+	if t.root == -1 {
+		return nil, fmt.Errorf("%w: no root", ErrBadTree)
+	}
+	// Iterative DFS: assign depths, leaf positions, and node intervals.
+	for i := range t.leafPos {
+		t.leafPos[i] = -1
+	}
+	type frame struct {
+		node  int32
+		child int
+	}
+	visited := 0
+	stack := []frame{{t.root, 0}}
+	t.depth[t.root] = 0
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		v := f.node
+		if f.child == 0 {
+			visited++
+			t.begin[v] = int32(len(t.leafAt))
+			if len(t.children[v]) == 0 {
+				t.leafPos[v] = int32(len(t.leafAt))
+				t.leafAt = append(t.leafAt, v)
+			}
+		}
+		if f.child < len(t.children[v]) {
+			c := t.children[v][f.child]
+			f.child++
+			t.depth[c] = t.depth[v] + 1
+			if len(stack) > n {
+				return nil, fmt.Errorf("%w: cycle detected", ErrBadTree)
+			}
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		t.end[v] = int32(len(t.leafAt))
+		stack = stack[:len(stack)-1]
+	}
+	if visited != n {
+		return nil, fmt.Errorf("%w: %d of %d nodes unreachable from root", ErrBadTree, n-visited, n)
+	}
+	return t, nil
+}
+
+// NumNodes returns the number of nodes in the tree.
+func (t *Tree) NumNodes() int { return len(t.parent) }
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return len(t.leafAt) }
+
+// Root returns the root node.
+func (t *Tree) Root() int32 { return t.root }
+
+// Parent returns the parent of v (-1 for the root).
+func (t *Tree) Parent(v int32) int32 { return t.parent[v] }
+
+// Children returns the children of v (shared slice; do not mutate).
+func (t *Tree) Children(v int32) []int32 { return t.children[v] }
+
+// Depth returns the depth of v (root = 0).
+func (t *Tree) Depth(v int32) int32 { return t.depth[v] }
+
+// IsLeaf reports whether v has no children.
+func (t *Tree) IsLeaf(v int32) bool { return len(t.children[v]) == 0 }
+
+// LeafInterval returns the inclusive interval [lo, hi] of linearized leaf
+// positions under node v. For a leaf it is its own position twice. The
+// second return is false when v has no leaves below it (possible only in
+// degenerate trees with childless internal chains — by construction every
+// node here has at least one leaf).
+func (t *Tree) LeafInterval(v int32) (lo, hi uint64, ok bool) {
+	if t.begin[v] >= t.end[v] {
+		return 0, 0, false
+	}
+	return uint64(t.begin[v]), uint64(t.end[v] - 1), true
+}
+
+// LeafPosition returns the linearized position of leaf v; ok is false if v
+// is not a leaf.
+func (t *Tree) LeafPosition(v int32) (uint64, bool) {
+	p := t.leafPos[v]
+	if p < 0 {
+		return 0, false
+	}
+	return uint64(p), true
+}
+
+// LeafAt returns the leaf at linearized position pos.
+func (t *Tree) LeafAt(pos uint64) int32 { return t.leafAt[pos] }
+
+// LCA returns the lowest common ancestor of a and b.
+func (t *Tree) LCA(a, b int32) int32 {
+	for t.depth[a] > t.depth[b] {
+		a = t.parent[a]
+	}
+	for t.depth[b] > t.depth[a] {
+		b = t.parent[b]
+	}
+	for a != b {
+		a = t.parent[a]
+		b = t.parent[b]
+	}
+	return a
+}
+
+// Ancestors returns the path from v to the root, inclusive.
+func (t *Tree) Ancestors(v int32) []int32 {
+	var out []int32
+	for v != -1 {
+		out = append(out, v)
+		v = t.parent[v]
+	}
+	return out
+}
+
+// InternalNodes returns all non-leaf nodes (the range set R of the
+// hierarchy structure).
+func (t *Tree) InternalNodes() []int32 {
+	var out []int32
+	for v := int32(0); int(v) < len(t.parent); v++ {
+		if !t.IsLeaf(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Height returns the maximum depth over all nodes.
+func (t *Tree) Height() int32 {
+	var h int32
+	for _, d := range t.depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// Builder incrementally constructs trees: convenient for tests and for the
+// synthetic workload generators.
+type Builder struct {
+	parents []int32
+}
+
+// NewBuilder returns a Builder with a root node already created (node 0).
+func NewBuilder() *Builder {
+	return &Builder{parents: []int32{-1}}
+}
+
+// AddChild creates a new node under parent and returns its id.
+func (b *Builder) AddChild(parent int32) int32 {
+	id := int32(len(b.parents))
+	b.parents = append(b.parents, parent)
+	return id
+}
+
+// NumNodes returns the number of nodes created so far.
+func (b *Builder) NumNodes() int { return len(b.parents) }
+
+// Build validates and returns the tree.
+func (b *Builder) Build() (*Tree, error) {
+	return New(b.parents)
+}

@@ -1,0 +1,231 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"structaware/internal/xmath"
+)
+
+// buildPaperTree builds the hierarchy of Figure 1 of the paper: 10 leaves
+// under a three-level tree. Returns the tree and the leaf ids in leaf order
+// 1..10 (as in the figure).
+//
+//	root
+//	 ├── A (leaves 1..4 under two sub-nodes: A1={1,2}, A2={3,4})
+//	 ├── B (leaf 5, and B1={6,7})
+//	 └── C (leaves {8,9}, leaf 10)  -- shaped to give 10 leaves total
+func buildPaperTree(t *testing.T) (*Tree, []int32) {
+	b := NewBuilder()
+	a := b.AddChild(0)
+	bb := b.AddChild(0)
+	c := b.AddChild(0)
+	a1 := b.AddChild(a)
+	a2 := b.AddChild(a)
+	l1 := b.AddChild(a1)
+	l2 := b.AddChild(a1)
+	l3 := b.AddChild(a2)
+	l4 := b.AddChild(a2)
+	l5 := b.AddChild(bb)
+	b1 := b.AddChild(bb)
+	l6 := b.AddChild(b1)
+	l7 := b.AddChild(b1)
+	c1 := b.AddChild(c)
+	l8 := b.AddChild(c1)
+	l9 := b.AddChild(c1)
+	l10 := b.AddChild(c)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, []int32{l1, l2, l3, l4, l5, l6, l7, l8, l9, l10}
+}
+
+func TestTreeBasics(t *testing.T) {
+	tree, leaves := buildPaperTree(t)
+	if tree.NumLeaves() != 10 {
+		t.Fatalf("leaves %d want 10", tree.NumLeaves())
+	}
+	if tree.NumNodes() != 18 {
+		t.Fatalf("nodes %d want 18", tree.NumNodes())
+	}
+	for i, l := range leaves {
+		if !tree.IsLeaf(l) {
+			t.Fatalf("leaf %d not a leaf", l)
+		}
+		pos, ok := tree.LeafPosition(l)
+		if !ok || pos != uint64(i) {
+			t.Fatalf("leaf %d position %d want %d", l, pos, i)
+		}
+		if tree.LeafAt(pos) != l {
+			t.Fatal("LeafAt inverse broken")
+		}
+	}
+}
+
+func TestLeafIntervalsAreDFSContiguous(t *testing.T) {
+	tree, _ := buildPaperTree(t)
+	// Every internal node's interval must equal the concatenation of its
+	// children's intervals, and the root covers everything.
+	lo, hi, ok := tree.LeafInterval(tree.Root())
+	if !ok || lo != 0 || hi != uint64(tree.NumLeaves()-1) {
+		t.Fatalf("root interval [%d,%d]", lo, hi)
+	}
+	var walk func(v int32)
+	walk = func(v int32) {
+		kids := tree.Children(v)
+		if len(kids) == 0 {
+			return
+		}
+		vlo, vhi, _ := tree.LeafInterval(v)
+		expect := vlo
+		for _, c := range kids {
+			clo, chi, ok := tree.LeafInterval(c)
+			if !ok {
+				t.Fatalf("node %d has no leaves", c)
+			}
+			if clo != expect {
+				t.Fatalf("child %d interval starts at %d want %d", c, clo, expect)
+			}
+			expect = chi + 1
+			walk(c)
+		}
+		if expect != vhi+1 {
+			t.Fatalf("node %d children cover to %d want %d", v, expect-1, vhi)
+		}
+	}
+	walk(tree.Root())
+}
+
+func TestLCA(t *testing.T) {
+	tree, leaves := buildPaperTree(t)
+	// Leaves 1 and 2 share parent A1 (node id of leaves[0]'s parent).
+	a1 := tree.Parent(leaves[0])
+	if got := tree.LCA(leaves[0], leaves[1]); got != a1 {
+		t.Fatalf("LCA(l1,l2)=%d want %d", got, a1)
+	}
+	// Leaves 1 and 3 share grandparent A.
+	a := tree.Parent(a1)
+	if got := tree.LCA(leaves[0], leaves[2]); got != a {
+		t.Fatalf("LCA(l1,l3)=%d want %d", got, a)
+	}
+	// Leaves 1 and 10 only share the root.
+	if got := tree.LCA(leaves[0], leaves[9]); got != tree.Root() {
+		t.Fatalf("LCA(l1,l10)=%d want root", got)
+	}
+	if got := tree.LCA(leaves[4], leaves[4]); got != leaves[4] {
+		t.Fatal("LCA of a node with itself is itself")
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	tree, leaves := buildPaperTree(t)
+	anc := tree.Ancestors(leaves[0])
+	if anc[len(anc)-1] != tree.Root() {
+		t.Fatal("ancestor chain must end at root")
+	}
+	if anc[0] != leaves[0] {
+		t.Fatal("ancestor chain must start at the node")
+	}
+	for i := 0; i+1 < len(anc); i++ {
+		if tree.Parent(anc[i]) != anc[i+1] {
+			t.Fatal("ancestor chain not parent-linked")
+		}
+	}
+}
+
+func TestMalformedTrees(t *testing.T) {
+	cases := []struct {
+		name    string
+		parents []int32
+	}{
+		{"empty", nil},
+		{"no root", []int32{1, 0}},
+		{"two roots", []int32{-1, -1}},
+		{"self loop", []int32{-1, 1}},
+		{"out of range", []int32{-1, 5}},
+		{"cycle", []int32{-1, 2, 1}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.parents); err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	tree, err := New([]int32{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 1 || !tree.IsLeaf(0) {
+		t.Fatal("single node must be a leaf")
+	}
+	lo, hi, ok := tree.LeafInterval(0)
+	if !ok || lo != 0 || hi != 0 {
+		t.Fatal("single leaf interval must be [0,0]")
+	}
+}
+
+func TestRandomTreesInvariants(t *testing.T) {
+	r := xmath.NewRand(99)
+	for trial := 0; trial < 50; trial++ {
+		b := NewBuilder()
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			b.AddChild(int32(r.Intn(b.NumNodes())))
+		}
+		tree, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Leaf positions are a bijection onto [0, numLeaves).
+		seen := make([]bool, tree.NumLeaves())
+		for v := int32(0); int(v) < tree.NumNodes(); v++ {
+			if !tree.IsLeaf(v) {
+				continue
+			}
+			pos, ok := tree.LeafPosition(v)
+			if !ok || seen[pos] {
+				t.Fatalf("bad leaf position for %d", v)
+			}
+			seen[pos] = true
+		}
+		// Node intervals nest: child interval within parent interval.
+		for v := int32(0); int(v) < tree.NumNodes(); v++ {
+			p := tree.Parent(v)
+			if p == -1 {
+				continue
+			}
+			vlo, vhi, ok1 := tree.LeafInterval(v)
+			plo, phi, ok2 := tree.LeafInterval(p)
+			if !ok1 || !ok2 || vlo < plo || vhi > phi {
+				t.Fatalf("child interval [%d,%d] outside parent [%d,%d]", vlo, vhi, plo, phi)
+			}
+		}
+		// LCA sanity on random pairs: LCA is an ancestor of both with
+		// maximal depth among common ancestors.
+		for k := 0; k < 20; k++ {
+			a := int32(r.Intn(tree.NumNodes()))
+			bNode := int32(r.Intn(tree.NumNodes()))
+			l := tree.LCA(a, bNode)
+			inAnc := func(x, anc int32) bool {
+				for _, v := range tree.Ancestors(x) {
+					if v == anc {
+						return true
+					}
+				}
+				return false
+			}
+			if !inAnc(a, l) || !inAnc(bNode, l) {
+				t.Fatalf("LCA %d not common ancestor of %d,%d", l, a, bNode)
+			}
+		}
+	}
+}
+
+func TestHeight(t *testing.T) {
+	tree, _ := buildPaperTree(t)
+	if tree.Height() != 3 {
+		t.Fatalf("height %d want 3", tree.Height())
+	}
+}

@@ -1,0 +1,88 @@
+package hierarchy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"structaware/internal/xmath"
+)
+
+// TestNewQuickNeverPanics drives New with arbitrary parent vectors: it must
+// either return a valid tree (with consistent invariants) or an error —
+// never panic, never return an inconsistent tree.
+func TestNewQuickNeverPanics(t *testing.T) {
+	f := func(raw []int8) bool {
+		parents := make([]int32, len(raw))
+		for i, v := range raw {
+			parents[i] = int32(v)
+		}
+		tree, err := New(parents)
+		if err != nil {
+			return true
+		}
+		// Valid tree: check linearization invariants.
+		seen := make([]bool, tree.NumLeaves())
+		for v := int32(0); int(v) < tree.NumNodes(); v++ {
+			if tree.IsLeaf(v) {
+				pos, ok := tree.LeafPosition(v)
+				if !ok || pos >= uint64(tree.NumLeaves()) || seen[pos] {
+					return false
+				}
+				seen[pos] = true
+				if tree.LeafAt(pos) != v {
+					return false
+				}
+			}
+			lo, hi, ok := tree.LeafInterval(v)
+			if !ok {
+				return false // every node must dominate at least one leaf
+			}
+			if p := tree.Parent(v); p != -1 {
+				plo, phi, _ := tree.LeafInterval(p)
+				if lo < plo || hi > phi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLCAQuickAgainstAncestorSets cross-checks LCA with an ancestor-set
+// reference on random trees.
+func TestLCAQuickAgainstAncestorSets(t *testing.T) {
+	r := xmath.NewRand(77)
+	for trial := 0; trial < 50; trial++ {
+		b := NewBuilder()
+		for i := 0; i < 3+r.Intn(100); i++ {
+			b.AddChild(int32(r.Intn(b.NumNodes())))
+		}
+		tree, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 30; probe++ {
+			x := int32(r.Intn(tree.NumNodes()))
+			y := int32(r.Intn(tree.NumNodes()))
+			got := tree.LCA(x, y)
+			// Reference: deepest common node of the two ancestor chains.
+			anc := map[int32]bool{}
+			for _, v := range tree.Ancestors(x) {
+				anc[v] = true
+			}
+			var want int32 = -1
+			for _, v := range tree.Ancestors(y) {
+				if anc[v] {
+					want = v
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("LCA(%d,%d)=%d want %d", x, y, got, want)
+			}
+		}
+	}
+}

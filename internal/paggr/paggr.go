@@ -1,0 +1,155 @@
+// Package paggr implements probabilistic aggregation, the algorithmic
+// framework of §2 of Cohen, Cormode, Duffield (VLDB 2011), and in particular
+// the PAIR-AGGREGATE primitive (the paper's Algorithm 1).
+//
+// A sampling scheme is viewed as acting on the vector p of inclusion
+// probabilities: entries are incrementally driven to 0 (omitted) or 1
+// (included). A step from p to p' is a probabilistic aggregation when
+//
+//	(i)   E[p'_i] = p_i for every i              (agreement in expectation)
+//	(ii)  Σ p'_i = Σ p_i                          (agreement in sum)
+//	(iii) E[Π_{i∈J} p'_i]     ≤ Π_{i∈J} p_i       (inclusion bound)
+//	      E[Π_{i∈J} (1-p'_i)] ≤ Π_{i∈J} (1-p_i)   (exclusion bound)
+//
+// Any sequence of probabilistic aggregations that terminates with a 0/1
+// vector yields a VarOpt sample (Appendix B of the paper: aggregations are
+// transitive and set entries stay set). PAIR-AGGREGATE touches only two
+// entries and always sets at least one of them, so n-1 pair steps suffice —
+// and the choice of *which* pair to aggregate is completely free. That
+// freedom is what the structure-aware schemes in internal/aware exploit.
+package paggr
+
+import (
+	"fmt"
+
+	"structaware/internal/xmath"
+)
+
+// Outcome reports which entries a pair aggregation settled.
+type Outcome struct {
+	// SetIndex is the index whose probability became exactly 0 or 1.
+	SetIndex int
+	// SetTo is the settled value (0 or 1) of SetIndex.
+	SetTo float64
+	// Leftover is the index that remains strictly inside (0,1), or -1 if
+	// both entries were settled by this step (possible when p_i + p_j = 1).
+	Leftover int
+}
+
+// PairAggregate performs one pair aggregation on entries i and j of p,
+// following Algorithm 1 of the paper exactly:
+//
+//	if p_i + p_j < 1:
+//	    with probability p_i/(p_i+p_j):  p_i ← p_i+p_j, p_j ← 0
+//	    otherwise:                        p_j ← p_i+p_j, p_i ← 0
+//	else:
+//	    with probability (1-p_j)/(2-p_i-p_j):  p_i ← 1, p_j ← p_i+p_j-1
+//	    otherwise:                              p_i ← p_i+p_j-1, p_j ← 1
+//
+// Both p_i and p_j must lie strictly in (0,1). The function panics otherwise:
+// callers select pairs from the unset entries, so a violation is a logic bug,
+// not an input condition.
+func PairAggregate(p []float64, i, j int, r xmath.Rand) Outcome {
+	if i == j {
+		panic("paggr: PairAggregate with i == j")
+	}
+	pi, pj := PairValues(p[i], p[j], r)
+	p[i], p[j] = pi, pj
+	if xmath.IsSet(pi) {
+		return Outcome{SetIndex: i, SetTo: pi, Leftover: leftoverOf(p, j, -1)}
+	}
+	return Outcome{SetIndex: j, SetTo: pj, Leftover: leftoverOf(p, i, -1)}
+}
+
+// PairValues is PairAggregate on bare values: given probabilities pi and pj
+// strictly inside (0,1), it returns the aggregated pair, at least one of
+// which is exactly 0 or 1. It is the primitive used by the streaming
+// IO-AGGREGATE (internal/twopass), where no global probability vector
+// exists.
+func PairValues(pi, pj float64, r xmath.Rand) (float64, float64) {
+	if xmath.IsSet(pi) || xmath.IsSet(pj) {
+		panic(fmt.Sprintf("paggr: PairValues on settled entries %v, %v", pi, pj))
+	}
+	sum := pi + pj
+	if sum < 1 {
+		if r.Float64() < pi/sum {
+			return xmath.SnapProb(sum), 0
+		}
+		return 0, xmath.SnapProb(sum)
+	}
+	rem := xmath.SnapProb(sum - 1)
+	if r.Float64() < (1-pj)/(2-sum) {
+		return 1, rem
+	}
+	return rem, 1
+}
+
+// leftoverOf snaps p[k] and returns k if it is still unset, otherwise alt.
+func leftoverOf(p []float64, k, alt int) int {
+	p[k] = xmath.SnapProb(p[k])
+	if xmath.IsSet(p[k]) {
+		return alt
+	}
+	return k
+}
+
+// AggregateSequence pair-aggregates the unset entries of p in the given
+// visit order, carrying the leftover forward (the "active key" pattern used
+// by the one-dimensional summarizers). It returns the index of the final
+// leftover entry, or -1 if every entry settled. Entries of p outside (0,1)
+// are skipped.
+func AggregateSequence(p []float64, order []int, r xmath.Rand) int {
+	active := -1
+	for _, k := range order {
+		if k == active {
+			continue // revisiting the active key is a no-op
+		}
+		p[k] = xmath.SnapProb(p[k])
+		if xmath.IsSet(p[k]) {
+			continue
+		}
+		if active < 0 {
+			active = k
+			continue
+		}
+		out := PairAggregate(p, active, k, r)
+		active = out.Leftover
+	}
+	return active
+}
+
+// ResolveLeftover settles a final fractional entry by a Bernoulli draw with
+// its own probability. In exact arithmetic a probability vector with
+// integral sum never leaves a leftover; in floating point a residual of a
+// few ULPs can remain and this resolves it unbiasedly.
+func ResolveLeftover(p []float64, k int, r xmath.Rand) {
+	if k < 0 {
+		return
+	}
+	if xmath.IsSet(p[k]) {
+		p[k] = xmath.SnapProb(p[k])
+		return
+	}
+	if r.Float64() < p[k] {
+		p[k] = 1
+	} else {
+		p[k] = 0
+	}
+}
+
+// SampleIndices returns the indices with p_i == 1 after aggregation has
+// settled every entry. It panics if any entry is still fractional beyond
+// tolerance, which indicates the aggregation schedule was incomplete.
+func SampleIndices(p []float64) []int {
+	out := make([]int, 0)
+	for i, v := range p {
+		v = xmath.SnapProb(v)
+		if !xmath.IsSet(v) {
+			panic(fmt.Sprintf("paggr: entry %d still fractional: %v", i, v))
+		}
+		if v == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package paggr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"structaware/internal/xmath"
+)
+
+func TestPairAggregatePreservesSum(t *testing.T) {
+	r := xmath.NewRand(1)
+	for trial := 0; trial < 2000; trial++ {
+		pi, pj := r.Float64(), r.Float64()
+		pi = 0.001 + 0.998*pi
+		pj = 0.001 + 0.998*pj
+		p := []float64{pi, pj}
+		PairAggregate(p, 0, 1, r)
+		if !xmath.AlmostEqual(p[0]+p[1], pi+pj, 1e-12) {
+			t.Fatalf("sum changed: %v+%v -> %v+%v", pi, pj, p[0], p[1])
+		}
+	}
+}
+
+func TestPairAggregateSetsAtLeastOne(t *testing.T) {
+	r := xmath.NewRand(2)
+	for trial := 0; trial < 2000; trial++ {
+		p := []float64{0.001 + 0.998*r.Float64(), 0.001 + 0.998*r.Float64()}
+		out := PairAggregate(p, 0, 1, r)
+		if !xmath.IsSet(p[out.SetIndex]) {
+			t.Fatalf("SetIndex %d not settled: %v", out.SetIndex, p)
+		}
+		if !xmath.IsSet(p[0]) && !xmath.IsSet(p[1]) {
+			t.Fatalf("no entry settled: %v", p)
+		}
+		if out.Leftover >= 0 && xmath.IsSet(p[out.Leftover]) {
+			t.Fatalf("leftover %d reported but settled: %v", out.Leftover, p)
+		}
+	}
+}
+
+func TestPairAggregateBothBranchValues(t *testing.T) {
+	r := xmath.NewRand(3)
+	// Below-one branch: outcomes are (sum,0) or (0,sum).
+	for trial := 0; trial < 500; trial++ {
+		p := []float64{0.2, 0.3}
+		PairAggregate(p, 0, 1, r)
+		ok := (p[0] == 0 && xmath.AlmostEqual(p[1], 0.5, 1e-12)) ||
+			(p[1] == 0 && xmath.AlmostEqual(p[0], 0.5, 1e-12))
+		if !ok {
+			t.Fatalf("unexpected below-one outcome: %v", p)
+		}
+	}
+	// At-least-one branch: outcomes are (1,sum-1) or (sum-1,1).
+	for trial := 0; trial < 500; trial++ {
+		p := []float64{0.8, 0.5}
+		PairAggregate(p, 0, 1, r)
+		ok := (p[0] == 1 && xmath.AlmostEqual(p[1], 0.3, 1e-12)) ||
+			(p[1] == 1 && xmath.AlmostEqual(p[0], 0.3, 1e-12))
+		if !ok {
+			t.Fatalf("unexpected above-one outcome: %v", p)
+		}
+	}
+}
+
+func TestPairAggregateAgreementInExpectation(t *testing.T) {
+	// E[p'_i] must equal p_i. Statistical test with fixed seed.
+	cases := [][2]float64{{0.2, 0.3}, {0.7, 0.6}, {0.5, 0.5}, {0.05, 0.9}, {0.45, 0.55}}
+	const trials = 200000
+	r := xmath.NewRand(4)
+	for _, c := range cases {
+		var sum0, sum1 float64
+		for k := 0; k < trials; k++ {
+			p := []float64{c[0], c[1]}
+			PairAggregate(p, 0, 1, r)
+			sum0 += p[0]
+			sum1 += p[1]
+		}
+		m0, m1 := sum0/trials, sum1/trials
+		// Standard error is below 0.0012 for trials=2e5; allow 5 sigma.
+		if math.Abs(m0-c[0]) > 0.006 || math.Abs(m1-c[1]) > 0.006 {
+			t.Fatalf("expectation drift: p=(%v,%v) got means (%v,%v)", c[0], c[1], m0, m1)
+		}
+	}
+}
+
+func TestPairAggregateInclusionExclusionBounds(t *testing.T) {
+	// Property (iii) for the pair {i,j}: E[p'_i p'_j] <= p_i p_j and
+	// E[(1-p'_i)(1-p'_j)] <= (1-p_i)(1-p_j).
+	cases := [][2]float64{{0.2, 0.3}, {0.7, 0.6}, {0.5, 0.5}, {0.05, 0.9}, {0.9, 0.95}}
+	const trials = 200000
+	r := xmath.NewRand(5)
+	for _, c := range cases {
+		var incl, excl float64
+		for k := 0; k < trials; k++ {
+			p := []float64{c[0], c[1]}
+			PairAggregate(p, 0, 1, r)
+			incl += p[0] * p[1]
+			excl += (1 - p[0]) * (1 - p[1])
+		}
+		incl /= trials
+		excl /= trials
+		if incl > c[0]*c[1]+0.006 {
+			t.Fatalf("inclusion bound violated: E=%v > %v for %v", incl, c[0]*c[1], c)
+		}
+		if excl > (1-c[0])*(1-c[1])+0.006 {
+			t.Fatalf("exclusion bound violated: E=%v > %v for %v", excl, (1-c[0])*(1-c[1]), c)
+		}
+	}
+}
+
+func TestPairAggregatePanicsOnSettledEntry(t *testing.T) {
+	r := xmath.NewRand(6)
+	for _, p := range [][]float64{{0, 0.5}, {0.5, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v", p)
+				}
+			}()
+			PairAggregate(p, 0, 1, r)
+		}()
+	}
+}
+
+func TestPairAggregatePanicsOnSameIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for i==j")
+		}
+	}()
+	PairAggregate([]float64{0.5, 0.5}, 0, 0, xmath.NewRand(7))
+}
+
+func TestAggregateSequenceSettlesAllButOne(t *testing.T) {
+	r := xmath.NewRand(8)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(50)
+		p := make([]float64, n)
+		order := make([]int, n)
+		var total float64
+		for i := range p {
+			p[i] = 0.01 + 0.98*r.Float64()
+			total += p[i]
+			order[i] = i
+		}
+		left := AggregateSequence(p, order, r)
+		unset := 0
+		for _, v := range p {
+			if !xmath.IsSet(v) {
+				unset++
+			}
+		}
+		if unset > 1 {
+			t.Fatalf("more than one leftover: %v", p)
+		}
+		if unset == 1 && left < 0 {
+			t.Fatal("leftover not reported")
+		}
+		if !xmath.AlmostEqual(xmath.Sum(p), total, 1e-9) {
+			t.Fatalf("sum drifted: %v -> %v", total, xmath.Sum(p))
+		}
+	}
+}
+
+func TestAggregateSequenceIntegralSumYieldsExactCount(t *testing.T) {
+	// When Σp is integral, the number of 1s after aggregation (resolving the
+	// leftover) equals Σp exactly — VarOpt's fixed sample size.
+	r := xmath.NewRand(9)
+	for trial := 0; trial < 500; trial++ {
+		n := 4 + r.Intn(40)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		// Force the sum to the nearest achievable integer by scaling.
+		total := xmath.Sum(p)
+		target := math.Max(1, math.Round(total))
+		for total >= float64(n) || target >= float64(n) {
+			target--
+		}
+		if target < 1 {
+			continue
+		}
+		scale := target / total
+		ok := true
+		for i := range p {
+			p[i] *= scale
+			if p[i] >= 1 {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		order := r.Perm(n)
+		left := AggregateSequence(p, order, r)
+		ResolveLeftover(p, left, r)
+		got := len(SampleIndices(p))
+		if got != int(target) {
+			t.Fatalf("sample size %d want %d (p sums to %v)", got, int(target), xmath.Sum(p))
+		}
+	}
+}
+
+func TestResolveLeftoverUnbiased(t *testing.T) {
+	r := xmath.NewRand(10)
+	const trials = 100000
+	hits := 0
+	for k := 0; k < trials; k++ {
+		p := []float64{0.3}
+		ResolveLeftover(p, 0, r)
+		if p[0] == 1 {
+			hits++
+		} else if p[0] != 0 {
+			t.Fatalf("leftover not settled: %v", p[0])
+		}
+	}
+	frac := float64(hits) / trials
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("resolve frequency %v want 0.3", frac)
+	}
+}
+
+func TestResolveLeftoverNoopOnNegativeIndex(t *testing.T) {
+	p := []float64{0.5}
+	ResolveLeftover(p, -1, xmath.NewRand(11))
+	if p[0] != 0.5 {
+		t.Fatal("ResolveLeftover(-1) must not touch the vector")
+	}
+}
+
+func TestSampleIndicesPanicsOnFractional(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SampleIndices([]float64{1, 0.4, 0})
+}
+
+func TestSampleIndices(t *testing.T) {
+	got := SampleIndices([]float64{1, 0, 1, 0, 1})
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestPairAggregateQuickSumAndSettled(t *testing.T) {
+	r := xmath.NewRand(12)
+	f := func(a, b float64) bool {
+		pi := 0.001 + 0.998*math.Abs(math.Mod(a, 1))
+		pj := 0.001 + 0.998*math.Abs(math.Mod(b, 1))
+		if math.IsNaN(pi) || math.IsNaN(pj) {
+			return true
+		}
+		p := []float64{pi, pj}
+		out := PairAggregate(p, 0, 1, r)
+		sumOK := xmath.AlmostEqual(p[0]+p[1], pi+pj, 1e-9)
+		setOK := xmath.IsSet(p[out.SetIndex])
+		rangeOK := p[0] >= 0 && p[0] <= 1 && p[1] >= 0 && p[1] <= 1
+		return sumOK && setOK && rangeOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package paggr
+
+import (
+	"math"
+	"testing"
+
+	"structaware/internal/xmath"
+)
+
+// These tests verify that full aggregation *sequences* — not just single
+// steps — satisfy the VarOpt conditions of §2, which is the content of the
+// paper's Lemma 3 (transitivity of probabilistic aggregation).
+
+func TestSequenceAgreementInExpectation(t *testing.T) {
+	p0 := []float64{0.2, 0.5, 0.7, 0.3, 0.8, 0.5}
+	n := len(p0)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	r := xmath.NewRand(1)
+	const trials = 120000
+	counts := make([]float64, n)
+	for k := 0; k < trials; k++ {
+		p := append([]float64(nil), p0...)
+		left := AggregateSequence(p, order, r)
+		ResolveLeftover(p, left, r)
+		for i, v := range p {
+			counts[i] += v
+		}
+	}
+	for i := range p0 {
+		got := counts[i] / trials
+		if math.Abs(got-p0[i]) > 0.008 {
+			t.Fatalf("item %d inclusion %v want %v", i, got, p0[i])
+		}
+	}
+}
+
+func TestSequenceInclusionExclusionBounds(t *testing.T) {
+	// Condition (iii) for several fixed subsets J over the full sequence:
+	// E[Π_{i∈J} X_i] <= Π p_i and E[Π (1-X_i)] <= Π (1-p_i).
+	p0 := []float64{0.3, 0.6, 0.4, 0.7, 0.5, 0.5}
+	n := len(p0)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	subsets := [][]int{{0, 1}, {2, 3}, {0, 2, 4}, {1, 3, 5}, {0, 1, 2, 3, 4, 5}}
+	r := xmath.NewRand(2)
+	const trials = 200000
+	incl := make([]float64, len(subsets))
+	excl := make([]float64, len(subsets))
+	for k := 0; k < trials; k++ {
+		p := append([]float64(nil), p0...)
+		left := AggregateSequence(p, order, r)
+		ResolveLeftover(p, left, r)
+		for si, J := range subsets {
+			in, out := 1.0, 1.0
+			for _, i := range J {
+				in *= p[i]
+				out *= 1 - p[i]
+			}
+			incl[si] += in
+			excl[si] += out
+		}
+	}
+	for si, J := range subsets {
+		wantIn, wantOut := 1.0, 1.0
+		for _, i := range J {
+			wantIn *= p0[i]
+			wantOut *= 1 - p0[i]
+		}
+		gotIn := incl[si] / trials
+		gotOut := excl[si] / trials
+		if gotIn > wantIn+0.005 {
+			t.Fatalf("subset %v: inclusion %v exceeds bound %v", J, gotIn, wantIn)
+		}
+		if gotOut > wantOut+0.005 {
+			t.Fatalf("subset %v: exclusion %v exceeds bound %v", J, gotOut, wantOut)
+		}
+	}
+}
+
+func TestSequenceNegativeCovariance(t *testing.T) {
+	// VarOpt samples have non-positively correlated inclusions: for every
+	// pair, Cov[X_i, X_j] <= 0 (within statistical noise).
+	p0 := []float64{0.4, 0.4, 0.4, 0.4, 0.4}
+	n := len(p0)
+	order := []int{0, 1, 2, 3, 4}
+	r := xmath.NewRand(3)
+	const trials = 150000
+	joint := make([][]float64, n)
+	marg := make([]float64, n)
+	for i := range joint {
+		joint[i] = make([]float64, n)
+	}
+	for k := 0; k < trials; k++ {
+		p := append([]float64(nil), p0...)
+		left := AggregateSequence(p, order, r)
+		ResolveLeftover(p, left, r)
+		for i := 0; i < n; i++ {
+			marg[i] += p[i]
+			for j := i + 1; j < n; j++ {
+				joint[i][j] += p[i] * p[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cov := joint[i][j]/trials - (marg[i]/trials)*(marg[j]/trials)
+			if cov > 0.005 {
+				t.Fatalf("pair (%d,%d): covariance %v > 0", i, j, cov)
+			}
+		}
+	}
+}
+
+func TestArbitraryPairOrdersAllValid(t *testing.T) {
+	// The freedom claim: ANY pair selection order yields a VarOpt sample.
+	// Run several adversarial orders and verify exact size + expectations.
+	p0 := []float64{0.25, 0.75, 0.5, 0.5, 0.6, 0.4}
+	n := len(p0)
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0},
+		{0, 5, 1, 4, 2, 3},
+		{3, 3, 3, 0, 1, 2, 4, 5, 3}, // duplicates and revisits are skipped
+	}
+	r := xmath.NewRand(4)
+	for oi, order := range orders {
+		const trials = 60000
+		counts := make([]float64, n)
+		for k := 0; k < trials; k++ {
+			p := append([]float64(nil), p0...)
+			left := AggregateSequence(p, order, r)
+			// Orders that do not visit every index can leave extra unset
+			// entries; finish with a full sweep (still a valid schedule).
+			full := make([]int, n)
+			for i := range full {
+				full[i] = i
+			}
+			left = AggregateSequence(p, full, r)
+			ResolveLeftover(p, left, r)
+			got := len(SampleIndices(p))
+			if got != 3 {
+				t.Fatalf("order %d: size %d want 3", oi, got)
+			}
+			for i, v := range p {
+				counts[i] += v
+			}
+		}
+		for i := range p0 {
+			if math.Abs(counts[i]/trials-p0[i]) > 0.01 {
+				t.Fatalf("order %d item %d: inclusion %v want %v", oi, i, counts[i]/trials, p0[i])
+			}
+		}
+	}
+}

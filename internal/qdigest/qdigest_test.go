@@ -1,0 +1,248 @@
+package qdigest
+
+import (
+	"math"
+	"testing"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+func TestBuild1DBudgetRespected(t *testing.T) {
+	r := xmath.NewRand(1)
+	n := 5000
+	xs := make([]uint64, n)
+	ws := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Uint64() & 0xffff
+		ws[i] = 1 + 10*r.Float64()
+	}
+	for _, size := range []int{10, 50, 200, 1000} {
+		d, err := Build1D(xs, ws, 16, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Size() > size {
+			t.Fatalf("size %d exceeds budget %d", d.Size(), size)
+		}
+		if d.Size() == 0 {
+			t.Fatal("digest empty")
+		}
+	}
+}
+
+func TestBuild1DResidualsSumToTotal(t *testing.T) {
+	r := xmath.NewRand(2)
+	n := 2000
+	xs := make([]uint64, n)
+	ws := make([]float64, n)
+	var total float64
+	for i := range xs {
+		xs[i] = r.Uint64() & 0xfff
+		ws[i] = 1 + r.Float64()
+		total += ws[i]
+	}
+	d, err := Build1D(xs, ws, 12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, nd := range d.Nodes {
+		if nd.Residual < -1e-9 {
+			t.Fatalf("negative residual %v", nd.Residual)
+		}
+		sum += nd.Residual
+	}
+	if !xmath.AlmostEqual(sum, total, 1e-6) {
+		t.Fatalf("residuals sum %v want %v", sum, total)
+	}
+	if got := d.EstimateInterval(0, (1<<12)-1); !xmath.AlmostEqual(got, total, 1e-6) {
+		t.Fatalf("whole-domain estimate %v want %v", got, total)
+	}
+}
+
+func TestBuild1DErrorBound(t *testing.T) {
+	// Error on any interval is at most the residual weight of straddling
+	// nodes; with threshold θ and ≤ 2 straddles per level the error is
+	// O(θ log u). Verify empirically against brute force with a generous
+	// multiplier.
+	r := xmath.NewRand(3)
+	n := 3000
+	xs := make([]uint64, n)
+	ws := make([]float64, n)
+	var total float64
+	for i := range xs {
+		xs[i] = r.Uint64() & 0x3fff
+		ws[i] = math.Exp(2 * r.Float64())
+		total += ws[i]
+	}
+	size := 200
+	d, err := Build1D(xs, ws, 14, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 4 * total / float64(size) * 14 // 4θ·log u with θ ≈ W/size
+	for trial := 0; trial < 200; trial++ {
+		lo := r.Uint64() & 0x3fff
+		hi := lo + r.Uint64()%((1<<14)-lo)
+		var exact float64
+		for i := range xs {
+			if xs[i] >= lo && xs[i] <= hi {
+				exact += ws[i]
+			}
+		}
+		got := d.EstimateInterval(lo, hi)
+		if math.Abs(got-exact) > bound {
+			t.Fatalf("interval [%d,%d]: error %v exceeds bound %v", lo, hi, math.Abs(got-exact), bound)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	// Uniform unit weights on 0..999: median should be near 500.
+	xs := make([]uint64, 1000)
+	ws := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = uint64(i)
+		ws[i] = 1
+	}
+	d, err := Build1D(xs, ws, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := d.Quantile(0.5)
+	if med < 400 || med > 600 {
+		t.Fatalf("median %d want ≈500", med)
+	}
+	if d.Quantile(0) != 0 {
+		t.Fatal("phi=0 must be 0")
+	}
+	if q := d.Quantile(1); q < 900 {
+		t.Fatalf("phi=1 quantile %d too small", q)
+	}
+}
+
+func TestBuild2DBudgetAndTotal(t *testing.T) {
+	r := xmath.NewRand(4)
+	n := 4000
+	xs := make([]uint64, n)
+	ys := make([]uint64, n)
+	ws := make([]float64, n)
+	var total float64
+	for i := range xs {
+		xs[i] = r.Uint64() & 0x3ff
+		ys[i] = r.Uint64() & 0x3ff
+		ws[i] = 1 + 3*r.Float64()
+		total += ws[i]
+	}
+	d, err := Build2D(xs, ys, ws, 10, 10, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() > 300 || d.Size() == 0 {
+		t.Fatalf("size %d out of budget", d.Size())
+	}
+	var sum float64
+	for _, nd := range d.Nodes {
+		if nd.Residual < -1e-9 {
+			t.Fatalf("negative residual %v", nd.Residual)
+		}
+		sum += nd.Residual
+	}
+	if !xmath.AlmostEqual(sum, total, 1e-6) {
+		t.Fatalf("residuals %v want %v", sum, total)
+	}
+	full := structure.Range{{Lo: 0, Hi: 1023}, {Lo: 0, Hi: 1023}}
+	if got := d.EstimateRange(full); !xmath.AlmostEqual(got, total, 1e-6) {
+		t.Fatalf("full estimate %v want %v", got, total)
+	}
+}
+
+func TestBuild2DHeavyCellAccuracy(t *testing.T) {
+	// A very heavy cluster must get its own region and be estimated well.
+	r := xmath.NewRand(5)
+	var xs, ys []uint64
+	var ws []float64
+	for i := 0; i < 500; i++ { // cluster at (100±2, 200±2)
+		xs = append(xs, 100+r.Uint64()%4)
+		ys = append(ys, 200+r.Uint64()%4)
+		ws = append(ws, 10)
+	}
+	for i := 0; i < 2000; i++ { // background noise
+		xs = append(xs, r.Uint64()&0x3ff)
+		ys = append(ys, r.Uint64()&0x3ff)
+		ws = append(ws, 0.1)
+	}
+	d, err := Build2D(xs, ys, ws, 10, 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.EstimateRange(structure.Range{{Lo: 96, Hi: 111}, {Lo: 192, Hi: 207}})
+	if math.Abs(got-5000) > 500 {
+		t.Fatalf("cluster estimate %v want ≈5000", got)
+	}
+}
+
+func TestInterleaveRoundTripOrdering(t *testing.T) {
+	// Z-order keys must sort consistently with the BSP: points in the left
+	// half (x < 2^(bx-1)) come before points in the right half.
+	r := xmath.NewRand(6)
+	for trial := 0; trial < 1000; trial++ {
+		x1, y1 := r.Uint64()&0xff, r.Uint64()&0xff
+		x2, y2 := r.Uint64()&0xff, r.Uint64()&0xff
+		z1 := interleave(x1, y1, 8, 8)
+		z2 := interleave(x2, y2, 8, 8)
+		if x1 < 128 && x2 >= 128 && z1 >= z2 {
+			t.Fatalf("z-order violates first split: (%d,%d) vs (%d,%d)", x1, y1, x2, y2)
+		}
+	}
+}
+
+func TestInterleaveUnequalBits(t *testing.T) {
+	// With bitsX=4, bitsY=2 the schedule is x,y,x,y,x,x.
+	z := interleave(0b1111, 0b11, 4, 2)
+	if z != 0b111111 {
+		t.Fatalf("interleave all-ones = %b want 111111", z)
+	}
+	if axisAt(4, 4, 2) != 0 || axisAt(5, 4, 2) != 0 {
+		t.Fatal("tail splits must be on the wider axis")
+	}
+	if axisAt(0, 4, 2) != 0 || axisAt(1, 4, 2) != 1 {
+		t.Fatal("leading splits must alternate")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build1D([]uint64{1}, []float64{1, 2}, 8, 10); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Build1D([]uint64{1}, []float64{1}, 0, 10); err == nil {
+		t.Fatal("bits=0 must error")
+	}
+	if _, err := Build1D([]uint64{1}, []float64{1}, 8, 0); err == nil {
+		t.Fatal("size=0 must error")
+	}
+	if _, err := Build2D([]uint64{1}, []uint64{1}, []float64{1}, 0, 8, 10); err == nil {
+		t.Fatal("2D bits=0 must error")
+	}
+	if _, err := Build2D([]uint64{1}, []uint64{1, 2}, []float64{1}, 8, 8, 10); err == nil {
+		t.Fatal("2D length mismatch must error")
+	}
+}
+
+func TestEmptyData(t *testing.T) {
+	d, err := Build1D(nil, nil, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 0 || d.EstimateInterval(0, 255) != 0 {
+		t.Fatal("empty digest must estimate 0")
+	}
+	d2, err := Build2D(nil, nil, nil, 8, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != 0 {
+		t.Fatal("empty 2D digest must be empty")
+	}
+}

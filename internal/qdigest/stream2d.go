@@ -1,0 +1,196 @@
+package qdigest
+
+import (
+	"fmt"
+	"sort"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+// Stream2D is the streaming form of the 2-D adaptive spatial partitioning
+// summary, matching how Hershberger et al.'s structure (and the paper's
+// "qdigest" implementation) actually ingests data: every arriving item
+// descends the current partition to its deepest materialized cell and is
+// counted there; a cell whose weight exceeds the split threshold θ = c·W/s
+// materializes its two children. Construction therefore costs O(depth) hash
+// operations per item — the "more work in higher dimensions" the paper's
+// Figure 3 measures — while the batch Build2D constructor (same family,
+// z-order sort) is the optimized alternative.
+type Stream2D struct {
+	BitsX, BitsY int
+	budget       int
+	maxDepth     int
+	total        float64
+	// weights[node] is the weight accumulated at a materialized node; a
+	// node is an interior cell of the partition iff its children are
+	// materialized.
+	weights  map[nodeKey]float64
+	hasChild map[nodeKey]bool
+}
+
+// nodeKey identifies a BSP cell: depth plus the z-order path prefix.
+type nodeKey struct {
+	depth uint8
+	path  uint64
+}
+
+// NewStream2D creates the streaming digest with a node budget of `size`.
+func NewStream2D(bitsX, bitsY, size int) (*Stream2D, error) {
+	if bitsX < 1 || bitsX > 31 || bitsY < 1 || bitsY > 31 {
+		return nil, fmt.Errorf("qdigest: bits (%d,%d) out of range", bitsX, bitsY)
+	}
+	if size < 4 {
+		return nil, fmt.Errorf("qdigest: size %d too small", size)
+	}
+	d := &Stream2D{
+		BitsX:    bitsX,
+		BitsY:    bitsY,
+		budget:   size,
+		maxDepth: bitsX + bitsY,
+		weights:  map[nodeKey]float64{{0, 0}: 0},
+		hasChild: map[nodeKey]bool{},
+	}
+	return d, nil
+}
+
+// Insert adds weight w at (x, y): one descent through the materialized
+// partition, splitting the destination cell when it grows past θ.
+func (d *Stream2D) Insert(x, y uint64, w float64) {
+	if w <= 0 {
+		return
+	}
+	d.total += w
+	z := interleave(x, y, d.BitsX, d.BitsY)
+	cur := nodeKey{0, 0}
+	for d.hasChild[cur] {
+		bit := (z >> uint(d.maxDepth-1-int(cur.depth))) & 1
+		cur = nodeKey{cur.depth + 1, cur.path<<1 | bit}
+	}
+	d.weights[cur] += w
+	// Split when this cell holds too much weight. The threshold uses the
+	// running total; splitting is what adapts the partition to skew.
+	theta := 2 * d.total / float64(d.budget)
+	if d.weights[cur] > theta && int(cur.depth) < d.maxDepth && len(d.weights)+2 <= 2*d.budget {
+		d.hasChild[cur] = true
+		d.weights[nodeKey{cur.depth + 1, cur.path << 1}] = 0
+		d.weights[nodeKey{cur.depth + 1, cur.path<<1 | 1}] = 0
+	}
+}
+
+// Total returns the ingested weight.
+func (d *Stream2D) Total() float64 { return d.total }
+
+// Size returns the number of materialized cells.
+func (d *Stream2D) Size() int { return len(d.weights) }
+
+// Compact merges the lightest leaf sibling pairs into their parents until
+// at most `size` cells remain — run once after the stream to meet a hard
+// budget. Each pass gathers the mergeable pairs, sorts them by combined
+// weight, and merges the lightest ones; merging can expose new pairs, so
+// passes repeat until the budget holds (near-linear overall, as each pass
+// removes a constant fraction of the overage).
+func (d *Stream2D) Compact(size int) {
+	for len(d.weights) > size {
+		type cand struct {
+			parent nodeKey
+			w      float64
+		}
+		var cands []cand
+		for k, w := range d.weights {
+			if k.depth == 0 || k.path&1 != 0 {
+				continue // visit each pair once, via the left sibling
+			}
+			sib := nodeKey{k.depth, k.path | 1}
+			if d.hasChild[k] || d.hasChild[sib] {
+				continue
+			}
+			sw, ok := d.weights[sib]
+			if !ok {
+				continue
+			}
+			cands = append(cands, cand{parent: nodeKey{k.depth - 1, k.path >> 1}, w: w + sw})
+		}
+		if len(cands) == 0 {
+			return
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].w < cands[b].w })
+		need := (len(d.weights) - size + 1) / 2
+		if need > len(cands) {
+			need = len(cands)
+		}
+		for _, c := range cands[:need] {
+			l := nodeKey{c.parent.depth + 1, c.parent.path << 1}
+			rn := nodeKey{c.parent.depth + 1, c.parent.path<<1 | 1}
+			d.weights[c.parent] += d.weights[l] + d.weights[rn]
+			delete(d.weights, l)
+			delete(d.weights, rn)
+			delete(d.hasChild, c.parent)
+		}
+	}
+}
+
+// region returns the box of a node under the alternating-axis schedule.
+func (d *Stream2D) region(k nodeKey) structure.Range {
+	r := structure.Range{
+		{Lo: 0, Hi: (uint64(1) << uint(d.BitsX)) - 1},
+		{Lo: 0, Hi: (uint64(1) << uint(d.BitsY)) - 1},
+	}
+	for t := 0; t < int(k.depth); t++ {
+		axis := axisAt(t, d.BitsX, d.BitsY)
+		bit := (k.path >> uint(int(k.depth)-1-t)) & 1
+		mid := r[axis].Lo + r[axis].Width()/2
+		if bit == 0 {
+			r[axis].Hi = mid - 1
+		} else {
+			r[axis].Lo = mid
+		}
+	}
+	return r
+}
+
+// EstimateRange estimates the weight in the box: cells fully inside count
+// their weight, straddling cells contribute area-proportionally.
+func (d *Stream2D) EstimateRange(q structure.Range) float64 {
+	var sum xmath.KahanSum
+	for k, w := range d.weights {
+		if w == 0 {
+			continue
+		}
+		reg := d.region(k)
+		frac := 1.0
+		for dim := range q {
+			ov, ok := reg[dim].Intersect(q[dim])
+			if !ok {
+				frac = 0
+				break
+			}
+			frac *= float64(ov.Width()) / float64(reg[dim].Width())
+		}
+		if frac > 0 {
+			sum.Add(w * frac)
+		}
+	}
+	return sum.Sum()
+}
+
+// EstimateQuery sums EstimateRange over the disjoint boxes of q.
+func (d *Stream2D) EstimateQuery(q structure.Query) float64 {
+	var sum float64
+	for _, r := range q {
+		sum += d.EstimateRange(r)
+	}
+	return sum
+}
+
+// Nodes returns the materialized cells sorted by depth (diagnostics).
+func (d *Stream2D) Nodes() []Node2D {
+	out := make([]Node2D, 0, len(d.weights))
+	for k, w := range d.weights {
+		out = append(out, Node2D{Region: d.region(k), Residual: w})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return out[a].Region[0].Width()*out[a].Region[1].Width() > out[b].Region[0].Width()*out[b].Region[1].Width()
+	})
+	return out
+}

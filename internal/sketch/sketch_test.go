@@ -1,0 +1,189 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+func TestCountSketchExactWhenSparse(t *testing.T) {
+	// With many more counters than keys, collisions are unlikely and the
+	// estimates should be near-exact.
+	cs, err := NewCountSketch(5, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []uint64{10, 20, 30, 40, 50}
+	ws := []float64{1, 2, 3, 4, 5}
+	for i, k := range keys {
+		cs.Update(k, ws[i])
+	}
+	for i, k := range keys {
+		if got := cs.Estimate(k); math.Abs(got-ws[i]) > 1e-9 {
+			t.Fatalf("key %d estimate %v want %v", k, got, ws[i])
+		}
+	}
+	if got := cs.Estimate(999); math.Abs(got) > 1e-9 {
+		t.Fatalf("absent key estimate %v want 0", got)
+	}
+}
+
+func TestCountSketchUnbiasedUnderCollisions(t *testing.T) {
+	// Small sketch, many keys: individual estimates are noisy but averaging
+	// over independent seeds recovers the true weight.
+	r := xmath.NewRand(2)
+	keys := make([]uint64, 500)
+	ws := make([]float64, 500)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		ws[i] = 1 + 4*r.Float64()
+	}
+	const trials = 400
+	var acc float64
+	for trial := 0; trial < trials; trial++ {
+		cs, err := NewCountSketch(1, 64, uint64(trial+1)) // 1 row: pure unbiased estimator
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range keys {
+			cs.Update(k, ws[i])
+		}
+		acc += cs.Estimate(keys[0])
+	}
+	mean := acc / trials
+	if math.Abs(mean-ws[0]) > 1.0 {
+		t.Fatalf("mean estimate %v want %v", mean, ws[0])
+	}
+}
+
+func TestCountSketchMedianRobustness(t *testing.T) {
+	// A heavy key among noise: median-of-rows estimate should land near the
+	// heavy weight.
+	r := xmath.NewRand(3)
+	cs, err := NewCountSketch(7, 256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Update(42, 10000)
+	for i := 0; i < 2000; i++ {
+		cs.Update(r.Uint64(), 1)
+	}
+	got := cs.Estimate(42)
+	if math.Abs(got-10000) > 500 {
+		t.Fatalf("heavy key estimate %v want ≈10000", got)
+	}
+}
+
+func TestNewCountSketchErrors(t *testing.T) {
+	if _, err := NewCountSketch(0, 10, 1); err == nil {
+		t.Fatal("rows=0 must error")
+	}
+	if _, err := NewCountSketch(3, 0, 1); err == nil {
+		t.Fatal("cols=0 must error")
+	}
+}
+
+func TestDyadic2DWholeDomain(t *testing.T) {
+	d, err := NewDyadic2D(8, 8, 100000, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xmath.NewRand(4)
+	var total float64
+	for i := 0; i < 300; i++ {
+		w := 1 + r.Float64()
+		d.Update(r.Uint64()&0xff, r.Uint64()&0xff, w)
+		total += w
+	}
+	full := structure.Range{{Lo: 0, Hi: 255}, {Lo: 0, Hi: 255}}
+	got := d.EstimateRange(full)
+	// Whole domain = single level-(0,0) dyadic rect = one sketch key: exact
+	// up to collisions in that sketch (unlikely with one key).
+	if math.Abs(got-total) > 0.05*total {
+		t.Fatalf("whole domain %v want %v", got, total)
+	}
+}
+
+func TestDyadic2DAccurateWhenGenerous(t *testing.T) {
+	// Generous budget: dyadic range queries should be close to exact.
+	d, err := NewDyadic2D(6, 6, 5*49*1024, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xmath.NewRand(5)
+	type pt struct {
+		x, y uint64
+		w    float64
+	}
+	var pts []pt
+	for i := 0; i < 200; i++ {
+		p := pt{r.Uint64() & 63, r.Uint64() & 63, 1 + r.Float64()}
+		pts = append(pts, p)
+		d.Update(p.x, p.y, p.w)
+	}
+	for trial := 0; trial < 100; trial++ {
+		box := structure.Range{randIv(r, 64), randIv(r, 64)}
+		var exact float64
+		for _, p := range pts {
+			if box[0].Contains(p.x) && box[1].Contains(p.y) {
+				exact += p.w
+			}
+		}
+		// A box decomposes into up to (2·6)² dyadic rectangles whose
+		// individual sketch noises add; allow that accumulation.
+		got := d.EstimateRange(box)
+		if math.Abs(got-exact) > 5+0.2*exact {
+			t.Fatalf("box %v: got %v want %v", box, got, exact)
+		}
+	}
+}
+
+func randIv(r *xmath.SplitMix, n uint64) structure.Interval {
+	lo := r.Uint64() % n
+	hi := lo + r.Uint64()%(n-lo)
+	return structure.Interval{Lo: lo, Hi: hi}
+}
+
+func TestDyadic2DBudgetSplit(t *testing.T) {
+	// With a tiny budget every sketch still gets at least one counter.
+	d, err := NewDyadic2D(16, 16, 100, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() < (16+1)*(16+1) {
+		t.Fatalf("size %d below one counter per level pair", d.Size())
+	}
+	// Budget far above pairs: size ≈ budget.
+	d2, err := NewDyadic2D(8, 8, 81*5*64, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != 81*5*64 {
+		t.Fatalf("size %d want %d", d2.Size(), 81*5*64)
+	}
+}
+
+func TestDyadic2DErrors(t *testing.T) {
+	if _, err := NewDyadic2D(0, 8, 100, 5, 1); err == nil {
+		t.Fatal("bits=0 must error")
+	}
+}
+
+func TestDyadic2DQueryMultipleBoxes(t *testing.T) {
+	d, err := NewDyadic2D(6, 6, 5*49*512, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Update(5, 5, 10)
+	d.Update(50, 50, 20)
+	q := structure.Query{
+		{{Lo: 0, Hi: 15}, {Lo: 0, Hi: 15}},
+		{{Lo: 48, Hi: 63}, {Lo: 48, Hi: 63}},
+	}
+	got := d.EstimateQuery(q)
+	if math.Abs(got-30) > 3 {
+		t.Fatalf("query %v want ≈30", got)
+	}
+}

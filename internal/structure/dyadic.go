@@ -1,0 +1,58 @@
+package structure
+
+// Dyadic intervals underpin the wavelet and sketch baselines: level l splits
+// the domain [0, 2^bits) into 2^l aligned blocks of width 2^(bits-l).
+// DyadicCell identifies one such block.
+type DyadicCell struct {
+	// Level is the dyadic level: 0 is the whole domain, bits is unit cells.
+	Level int
+	// Index is the block number within the level, in [0, 2^Level).
+	Index uint64
+}
+
+// Interval returns the coordinate interval covered by the cell within a
+// domain of the given bit width.
+func (c DyadicCell) Interval(bits int) Interval {
+	width := uint64(1) << uint(bits-c.Level)
+	lo := c.Index * width
+	return Interval{lo, lo + width - 1}
+}
+
+// DyadicDecompose expresses the inclusive interval [lo, hi] ⊆ [0, 2^bits) as
+// a minimal disjoint union of dyadic cells. The classic bound holds: at most
+// 2·bits cells are produced.
+func DyadicDecompose(lo, hi uint64, bits int) []DyadicCell {
+	if lo > hi {
+		return nil
+	}
+	var out []DyadicCell
+	for lo <= hi {
+		// Largest aligned block starting at lo that fits in [lo, hi].
+		size := uint64(1) << uint(bits)
+		level := 0
+		for size > 1 {
+			if lo%size == 0 && lo+size-1 <= hi {
+				break
+			}
+			size >>= 1
+			level++
+		}
+		out = append(out, DyadicCell{Level: level, Index: lo / size})
+		next := lo + size
+		if next <= lo { // overflow guard at domain end
+			break
+		}
+		lo = next
+	}
+	return out
+}
+
+// DyadicAncestors returns the chain of dyadic cells containing coordinate x,
+// from level 0 (whole domain) down to level bits (unit cell): bits+1 cells.
+func DyadicAncestors(x uint64, bits int) []DyadicCell {
+	out := make([]DyadicCell, bits+1)
+	for l := 0; l <= bits; l++ {
+		out[l] = DyadicCell{Level: l, Index: x >> uint(bits-l)}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package structure
+
+import (
+	"testing"
+
+	"structaware/internal/xmath"
+)
+
+func TestDyadicDecomposeExactCover(t *testing.T) {
+	r := xmath.NewRand(1)
+	for trial := 0; trial < 500; trial++ {
+		bits := 1 + r.Intn(16)
+		n := uint64(1) << uint(bits)
+		lo := r.Uint64() % n
+		hi := lo + r.Uint64()%(n-lo)
+		cells := DyadicDecompose(lo, hi, bits)
+		if len(cells) > 2*bits {
+			t.Fatalf("too many cells: %d > 2*%d for [%d,%d]", len(cells), bits, lo, hi)
+		}
+		// Cells must tile [lo,hi] exactly, in order, without overlap.
+		next := lo
+		for _, c := range cells {
+			iv := c.Interval(bits)
+			if iv.Lo != next {
+				t.Fatalf("gap: cell starts at %d want %d", iv.Lo, next)
+			}
+			next = iv.Hi + 1
+		}
+		if next != hi+1 {
+			t.Fatalf("cover ends at %d want %d", next-1, hi)
+		}
+	}
+}
+
+func TestDyadicDecomposeWholeDomain(t *testing.T) {
+	cells := DyadicDecompose(0, (1<<10)-1, 10)
+	if len(cells) != 1 || cells[0].Level != 0 || cells[0].Index != 0 {
+		t.Fatalf("whole domain should be one level-0 cell, got %v", cells)
+	}
+}
+
+func TestDyadicDecomposeSinglePoint(t *testing.T) {
+	cells := DyadicDecompose(5, 5, 4)
+	if len(cells) != 1 || cells[0].Level != 4 || cells[0].Index != 5 {
+		t.Fatalf("point should be unit cell, got %v", cells)
+	}
+}
+
+func TestDyadicDecomposeEmptyOnInverted(t *testing.T) {
+	if cells := DyadicDecompose(7, 3, 4); cells != nil {
+		t.Fatalf("inverted interval should be empty, got %v", cells)
+	}
+}
+
+func TestDyadicAncestorsChain(t *testing.T) {
+	bits := 8
+	x := uint64(173)
+	anc := DyadicAncestors(x, bits)
+	if len(anc) != bits+1 {
+		t.Fatalf("ancestors %d want %d", len(anc), bits+1)
+	}
+	for l, c := range anc {
+		if c.Level != l {
+			t.Fatalf("level %d want %d", c.Level, l)
+		}
+		iv := c.Interval(bits)
+		if !iv.Contains(x) {
+			t.Fatalf("ancestor at level %d does not contain %d: %v", l, x, iv)
+		}
+		if l > 0 {
+			parent := anc[l-1].Interval(bits)
+			if iv.Lo < parent.Lo || iv.Hi > parent.Hi {
+				t.Fatal("ancestor chain not nested")
+			}
+		}
+	}
+	if anc[bits].Interval(bits).Width() != 1 {
+		t.Fatal("deepest ancestor must be the unit cell")
+	}
+}

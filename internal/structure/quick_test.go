@@ -1,0 +1,96 @@
+package structure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"structaware/internal/xmath"
+)
+
+// TestDatasetQuickDedupInvariants drives NewDataset with generated inputs
+// and checks the dedup invariants against a reference map.
+func TestDatasetQuickDedupInvariants(t *testing.T) {
+	axes := []Axis{OrderedAxis(8), BitTrieAxis(8)}
+	f := func(raw []uint16, wraw []float64) bool {
+		n := len(raw) / 2
+		if n > len(wraw) {
+			n = len(wraw)
+		}
+		pts := make([][]uint64, n)
+		ws := make([]float64, n)
+		ref := map[[2]uint64]float64{}
+		var total float64
+		for i := 0; i < n; i++ {
+			x := uint64(raw[2*i]) & 0xff
+			y := uint64(raw[2*i+1]) & 0xff
+			w := math.Abs(wraw[i])
+			if math.IsNaN(w) || math.IsInf(w, 0) || w > 1e12 {
+				w = 1
+			}
+			pts[i] = []uint64{x, y}
+			ws[i] = w
+			ref[[2]uint64{x, y}] += w
+			total += w
+		}
+		ds, err := NewDataset(axes, pts, ws)
+		if err != nil {
+			return false
+		}
+		if ds.Len() != len(ref) {
+			return false
+		}
+		if !xmath.AlmostEqual(ds.TotalWeight(), total, 1e-6) {
+			return false
+		}
+		for i := 0; i < ds.Len(); i++ {
+			key := [2]uint64{ds.Coords[0][i], ds.Coords[1][i]}
+			want, ok := ref[key]
+			if !ok || !xmath.AlmostEqual(ds.Weights[i], want, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeSumQuickAdditivity checks that disjoint boxes sum like their
+// union query.
+func TestRangeSumQuickAdditivity(t *testing.T) {
+	r := xmath.NewRand(31)
+	axes := []Axis{OrderedAxis(10), OrderedAxis(10)}
+	pts := make([][]uint64, 500)
+	ws := make([]float64, 500)
+	for i := range pts {
+		pts[i] = []uint64{r.Uint64() & 0x3ff, r.Uint64() & 0x3ff}
+		ws[i] = 1 + 3*r.Float64()
+	}
+	ds, err := NewDataset(axes, pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		// Split the x-axis at a random point: the two halves plus full-y
+		// intervals partition any x-interval query.
+		lo := r.Uint64() & 0x3ff
+		hi := lo + r.Uint64()%(0x400-lo)
+		if hi <= lo {
+			continue
+		}
+		mid := lo + r.Uint64()%(hi-lo)
+		yiv := Interval{0, 0x3ff}
+		whole := ds.RangeSum(Range{{Lo: lo, Hi: hi}, yiv})
+		left := ds.RangeSum(Range{{Lo: lo, Hi: mid}, yiv})
+		right := ds.RangeSum(Range{{Lo: mid + 1, Hi: hi}, yiv})
+		if !xmath.AlmostEqual(whole, left+right, 1e-9) {
+			t.Fatalf("additivity broken: %v != %v + %v", whole, left, right)
+		}
+		asQuery := ds.QuerySum(Query{{{Lo: lo, Hi: mid}, yiv}, {{Lo: mid + 1, Hi: hi}, yiv}})
+		if !xmath.AlmostEqual(whole, asQuery, 1e-9) {
+			t.Fatalf("query sum disagrees: %v vs %v", whole, asQuery)
+		}
+	}
+}

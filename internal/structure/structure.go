@@ -1,0 +1,312 @@
+// Package structure defines the key-domain model shared by every sampler and
+// summary in this repository: axes (ordered, bit-trie hierarchy, or explicit
+// hierarchy), multi-dimensional columnar datasets of weighted keys, and
+// structural ranges (axis-parallel boxes) and queries (unions of disjoint
+// boxes) — the range spaces (K, R) of §2 of Cohen, Cormode, Duffield
+// (VLDB 2011).
+//
+// All axes expose a linear uint64 coordinate: ordered axes natively,
+// bit-trie hierarchies via the numeric key (numeric order is a DFS
+// linearization of the trie, so every prefix is an interval), and explicit
+// hierarchies via their DFS leaf linearization (see internal/hierarchy).
+// Consequently every structural range of the paper is an Interval per axis,
+// and product-structure ranges are boxes.
+package structure
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"structaware/internal/hierarchy"
+	"structaware/internal/xmath"
+)
+
+// AxisKind enumerates the supported one-dimensional structures.
+type AxisKind int
+
+const (
+	// Ordered is a linear order over uint64 coordinates; ranges are
+	// arbitrary intervals.
+	Ordered AxisKind = iota
+	// BitTrie is the implicit binary hierarchy over b-bit keys (e.g. IPv4
+	// prefixes for b=32); ranges are prefix intervals.
+	BitTrie
+	// Explicit is an arbitrary rooted tree with varying branching factors;
+	// coordinates are DFS-linearized leaf positions and ranges are the leaf
+	// intervals of tree nodes.
+	Explicit
+)
+
+// String implements fmt.Stringer.
+func (k AxisKind) String() string {
+	switch k {
+	case Ordered:
+		return "ordered"
+	case BitTrie:
+		return "bittrie"
+	case Explicit:
+		return "explicit"
+	default:
+		return fmt.Sprintf("AxisKind(%d)", int(k))
+	}
+}
+
+// Axis describes one dimension of the key domain.
+type Axis struct {
+	Kind AxisKind
+	// Bits is the domain width for Ordered and BitTrie axes: coordinates lie
+	// in [0, 2^Bits). Must be in [1, 63] so interval arithmetic stays within
+	// int64-safe territory.
+	Bits int
+	// Tree is the hierarchy for Explicit axes; coordinates are leaf
+	// positions in its linearization.
+	Tree *hierarchy.Tree
+}
+
+// OrderedAxis returns an ordered axis over [0, 2^bits).
+func OrderedAxis(bits int) Axis { return Axis{Kind: Ordered, Bits: bits} }
+
+// BitTrieAxis returns a binary-hierarchy axis over [0, 2^bits).
+func BitTrieAxis(bits int) Axis { return Axis{Kind: BitTrie, Bits: bits} }
+
+// ExplicitAxis returns an axis backed by an explicit hierarchy.
+func ExplicitAxis(t *hierarchy.Tree) Axis { return Axis{Kind: Explicit, Tree: t} }
+
+// DomainSize returns the number of distinct coordinates on the axis.
+func (a Axis) DomainSize() uint64 {
+	if a.Kind == Explicit {
+		return uint64(a.Tree.NumLeaves())
+	}
+	return uint64(1) << uint(a.Bits)
+}
+
+// Validate checks the axis description.
+func (a Axis) Validate() error {
+	switch a.Kind {
+	case Ordered, BitTrie:
+		if a.Bits < 1 || a.Bits > 63 {
+			return fmt.Errorf("structure: axis bits %d out of [1,63]", a.Bits)
+		}
+	case Explicit:
+		if a.Tree == nil {
+			return errors.New("structure: explicit axis without tree")
+		}
+		if a.Tree.NumLeaves() == 0 {
+			return errors.New("structure: explicit axis with no leaves")
+		}
+	default:
+		return fmt.Errorf("structure: unknown axis kind %d", a.Kind)
+	}
+	return nil
+}
+
+// Interval is an inclusive coordinate interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x uint64) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// Width returns the number of coordinates covered.
+func (iv Interval) Width() uint64 { return iv.Hi - iv.Lo + 1 }
+
+// Overlaps reports whether two intervals intersect.
+func (iv Interval) Overlaps(o Interval) bool { return iv.Lo <= o.Hi && o.Lo <= iv.Hi }
+
+// Intersect returns the intersection and whether it is non-empty.
+func (iv Interval) Intersect(o Interval) (Interval, bool) {
+	lo, hi := max64(iv.Lo, o.Lo), min64(iv.Hi, o.Hi)
+	if lo > hi {
+		return Interval{}, false
+	}
+	return Interval{lo, hi}, true
+}
+
+// Range is an axis-parallel box: one interval per dimension.
+type Range []Interval
+
+// Contains reports whether the point pt (one coordinate per dimension) lies
+// inside the box.
+func (r Range) Contains(pt []uint64) bool {
+	for d, iv := range r {
+		if !iv.Contains(pt[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether two boxes intersect.
+func (r Range) Overlaps(o Range) bool {
+	for d := range r {
+		if !r[d].Overlaps(o[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Query is a union of pairwise-disjoint boxes (the multi-range queries of
+// the paper's experiments).
+type Query []Range
+
+// NumRanges returns the number of boxes in the query.
+func (q Query) NumRanges() int { return len(q) }
+
+// Dataset is a columnar multiset of weighted multi-dimensional keys.
+// Identical keys are merged at construction; weights are finite and
+// non-negative.
+type Dataset struct {
+	Axes []Axis
+	// Coords[d][i] is the coordinate of item i on axis d.
+	Coords [][]uint64
+	// Weights[i] is the weight of item i.
+	Weights []float64
+
+	totalWeight float64
+}
+
+// NewDataset validates and builds a dataset from row-major points.
+// points[i][d] is the coordinate of item i on axis d. Duplicate keys are
+// merged by summing their weights.
+func NewDataset(axes []Axis, points [][]uint64, weights []float64) (*Dataset, error) {
+	if len(axes) == 0 {
+		return nil, errors.New("structure: dataset needs at least one axis")
+	}
+	for d, a := range axes {
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("axis %d: %w", d, err)
+		}
+	}
+	if len(points) != len(weights) {
+		return nil, fmt.Errorf("structure: %d points but %d weights", len(points), len(weights))
+	}
+	dims := len(axes)
+	seen := make(map[string]int, len(points))
+	var keyBuf []byte
+	ds := &Dataset{Axes: axes, Coords: make([][]uint64, dims)}
+	for i, pt := range points {
+		if len(pt) != dims {
+			return nil, fmt.Errorf("structure: point %d has %d dims, want %d", i, len(pt), dims)
+		}
+		w := weights[i]
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("structure: weight %d invalid: %v", i, w)
+		}
+		for d, x := range pt {
+			if x >= axes[d].DomainSize() {
+				return nil, fmt.Errorf("structure: point %d coordinate %d out of domain on axis %d", i, x, d)
+			}
+		}
+		keyBuf = keyBuf[:0]
+		for _, x := range pt {
+			for b := 0; b < 8; b++ {
+				keyBuf = append(keyBuf, byte(x>>(8*b)))
+			}
+		}
+		if j, ok := seen[string(keyBuf)]; ok {
+			ds.Weights[j] += w
+			ds.totalWeight += w
+			continue
+		}
+		seen[string(keyBuf)] = len(ds.Weights)
+		for d, x := range pt {
+			ds.Coords[d] = append(ds.Coords[d], x)
+		}
+		ds.Weights = append(ds.Weights, w)
+		ds.totalWeight += w
+	}
+	return ds, nil
+}
+
+// Len returns the number of (distinct) keys.
+func (d *Dataset) Len() int { return len(d.Weights) }
+
+// Dims returns the number of axes.
+func (d *Dataset) Dims() int { return len(d.Axes) }
+
+// TotalWeight returns the sum of all weights.
+func (d *Dataset) TotalWeight() float64 { return d.totalWeight }
+
+// Point materializes item i's coordinates into dst (allocating if nil).
+func (d *Dataset) Point(i int, dst []uint64) []uint64 {
+	if dst == nil {
+		dst = make([]uint64, d.Dims())
+	}
+	for dim := range d.Coords {
+		dst[dim] = d.Coords[dim][i]
+	}
+	return dst
+}
+
+// InRange reports whether item i lies in the box r.
+func (d *Dataset) InRange(i int, r Range) bool {
+	for dim, iv := range r {
+		if !iv.Contains(d.Coords[dim][i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeSum returns the exact weight sum over box r.
+func (d *Dataset) RangeSum(r Range) float64 {
+	var k xmath.KahanSum
+	for i := range d.Weights {
+		if d.InRange(i, r) {
+			k.Add(d.Weights[i])
+		}
+	}
+	return k.Sum()
+}
+
+// QuerySum returns the exact weight sum over the (disjoint) boxes of q.
+func (d *Dataset) QuerySum(q Query) float64 {
+	var k xmath.KahanSum
+	for i := range d.Weights {
+		for _, r := range q {
+			if d.InRange(i, r) {
+				k.Add(d.Weights[i])
+				break
+			}
+		}
+	}
+	return k.Sum()
+}
+
+// MassInRange returns Σ p_i over items inside box r: the expected number of
+// samples p(R) of the paper when p holds inclusion probabilities.
+func (d *Dataset) MassInRange(p []float64, r Range) float64 {
+	var k xmath.KahanSum
+	for i := range d.Weights {
+		if d.InRange(i, r) {
+			k.Add(p[i])
+		}
+	}
+	return k.Sum()
+}
+
+// FullRange returns the box covering the whole domain.
+func (d *Dataset) FullRange() Range {
+	r := make(Range, d.Dims())
+	for dim, a := range d.Axes {
+		r[dim] = Interval{0, a.DomainSize() - 1}
+	}
+	return r
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

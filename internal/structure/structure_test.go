@@ -1,0 +1,156 @@
+package structure
+
+import (
+	"testing"
+
+	"structaware/internal/hierarchy"
+	"structaware/internal/xmath"
+)
+
+func twoDAxes() []Axis {
+	return []Axis{BitTrieAxis(8), OrderedAxis(8)}
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	axes := twoDAxes()
+	if _, err := NewDataset(nil, nil, nil); err == nil {
+		t.Fatal("no axes must error")
+	}
+	if _, err := NewDataset(axes, [][]uint64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := NewDataset(axes, [][]uint64{{1}}, []float64{1}); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+	if _, err := NewDataset(axes, [][]uint64{{1, 2}}, []float64{-1}); err == nil {
+		t.Fatal("negative weight must error")
+	}
+	if _, err := NewDataset(axes, [][]uint64{{300, 2}}, []float64{1}); err == nil {
+		t.Fatal("out-of-domain coordinate must error")
+	}
+	if _, err := NewDataset([]Axis{OrderedAxis(0)}, nil, nil); err == nil {
+		t.Fatal("bits=0 must error")
+	}
+	if _, err := NewDataset([]Axis{{Kind: Explicit}}, nil, nil); err == nil {
+		t.Fatal("explicit axis without tree must error")
+	}
+}
+
+func TestDatasetDeduplication(t *testing.T) {
+	axes := twoDAxes()
+	pts := [][]uint64{{1, 2}, {3, 4}, {1, 2}, {1, 3}}
+	ws := []float64{1, 2, 5, 3}
+	d, err := NewDataset(axes, pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len %d want 3 after dedup", d.Len())
+	}
+	if !xmath.AlmostEqual(d.TotalWeight(), 11, 1e-12) {
+		t.Fatalf("total %v want 11", d.TotalWeight())
+	}
+	// The merged key (1,2) carries weight 6.
+	found := false
+	for i := 0; i < d.Len(); i++ {
+		if d.Coords[0][i] == 1 && d.Coords[1][i] == 2 {
+			found = true
+			if d.Weights[i] != 6 {
+				t.Fatalf("merged weight %v want 6", d.Weights[i])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("merged key missing")
+	}
+}
+
+func TestRangeSumAndQuerySum(t *testing.T) {
+	axes := twoDAxes()
+	pts := [][]uint64{{0, 0}, {10, 10}, {10, 20}, {200, 200}}
+	ws := []float64{1, 2, 4, 8}
+	d, err := NewDataset(axes, pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Range{{Lo: 0, Hi: 15}, {Lo: 0, Hi: 15}}
+	if got := d.RangeSum(r); got != 3 {
+		t.Fatalf("range sum %v want 3", got)
+	}
+	q := Query{
+		{{Lo: 0, Hi: 15}, {Lo: 0, Hi: 15}},
+		{{Lo: 100, Hi: 255}, {Lo: 100, Hi: 255}},
+	}
+	if got := d.QuerySum(q); got != 11 {
+		t.Fatalf("query sum %v want 11", got)
+	}
+	if got := d.RangeSum(d.FullRange()); got != 15 {
+		t.Fatalf("full range sum %v want 15", got)
+	}
+}
+
+func TestMassInRange(t *testing.T) {
+	axes := []Axis{OrderedAxis(4)}
+	pts := [][]uint64{{0}, {5}, {10}, {15}}
+	d, err := NewDataset(axes, pts, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{0.5, 0.25, 0.75, 1}
+	if got := d.MassInRange(p, Range{{Lo: 0, Hi: 9}}); !xmath.AlmostEqual(got, 0.75, 1e-12) {
+		t.Fatalf("mass %v want 0.75", got)
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{2, 10}
+	if !a.Contains(2) || !a.Contains(10) || a.Contains(11) {
+		t.Fatal("contains broken")
+	}
+	if a.Width() != 9 {
+		t.Fatalf("width %d", a.Width())
+	}
+	b := Interval{8, 20}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("overlap broken")
+	}
+	got, ok := a.Intersect(b)
+	if !ok || got.Lo != 8 || got.Hi != 10 {
+		t.Fatalf("intersect %v", got)
+	}
+	if _, ok := a.Intersect(Interval{11, 12}); ok {
+		t.Fatal("disjoint intervals must not intersect")
+	}
+}
+
+func TestExplicitAxisDomainSize(t *testing.T) {
+	b := hierarchy.NewBuilder()
+	c1 := b.AddChild(0)
+	b.AddChild(0)
+	b.AddChild(c1)
+	b.AddChild(c1)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := ExplicitAxis(tree)
+	if ax.DomainSize() != 3 {
+		t.Fatalf("domain size %d want 3 (leaves)", ax.DomainSize())
+	}
+	if err := ax.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeContainsAndOverlaps(t *testing.T) {
+	r := Range{{0, 10}, {5, 9}}
+	if !r.Contains([]uint64{3, 7}) || r.Contains([]uint64{3, 10}) {
+		t.Fatal("contains broken")
+	}
+	if !r.Overlaps(Range{{10, 20}, {9, 30}}) {
+		t.Fatal("edge overlap expected")
+	}
+	if r.Overlaps(Range{{11, 20}, {5, 9}}) {
+		t.Fatal("disjoint boxes must not overlap")
+	}
+}

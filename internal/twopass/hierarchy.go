@@ -1,0 +1,205 @@
+package twopass
+
+import (
+	"fmt"
+	"sort"
+
+	"structaware/internal/hierarchy"
+	"structaware/internal/structure"
+	"structaware/internal/varopt"
+	"structaware/internal/xmath"
+)
+
+// Hierarchy builds a two-pass structure-aware sample over an explicit
+// one-dimensional hierarchy using §5's ancestor partition: the cells are the
+// ancestors of the guide keys S′, each key routing to the lowest selected
+// ancestor of its leaf. With s′ = Ω(s log s) every hierarchy range of mass
+// ≥ 1 is hit by S′ w.h.p., giving maximum node discrepancy ∆ < 1 w.h.p. —
+// the stronger alternative to linearizing the hierarchy (∆ < 2), best for
+// shallow hierarchies since the number of cells grows with the depth.
+//
+// axis must be an Explicit axis of ds.
+func Hierarchy(ds *structure.Dataset, axis, s int, cfg Config, r xmath.Rand) (*Result, error) {
+	if axis < 0 || axis >= ds.Dims() {
+		return nil, fmt.Errorf("twopass: axis %d out of range", axis)
+	}
+	ax := ds.Axes[axis]
+	if ax.Kind != structure.Explicit || ax.Tree == nil {
+		return nil, fmt.Errorf("twopass: axis %d is not an explicit hierarchy", axis)
+	}
+	tree := ax.Tree
+	return run(ds, s, cfg, r, func(guide []varopt.StreamItem, tau float64) (locator, error) {
+		loc := &ancestorLocator{ds: ds, axis: axis, tree: tree, cellOf: map[int32]int{}}
+		// Select every ancestor of every guide key's leaf.
+		selected := map[int32]bool{}
+		for _, it := range guide {
+			leaf := tree.LeafAt(ds.Coords[axis][it.Index])
+			for v := leaf; v != -1; v = tree.Parent(v) {
+				if selected[v] {
+					break
+				}
+				selected[v] = true
+			}
+		}
+		if !selected[tree.Root()] {
+			selected[tree.Root()] = true
+		}
+		// Number the cells; remember each cell's selected parent cell for
+		// the final carry-up.
+		nodes := make([]int32, 0, len(selected))
+		for v := range selected {
+			nodes = append(nodes, v)
+		}
+		sort.Slice(nodes, func(a, b int) bool { return tree.Depth(nodes[a]) > tree.Depth(nodes[b]) })
+		for _, v := range nodes {
+			loc.cellOf[v] = len(loc.nodes)
+			loc.nodes = append(loc.nodes, v)
+		}
+		loc.parentCell = make([]int, len(loc.nodes))
+		for i, v := range loc.nodes {
+			loc.parentCell[i] = -1
+			for p := tree.Parent(v); p != -1; p = tree.Parent(p) {
+				if c, ok := loc.cellOf[p]; ok {
+					loc.parentCell[i] = c
+					break
+				}
+			}
+		}
+		return loc, nil
+	})
+}
+
+// ancestorLocator routes a key to the lowest selected ancestor of its leaf.
+type ancestorLocator struct {
+	ds         *structure.Dataset
+	axis       int
+	tree       *hierarchy.Tree
+	cellOf     map[int32]int
+	nodes      []int32 // cell id -> tree node, deepest first
+	parentCell []int   // cell id -> enclosing cell id (-1 for the root cell)
+}
+
+func (l *ancestorLocator) locate(ds *structure.Dataset, i int) int {
+	leaf := l.tree.LeafAt(ds.Coords[l.axis][i])
+	for v := leaf; v != -1; v = l.tree.Parent(v) {
+		if c, ok := l.cellOf[v]; ok {
+			return c
+		}
+	}
+	return l.cellOf[l.tree.Root()]
+}
+
+func (l *ancestorLocator) numCells() int { return len(l.nodes) }
+
+// finalize aggregates active keys bottom-up along the selected-ancestor
+// tree: each cell's active meets its enclosing cell's active, so probability
+// mass only ever moves to the nearest enclosing hierarchy range.
+func (l *ancestorLocator) finalize(st *state, r xmath.Rand) int {
+	// Cells are ordered deepest-first already.
+	carry := make([]int, len(l.nodes))
+	for i := range carry {
+		carry[i] = st.activeIdx[i]
+	}
+	last := -1
+	for c := 0; c < len(l.nodes); c++ {
+		if carry[c] < 0 {
+			continue
+		}
+		p := l.parentCell[c]
+		if p < 0 {
+			last = st.aggregatePair(last, carry[c], r)
+			continue
+		}
+		if carry[p] < 0 {
+			carry[p] = carry[c]
+			continue
+		}
+		carry[p] = st.aggregatePair(carry[p], carry[c], r)
+	}
+	return last
+}
+
+// Disjoint builds a two-pass structure-aware sample for a disjoint-range
+// structure: `ranges` partitions the axis into intervals (sorted, disjoint),
+// and every range's sampled count lands within 1 of expectation w.h.p.
+// Cells are the ranges hit by the guide sample; runs of unhit ranges merge
+// into single cells, exactly as §5 prescribes ("a cell for each union of
+// ranges which lies between two consecutive ranges represented in the
+// sample").
+func Disjoint(ds *structure.Dataset, axis, s int, ranges []structure.Interval, cfg Config, r xmath.Rand) (*Result, error) {
+	if axis < 0 || axis >= ds.Dims() {
+		return nil, fmt.Errorf("twopass: axis %d out of range", axis)
+	}
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].Lo <= ranges[i-1].Hi {
+			return nil, fmt.Errorf("twopass: ranges must be sorted and disjoint")
+		}
+	}
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("twopass: no ranges")
+	}
+	return run(ds, s, cfg, r, func(guide []varopt.StreamItem, tau float64) (locator, error) {
+		hit := make([]bool, len(ranges))
+		for _, it := range guide {
+			if ri, ok := findRange(ranges, ds.Coords[axis][it.Index]); ok {
+				hit[ri] = true
+			}
+		}
+		// Cell numbering: each hit range its own cell; maximal runs of
+		// unhit ranges share one.
+		cellOfRange := make([]int, len(ranges))
+		cells := 0
+		inRun := false
+		for i := range ranges {
+			if hit[i] {
+				cellOfRange[i] = cells
+				cells++
+				inRun = false
+			} else {
+				if !inRun {
+					cells++
+					inRun = true
+				}
+				cellOfRange[i] = cells - 1
+			}
+		}
+		return &disjointLocator{axis: axis, ranges: ranges, cellOfRange: cellOfRange, cells: cells}, nil
+	})
+}
+
+type disjointLocator struct {
+	axis        int
+	ranges      []structure.Interval
+	cellOfRange []int
+	cells       int
+}
+
+func findRange(ranges []structure.Interval, x uint64) (int, bool) {
+	i := sort.Search(len(ranges), func(k int) bool { return ranges[k].Hi >= x })
+	if i < len(ranges) && ranges[i].Contains(x) {
+		return i, true
+	}
+	return 0, false
+}
+
+func (l *disjointLocator) locate(ds *structure.Dataset, i int) int {
+	ri, ok := findRange(l.ranges, ds.Coords[l.axis][i])
+	if !ok {
+		// Keys outside every range share the first cell (they belong to no
+		// queryable range, so their placement cannot hurt discrepancy).
+		return 0
+	}
+	return l.cellOfRange[ri]
+}
+
+func (l *disjointLocator) numCells() int { return l.cells }
+
+// finalize aggregates the leftovers arbitrarily (the paper allows any
+// order for disjoint ranges).
+func (l *disjointLocator) finalize(st *state, r xmath.Rand) int {
+	active := -1
+	for cell := 0; cell < len(st.activeIdx); cell++ {
+		active = st.aggregatePair(active, st.activeIdx[cell], r)
+	}
+	return active
+}

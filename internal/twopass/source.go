@@ -1,0 +1,146 @@
+package twopass
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"structaware/internal/structure"
+)
+
+// Source yields weighted keys in a stable order and can be rewound for the
+// second pass. It is the out-of-core face of §5: the data never needs to be
+// resident, only streamable twice.
+type Source interface {
+	// Reset rewinds the source to the first item.
+	Reset() error
+	// Next returns the next item. ok is false at end of stream. The
+	// returned point may be reused by subsequent calls; callers must copy
+	// if they retain it.
+	Next() (pt []uint64, w float64, ok bool, err error)
+}
+
+// SliceSource adapts in-memory parallel slices to a Source (used by tests
+// and as a reference implementation).
+type SliceSource struct {
+	Points  [][]uint64
+	Weights []float64
+	pos     int
+}
+
+// Reset implements Source.
+func (s *SliceSource) Reset() error { s.pos = 0; return nil }
+
+// Next implements Source.
+func (s *SliceSource) Next() ([]uint64, float64, bool, error) {
+	if s.pos >= len(s.Weights) {
+		return nil, 0, false, nil
+	}
+	i := s.pos
+	s.pos++
+	return s.Points[i], s.Weights[i], true, nil
+}
+
+// CSVSource streams "c0,c1,...,weight" rows from a file; lines starting
+// with '#' are skipped. Each Reset reopens the file, so a full two-pass
+// construction performs exactly two sequential reads.
+type CSVSource struct {
+	Path string
+	Dims int
+
+	f    *os.File
+	sc   *bufio.Scanner
+	line int
+	buf  []uint64
+}
+
+// NewCSVSource opens a CSV source with the given number of key dimensions.
+func NewCSVSource(path string, dims int) (*CSVSource, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("twopass: dims must be positive")
+	}
+	src := &CSVSource{Path: path, Dims: dims, buf: make([]uint64, dims)}
+	if err := src.Reset(); err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
+// Reset implements Source.
+func (c *CSVSource) Reset() error {
+	if c.f != nil {
+		c.f.Close()
+	}
+	f, err := os.Open(c.Path)
+	if err != nil {
+		return err
+	}
+	c.f = f
+	c.sc = bufio.NewScanner(f)
+	c.sc.Buffer(make([]byte, 1<<20), 1<<20)
+	c.line = 0
+	return nil
+}
+
+// Close releases the underlying file.
+func (c *CSVSource) Close() error {
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}
+
+// Next implements Source.
+func (c *CSVSource) Next() ([]uint64, float64, bool, error) {
+	for c.sc.Scan() {
+		c.line++
+		text := strings.TrimSpace(c.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != c.Dims+1 {
+			return nil, 0, false, fmt.Errorf("%s:%d: want %d fields, got %d", c.Path, c.line, c.Dims+1, len(parts))
+		}
+		for d := 0; d < c.Dims; d++ {
+			v, err := strconv.ParseUint(strings.TrimSpace(parts[d]), 10, 64)
+			if err != nil {
+				return nil, 0, false, fmt.Errorf("%s:%d: %v", c.Path, c.line, err)
+			}
+			c.buf[d] = v
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(parts[c.Dims]), 64)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("%s:%d: %v", c.Path, c.line, err)
+		}
+		return c.buf, w, true, nil
+	}
+	return nil, 0, false, c.sc.Err()
+}
+
+// DatasetSource adapts a columnar Dataset to a Source without copying.
+type DatasetSource struct {
+	DS  *structure.Dataset
+	pos int
+	buf []uint64
+}
+
+// Reset implements Source.
+func (d *DatasetSource) Reset() error { d.pos = 0; return nil }
+
+// Next implements Source.
+func (d *DatasetSource) Next() ([]uint64, float64, bool, error) {
+	if d.pos >= d.DS.Len() {
+		return nil, 0, false, nil
+	}
+	if d.buf == nil {
+		d.buf = make([]uint64, d.DS.Dims())
+	}
+	i := d.pos
+	d.pos++
+	return d.DS.Point(i, d.buf), d.DS.Weights[i], true, nil
+}

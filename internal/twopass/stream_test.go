@@ -1,0 +1,233 @@
+package twopass
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+func sliceSourceFrom(ds *structure.Dataset) *SliceSource {
+	pts := make([][]uint64, ds.Len())
+	for i := range pts {
+		pts[i] = ds.Point(i, nil)
+	}
+	return &SliceSource{Points: pts, Weights: ds.Weights}
+}
+
+func TestProductStreamMatchesDatasetVariant(t *testing.T) {
+	r := xmath.NewRand(1)
+	ds := random2D(t, r, 3000, 16)
+	s := 120
+	res, err := ProductStream(sliceSourceFrom(ds), ds.Axes, s, Config{}, xmath.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Size() - s; d < -1 || d > 1 {
+		t.Fatalf("size %d want %d±1", res.Size(), s)
+	}
+	// τ must agree with the in-memory variant.
+	mem, err := Product(ds, s, Config{}, xmath.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmath.AlmostEqual(res.Tau, mem.Tau, 1e-9) {
+		t.Fatalf("stream τ=%v memory τ=%v", res.Tau, mem.Tau)
+	}
+	// Every sampled item must carry its true original weight.
+	index := map[[2]uint64]float64{}
+	for i := 0; i < ds.Len(); i++ {
+		index[[2]uint64{ds.Coords[0][i], ds.Coords[1][i]}] = ds.Weights[i]
+	}
+	for _, it := range res.Items {
+		want, ok := index[[2]uint64{it.Point[0], it.Point[1]}]
+		if !ok {
+			t.Fatalf("sampled unknown key %v", it.Point)
+		}
+		if !xmath.AlmostEqual(it.Weight, want, 1e-9) {
+			t.Fatalf("weight %v want %v", it.Weight, want)
+		}
+		if res.AdjustedWeight(it) < it.Weight-1e-9 {
+			t.Fatal("adjusted weight below original")
+		}
+	}
+}
+
+func TestProductStreamUnbiasedTotal(t *testing.T) {
+	r := xmath.NewRand(2)
+	ds := random2D(t, r, 900, 14)
+	total := ds.TotalWeight()
+	const trials = 200
+	var acc float64
+	for k := 0; k < trials; k++ {
+		res, err := ProductStream(sliceSourceFrom(ds), ds.Axes, 60, Config{}, xmath.NewRand(uint64(k+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range res.Items {
+			acc += res.AdjustedWeight(it)
+		}
+	}
+	mean := acc / trials
+	if math.Abs(mean-total) > 0.06*total {
+		t.Fatalf("estimated total %v want %v", mean, total)
+	}
+}
+
+func TestProductStreamSmallPopulation(t *testing.T) {
+	src := &SliceSource{
+		Points:  [][]uint64{{1, 2}, {3, 4}, {5, 6}},
+		Weights: []float64{1, 2, 3},
+	}
+	axes := []structure.Axis{structure.OrderedAxis(8), structure.OrderedAxis(8)}
+	res, err := ProductStream(src, axes, 10, Config{}, xmath.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 3 || res.Tau != 0 {
+		t.Fatalf("small population must be exact: %d items τ=%v", res.Size(), res.Tau)
+	}
+}
+
+func TestProductStreamErrors(t *testing.T) {
+	src := &SliceSource{}
+	axes := []structure.Axis{structure.OrderedAxis(8)}
+	if _, err := ProductStream(src, axes, 0, Config{}, xmath.NewRand(1)); err == nil {
+		t.Fatal("s=0 must error")
+	}
+	if _, err := ProductStream(src, nil, 5, Config{}, xmath.NewRand(1)); err == nil {
+		t.Fatal("no axes must error")
+	}
+	if _, err := ProductStream(src, axes, 5, Config{}, xmath.NewRand(1)); err == nil {
+		t.Fatal("empty stream must error")
+	}
+}
+
+func TestCSVSourceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	content := "# header comment\n1,2,3.5\n\n4,5,6\n7,8,0.25\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewCSVSource(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	read := func() ([][]uint64, []float64) {
+		var pts [][]uint64
+		var ws []float64
+		for {
+			pt, w, ok, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			pts = append(pts, append([]uint64(nil), pt...))
+			ws = append(ws, w)
+		}
+		return pts, ws
+	}
+	pts, ws := read()
+	if len(pts) != 3 || ws[0] != 3.5 || pts[2][0] != 7 {
+		t.Fatalf("parsed %v %v", pts, ws)
+	}
+	// Reset re-reads identically (the two-pass contract).
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	pts2, ws2 := read()
+	if len(pts2) != 3 || ws2[2] != ws[2] {
+		t.Fatal("Reset must re-read the same rows")
+	}
+}
+
+func TestCSVSourceErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(path, []byte("1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewCSVSource(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, _, _, err := src.Next(); err == nil {
+		t.Fatal("wrong field count must error")
+	}
+	if _, err := NewCSVSource(filepath.Join(dir, "missing.csv"), 2); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := NewCSVSource(path, 0); err == nil {
+		t.Fatal("dims=0 must error")
+	}
+}
+
+func TestCSVSourceTwoPassEndToEnd(t *testing.T) {
+	// Full out-of-core flow: generate CSV, sample via two sequential reads.
+	r := xmath.NewRand(4)
+	ds := random2D(t, r, 1500, 14)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flows.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if _, err := fmt.Fprintf(f, "%d,%d,%g\n", ds.Coords[0][i], ds.Coords[1][i], ds.Weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewCSVSource(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	res, err := ProductStream(src, ds.Axes, 80, Config{}, xmath.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Size() - 80; d < -1 || d > 1 {
+		t.Fatalf("size %d want 80±1", res.Size())
+	}
+}
+
+func TestDatasetSource(t *testing.T) {
+	r := xmath.NewRand(5)
+	ds := random2D(t, r, 200, 10)
+	src := &DatasetSource{DS: ds}
+	count := 0
+	for {
+		pt, w, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if len(pt) != 2 || w <= 0 {
+			t.Fatal("bad item")
+		}
+		count++
+	}
+	if count != ds.Len() {
+		t.Fatalf("read %d want %d", count, ds.Len())
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := src.Next(); !ok {
+		t.Fatal("reset must rewind")
+	}
+}

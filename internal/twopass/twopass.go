@@ -1,0 +1,369 @@
+// Package twopass implements the I/O-efficient structure-aware sampling of
+// §5 of Cohen, Cormode, Duffield (VLDB 2011): two read-only sequential
+// passes over the data, with working memory O(s′) independent of the input
+// size.
+//
+// Pass 1 simultaneously draws a structure-oblivious stream VarOpt sample S′
+// of size s′ = oversample·s (internal/varopt) and computes the IPPS
+// threshold τ_s (internal/ipps, Algorithm 4). S′ acts as an ε-net of the
+// range space: with s′ = Ω(s log s), every range of probability mass ≥ 1 is
+// hit with high probability, so the partition derived from S′ has cells of
+// mass ≤ 1 w.h.p.
+//
+// The partition is structure dependent:
+//   - Product structures: a kd-hierarchy (internal/kd) built over the
+//     small-weight keys of S′; cells are its leaves.
+//   - Order structures: S′'s small keys sorted by coordinate; cells are the
+//     gaps between consecutive sampled keys.
+//
+// Pass 2 runs IO-AGGREGATE (the paper's Algorithm 3): each key with p < 1 is
+// pair-aggregated against its cell's single active key; keys reaching p = 1
+// enter the sample. After the pass, the surviving active keys are aggregated
+// following the partition's own structure (kd hierarchy carry-up, or a
+// left-to-right scan for order), so the final movement of probability mass
+// stays local.
+package twopass
+
+import (
+	"fmt"
+	"sort"
+
+	"structaware/internal/ipps"
+	"structaware/internal/kd"
+	"structaware/internal/paggr"
+	"structaware/internal/structure"
+	"structaware/internal/varopt"
+	"structaware/internal/xmath"
+)
+
+// Config tunes the construction.
+type Config struct {
+	// Oversample sets s′ = Oversample·s for the pass-1 guide sample. The
+	// paper's experiments use 5 (increasing it did not significantly improve
+	// accuracy); 0 means 5.
+	Oversample int
+}
+
+func (c Config) oversample() int {
+	if c.Oversample <= 0 {
+		return 5
+	}
+	return c.Oversample
+}
+
+// Result is the constructed sample.
+type Result struct {
+	// Indices of sampled items in dataset order.
+	Indices []int
+	// Tau is the IPPS threshold; adjusted weight of a sampled item is
+	// max(w, Tau).
+	Tau float64
+	// GuideSize is |S′| and Cells the number of partition cells
+	// (diagnostics for tests and experiments).
+	GuideSize int
+	Cells     int
+}
+
+// AdjustedWeight returns the HT adjusted weight for a sampled item's
+// original weight.
+func (res *Result) AdjustedWeight(w float64) float64 {
+	return ipps.AdjustedWeight(w, res.Tau)
+}
+
+// Size returns the number of sampled items.
+func (res *Result) Size() int { return len(res.Indices) }
+
+// locator routes an item to a partition cell.
+type locator interface {
+	locate(ds *structure.Dataset, i int) int
+	numCells() int
+	// finalize aggregates the remaining active keys with structure-aware
+	// pair selection, returning the index of at most one unsettled item.
+	finalize(st *state, r xmath.Rand) int
+}
+
+// state is the pass-2 working memory: one active key per cell.
+type state struct {
+	activeIdx []int // item index per cell, -1 when empty
+	activeP   []float64
+	sample    []int
+	cellIndex map[int]int // lazily-built reverse map for finalize
+}
+
+func newState(cells int) *state {
+	st := &state{activeIdx: make([]int, cells), activeP: make([]float64, cells)}
+	for i := range st.activeIdx {
+		st.activeIdx[i] = -1
+	}
+	return st
+}
+
+// ioAggregate processes one small-probability key (Algorithm 3).
+func (st *state) ioAggregate(i int, pi float64, cell int, r xmath.Rand) {
+	if st.activeIdx[cell] < 0 {
+		st.activeIdx[cell] = i
+		st.activeP[cell] = pi
+		return
+	}
+	a, pa := st.activeIdx[cell], st.activeP[cell]
+	pi2, pa2 := paggr.PairValues(pi, pa, r)
+	st.activeIdx[cell] = -1
+	if pa2 >= 1 {
+		st.sample = append(st.sample, a)
+	} else if pa2 > 0 {
+		st.activeIdx[cell] = a
+		st.activeP[cell] = pa2
+	}
+	if pi2 >= 1 {
+		st.sample = append(st.sample, i)
+	} else if pi2 > 0 {
+		st.activeIdx[cell] = i
+		st.activeP[cell] = pi2
+	}
+}
+
+// run executes both passes for a prepared locator.
+func run(ds *structure.Dataset, s int, cfg Config, r xmath.Rand, mkLocator func(guide []varopt.StreamItem, tau float64) (locator, error)) (*Result, error) {
+	if s <= 0 {
+		return nil, ipps.ErrBadSize
+	}
+	sPrime := cfg.oversample() * s
+
+	// ---- Pass 1: guide sample S′ + streaming τ_s, one sequential scan.
+	stream, err := varopt.NewStream(sPrime, r)
+	if err != nil {
+		return nil, err
+	}
+	thr, err := ipps.NewStreamThreshold(s)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ds.Weights {
+		if err := stream.Process(i, w); err != nil {
+			return nil, err
+		}
+		if err := thr.Process(w); err != nil {
+			return nil, err
+		}
+	}
+	tau := thr.Tau()
+	_, guideItems := stream.Result()
+
+	if tau <= 0 {
+		// Fewer than s positive keys: the sample is exact.
+		res := &Result{Tau: 0, GuideSize: len(guideItems)}
+		for i, w := range ds.Weights {
+			if w > 0 {
+				res.Indices = append(res.Indices, i)
+			}
+		}
+		if len(res.Indices) == 0 {
+			return nil, varopt.ErrEmpty
+		}
+		return res, nil
+	}
+
+	// Keys with w >= τ_s are sampled with certainty; only the small keys of
+	// S′ guide the partition.
+	small := guideItems[:0]
+	for _, it := range guideItems {
+		if it.Weight < tau {
+			small = append(small, it)
+		}
+	}
+	loc, err := mkLocator(small, tau)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Pass 2: IO-AGGREGATE over a second sequential scan.
+	st := newState(loc.numCells())
+	for i, w := range ds.Weights {
+		if w <= 0 {
+			continue
+		}
+		if w >= tau {
+			st.sample = append(st.sample, i)
+			continue
+		}
+		st.ioAggregate(i, w/tau, loc.locate(ds, i), r)
+	}
+
+	// ---- Final aggregation of active keys, structure aware.
+	left := loc.finalize(st, r)
+	if left >= 0 {
+		// Non-integral residual mass (floating point): resolve unbiasedly.
+		cell := -1
+		for c, idx := range st.activeIdx {
+			if idx == left {
+				cell = c
+				break
+			}
+		}
+		if cell >= 0 && r.Float64() < st.activeP[cell] {
+			st.sample = append(st.sample, left)
+		}
+	}
+	sort.Ints(st.sample)
+	if len(st.sample) == 0 {
+		return nil, varopt.ErrEmpty
+	}
+	return &Result{Indices: st.sample, Tau: tau, GuideSize: len(guideItems), Cells: loc.numCells()}, nil
+}
+
+// ---- Product structures: kd partition -------------------------------------
+
+type kdLocator struct {
+	tree *kd.Tree
+}
+
+func (l *kdLocator) locate(ds *structure.Dataset, i int) int { return l.tree.LocateItem(ds, i) }
+func (l *kdLocator) numCells() int                           { return l.tree.NumLeaves() }
+
+func (l *kdLocator) finalize(st *state, r xmath.Rand) int {
+	var walk func(n *kd.Node) int
+	walk = func(n *kd.Node) int {
+		if n.IsLeaf() {
+			return st.activeIdx[n.LeafID]
+		}
+		a, b := walk(n.Left), walk(n.Right)
+		return st.aggregatePair(a, b, r)
+	}
+	return walk(l.tree.Root)
+}
+
+// aggregatePair aggregates two active keys (either may be -1) and returns
+// the surviving unsettled key, if any. Settled keys are routed to the sample
+// or dropped; the survivor's probability is kept in the cell slot it already
+// occupies.
+func (st *state) aggregatePair(a, b int, r xmath.Rand) int {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	ca, cb := st.cellOf(a), st.cellOf(b)
+	pa2, pb2 := paggr.PairValues(st.activeP[ca], st.activeP[cb], r)
+	st.activeP[ca], st.activeP[cb] = pa2, pb2
+	survivor := -1
+	if pa2 >= 1 {
+		st.sample = append(st.sample, a)
+		st.activeIdx[ca] = -1
+	} else if pa2 <= 0 {
+		st.activeIdx[ca] = -1
+	} else {
+		survivor = a
+	}
+	if pb2 >= 1 {
+		st.sample = append(st.sample, b)
+		st.activeIdx[cb] = -1
+	} else if pb2 <= 0 {
+		st.activeIdx[cb] = -1
+	} else {
+		survivor = b
+	}
+	return survivor
+}
+
+// cellOf finds the cell currently holding active item i. Linear scan would
+// be O(cells) per call; the finalize phase calls it O(cells) times, so keep
+// a lazily-built reverse map.
+func (st *state) cellOf(i int) int {
+	if st.cellIndex == nil {
+		st.cellIndex = make(map[int]int, len(st.activeIdx))
+		for c, idx := range st.activeIdx {
+			if idx >= 0 {
+				st.cellIndex[idx] = c
+			}
+		}
+	}
+	c, ok := st.cellIndex[i]
+	if !ok || st.activeIdx[c] != i {
+		// Rebuild: the map can go stale as actives settle.
+		st.cellIndex = nil
+		return st.cellOf(i)
+	}
+	return c
+}
+
+// Product builds a structure-aware VarOpt sample of size s over a
+// multi-dimensional dataset using the two-pass kd-partition construction.
+func Product(ds *structure.Dataset, s int, cfg Config, r xmath.Rand) (*Result, error) {
+	return run(ds, s, cfg, r, func(guide []varopt.StreamItem, tau float64) (locator, error) {
+		if len(guide) == 0 {
+			return &singleCell{}, nil
+		}
+		items := make([]int, len(guide))
+		p := make([]float64, ds.Len())
+		for k, it := range guide {
+			items[k] = it.Index
+			p[it.Index] = it.Weight / tau
+		}
+		tree, err := kd.Build(ds, items, p, kd.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return &kdLocator{tree: tree}, nil
+	})
+}
+
+// ---- Order structures: interval partition ----------------------------------
+
+type orderLocator struct {
+	axis int
+	// boundaries[k] is the coordinate of the k-th sorted guide key; cell k
+	// covers coordinates in (boundaries[k-1], boundaries[k]], cell 0 covers
+	// everything up to boundaries[0], and cell len(boundaries) the tail.
+	boundaries []uint64
+}
+
+func (l *orderLocator) locate(ds *structure.Dataset, i int) int {
+	x := ds.Coords[l.axis][i]
+	return sort.Search(len(l.boundaries), func(k int) bool { return l.boundaries[k] >= x })
+}
+
+func (l *orderLocator) numCells() int { return len(l.boundaries) + 1 }
+
+func (l *orderLocator) finalize(st *state, r xmath.Rand) int {
+	active := -1
+	for cell := 0; cell < len(st.activeIdx); cell++ {
+		b := st.activeIdx[cell]
+		active = st.aggregatePair(active, b, r)
+	}
+	return active
+}
+
+// Order builds a structure-aware VarOpt sample of size s over a
+// one-dimensional ordered dataset (or a linearized hierarchy) with the
+// two-pass interval-partition construction. axis selects the dimension.
+func Order(ds *structure.Dataset, axis, s int, cfg Config, r xmath.Rand) (*Result, error) {
+	if axis < 0 || axis >= ds.Dims() {
+		return nil, fmt.Errorf("twopass: axis %d out of range", axis)
+	}
+	return run(ds, s, cfg, r, func(guide []varopt.StreamItem, tau float64) (locator, error) {
+		bounds := make([]uint64, 0, len(guide))
+		for _, it := range guide {
+			bounds = append(bounds, ds.Coords[axis][it.Index])
+		}
+		sort.Slice(bounds, func(a, b int) bool { return bounds[a] < bounds[b] })
+		// Deduplicate boundaries.
+		uniq := bounds[:0]
+		for k, v := range bounds {
+			if k == 0 || v != bounds[k-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		return &orderLocator{axis: axis, boundaries: uniq}, nil
+	})
+}
+
+// singleCell is the degenerate fallback partition (structure oblivious):
+// used only when the guide sample contains no small keys.
+type singleCell struct{}
+
+func (*singleCell) locate(*structure.Dataset, int) int { return 0 }
+func (*singleCell) numCells() int                      { return 1 }
+func (*singleCell) finalize(st *state, r xmath.Rand) int {
+	return st.activeIdx[0]
+}

@@ -1,0 +1,274 @@
+// Package varopt implements structure-oblivious IPPS sampling schemes:
+// Poisson IPPS sampling, batch VarOpt sampling via randomly-ordered pair
+// aggregation, and the classic one-pass stream VarOpt reservoir of Cohen,
+// Duffield, Kaplan, Lund, Thorup (SODA 2009).
+//
+// These serve three roles in the reproduction:
+//
+//   - the "obliv" baseline of the paper's experiments (§6),
+//   - pass 1 of the I/O-efficient two-pass construction (§5), and
+//   - the reference distribution against which the structure-aware schemes'
+//     VarOpt properties (fixed size s, unbiased HT estimates, variance no
+//     worse than Poisson) are tested.
+package varopt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"structaware/internal/ipps"
+	"structaware/internal/paggr"
+	"structaware/internal/xmath"
+)
+
+// ErrEmpty is returned when sampling from an empty (or all-zero) population.
+var ErrEmpty = errors.New("varopt: no items with positive weight")
+
+// Sample is a weighted random sample with IPPS/HT semantics: item i, if
+// included, has Horvitz–Thompson adjusted weight max(w_i, Tau). Tau == 0
+// means the population was not larger than the sample size, so the "sample"
+// is exact.
+type Sample struct {
+	// Indices of the sampled items in the caller's item order, ascending.
+	Indices []int
+	// Tau is the IPPS threshold the sample was drawn with.
+	Tau float64
+}
+
+// AdjustedWeight returns the HT adjusted weight for a sampled item with
+// original weight w.
+func (s *Sample) AdjustedWeight(w float64) float64 {
+	return ipps.AdjustedWeight(w, s.Tau)
+}
+
+// Size returns the number of sampled items.
+func (s *Sample) Size() int { return len(s.Indices) }
+
+// Poisson draws a Poisson IPPS sample with expected size s: each item is
+// included independently with probability min(1, w_i/τ_s). The realized size
+// is random (concentrated around s).
+func Poisson(weights []float64, s int, r xmath.Rand) (*Sample, error) {
+	tau, err := ipps.Threshold(weights, s)
+	if err != nil {
+		return nil, err
+	}
+	p := ipps.Probabilities(weights, tau)
+	out := &Sample{Tau: tau}
+	for i, pi := range p {
+		if pi >= 1 || (pi > 0 && r.Float64() < pi) {
+			out.Indices = append(out.Indices, i)
+		}
+	}
+	if len(out.Indices) == 0 && len(weights) > 0 {
+		// Possible but astronomically unlikely for reasonable s; retry once
+		// deterministically by including the heaviest item so callers always
+		// get a usable summary.
+		best := 0
+		for i, w := range weights {
+			if w > weights[best] {
+				best = i
+			}
+		}
+		if weights[best] > 0 {
+			out.Indices = append(out.Indices, best)
+		} else {
+			return nil, ErrEmpty
+		}
+	}
+	return out, nil
+}
+
+// Batch draws a VarOpt sample of size exactly s (or the number of positive
+// items, if smaller) by pair-aggregating the IPPS probability vector in
+// uniformly random order. Random pair order makes the scheme structure
+// oblivious; it is the "obliv" baseline of the paper's experiments.
+func Batch(weights []float64, s int, r xmath.Rand) (*Sample, error) {
+	tau, err := ipps.Threshold(weights, s)
+	if err != nil {
+		return nil, err
+	}
+	p := ipps.Probabilities(weights, tau)
+	ipps.NormalizeToInteger(p, 1e-6)
+	order := xmath.Perm(r, len(p))
+	left := paggr.AggregateSequence(p, order, r)
+	paggr.ResolveLeftover(p, left, r)
+	out := &Sample{Indices: paggr.SampleIndices(p), Tau: tau}
+	if len(out.Indices) == 0 {
+		return nil, ErrEmpty
+	}
+	return out, nil
+}
+
+// StreamItem is an item held by the stream reservoir.
+type StreamItem struct {
+	// Index is the caller-assigned identifier (typically the position in the
+	// input stream or dataset).
+	Index int
+	// Weight is the item's original weight.
+	Weight float64
+}
+
+// Stream is the one-pass VarOpt_k reservoir. Feed items with Process; at any
+// point the reservoir holds min(k, #items) items forming a VarOpt sample of
+// the prefix. Amortized cost per item is O(log k).
+//
+// Internally the reservoir splits into "heavy" items (weight above the
+// current threshold τ, kept with exact weights in a min-heap) and "light"
+// items (HT adjusted weight exactly τ, mutually exchangeable). On each
+// arrival past capacity the threshold rises to τ' solving
+// Σ min(1, w/τ') = k over the k+1 candidates, and exactly one candidate is
+// dropped with probability 1 - min(1, w/τ').
+type Stream struct {
+	k     int
+	r     xmath.Rand
+	heavy itemHeap
+	light []StreamItem // adjusted weight τ each; original weights retained
+	tau   float64
+	seen  int
+}
+
+// NewStream creates a stream VarOpt reservoir with capacity k.
+func NewStream(k int, r xmath.Rand) (*Stream, error) {
+	if k <= 0 {
+		return nil, ipps.ErrBadSize
+	}
+	return &Stream{k: k, r: r}, nil
+}
+
+// Seen returns the number of positive-weight items processed so far.
+func (st *Stream) Seen() int { return st.seen }
+
+// Tau returns the current threshold (0 until the reservoir overflows).
+func (st *Stream) Tau() float64 { return st.tau }
+
+// Process consumes one item. Zero-weight items are ignored; negative or
+// non-finite weights are rejected.
+func (st *Stream) Process(index int, w float64) error {
+	if err := ipps.ValidateWeights([]float64{w}); err != nil {
+		return err
+	}
+	if w == 0 {
+		return nil
+	}
+	st.seen++
+	st.heavy.push(StreamItem{Index: index, Weight: w})
+	if len(st.heavy)+len(st.light) <= st.k {
+		return nil
+	}
+
+	// Raise the threshold: demote heap minima into the small-candidate pool
+	// until the heap minimum exceeds τ' = L/(t-1).
+	t := len(st.light)
+	L := float64(t) * st.tau
+	var demoted []StreamItem
+	for len(st.heavy) > 0 {
+		top := st.heavy[0]
+		if t >= 2 && top.Weight > L/float64(t-1) {
+			break
+		}
+		st.heavy.pop()
+		demoted = append(demoted, top)
+		L += top.Weight
+		t++
+	}
+	if t < 2 {
+		return fmt.Errorf("varopt: internal error, %d small candidates", t)
+	}
+	tauNew := L / float64(t-1)
+
+	// Drop exactly one candidate: explicit candidates (the demoted items)
+	// with probability 1 - w/τ', otherwise a uniformly random old light item
+	// (old light items all carry adjusted weight τ, hence equal drop odds).
+	u := st.r.Float64()
+	dropped := -1
+	for di, it := range demoted {
+		dp := 1 - it.Weight/tauNew
+		if dp < 0 {
+			dp = 0
+		}
+		if u < dp {
+			dropped = di
+			break
+		}
+		u -= dp
+	}
+	if dropped >= 0 {
+		demoted = append(demoted[:dropped], demoted[dropped+1:]...)
+	} else if len(st.light) > 0 {
+		j := int(st.r.Uint64() % uint64(len(st.light)))
+		st.light[j] = st.light[len(st.light)-1]
+		st.light = st.light[:len(st.light)-1]
+	} else {
+		// Numerically the drop probabilities sum to 1; if rounding left us
+		// here, drop the last demoted item (probability O(eps) event).
+		demoted = demoted[:len(demoted)-1]
+	}
+	st.light = append(st.light, demoted...)
+	st.tau = tauNew
+	if len(st.heavy)+len(st.light) != st.k {
+		return fmt.Errorf("varopt: reservoir size %d want %d", len(st.heavy)+len(st.light), st.k)
+	}
+	return nil
+}
+
+// Result returns the reservoir contents as a Sample plus the items' original
+// weights (parallel to Sample.Indices). The sample is a VarOpt_k sample of
+// everything processed so far.
+func (st *Stream) Result() (*Sample, []StreamItem) {
+	items := make([]StreamItem, 0, len(st.heavy)+len(st.light))
+	items = append(items, st.heavy...)
+	items = append(items, st.light...)
+	sortByIndex(items)
+	out := &Sample{Tau: st.tau, Indices: make([]int, len(items))}
+	for i, it := range items {
+		out.Indices[i] = it.Index
+	}
+	return out, items
+}
+
+// itemHeap is a min-heap of StreamItems ordered by weight.
+type itemHeap []StreamItem
+
+func (h *itemHeap) push(it StreamItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].Weight <= (*h)[i].Weight {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *itemHeap) pop() StreamItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h)[l].Weight < (*h)[small].Weight {
+			small = l
+		}
+		if r < n && (*h)[r].Weight < (*h)[small].Weight {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// sortByIndex sorts items ascending by Index.
+func sortByIndex(items []StreamItem) {
+	sort.Slice(items, func(i, j int) bool { return items[i].Index < items[j].Index })
+}

@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"testing"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+func TestExactAnswersParallelMatchesSerial(t *testing.T) {
+	ds, err := Network(NetworkConfig{Pairs: 3000, Bits: 14, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xmath.NewRand(22)
+	queries := Battery(40, func() structure.Query { return UniformAreaQuery(ds, 8, 0.3, r) })
+	parallel := ExactAnswers(ds, queries)
+	for i, q := range queries {
+		if serial := ds.QuerySum(q); serial != parallel[i] {
+			t.Fatalf("query %d: parallel %v serial %v", i, parallel[i], serial)
+		}
+	}
+}
+
+func TestExactAnswersSingleQuery(t *testing.T) {
+	ds, err := Network(NetworkConfig{Pairs: 500, Bits: 12, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xmath.NewRand(24)
+	queries := Battery(1, func() structure.Query { return UniformAreaQuery(ds, 3, 0.5, r) })
+	out := ExactAnswers(ds, queries)
+	if len(out) != 1 || out[0] != ds.QuerySum(queries[0]) {
+		t.Fatal("single-query path broken")
+	}
+	if got := ExactAnswers(ds, nil); len(got) != 0 {
+		t.Fatal("empty battery must be empty")
+	}
+}

@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+func TestNetworkSmallScale(t *testing.T) {
+	ds, err := Network(NetworkConfig{Pairs: 5000, Bits: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() < 3000 || ds.Len() > 5000 {
+		t.Fatalf("distinct pairs %d implausible for 5000 records", ds.Len())
+	}
+	if ds.Dims() != 2 {
+		t.Fatal("network must be 2-D")
+	}
+	for d := 0; d < 2; d++ {
+		if ds.Axes[d].Kind != structure.BitTrie || ds.Axes[d].Bits != 16 {
+			t.Fatal("axes must be 16-bit tries")
+		}
+	}
+	// Weights are heavy tailed: max far above median.
+	maxW, sum := 0.0, 0.0
+	for _, w := range ds.Weights {
+		sum += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW < 10*sum/float64(ds.Len()) {
+		t.Fatalf("weights not heavy-tailed: max %v mean %v", maxW, sum/float64(ds.Len()))
+	}
+}
+
+func TestNetworkDeterministicAndSeedSensitive(t *testing.T) {
+	a, _ := Network(NetworkConfig{Pairs: 1000, Bits: 12, Seed: 7})
+	b, _ := Network(NetworkConfig{Pairs: 1000, Bits: 12, Seed: 7})
+	c, _ := Network(NetworkConfig{Pairs: 1000, Bits: 12, Seed: 8})
+	if a.Len() != b.Len() || a.TotalWeight() != b.TotalWeight() {
+		t.Fatal("same seed must reproduce dataset")
+	}
+	if a.Len() == c.Len() && a.TotalWeight() == c.TotalWeight() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestNetworkClusteringIsHierarchical(t *testing.T) {
+	// Keys must cluster: the top-256 most popular /8-equivalent prefixes
+	// should hold a large majority of weight (Zipf subnets), unlike a
+	// uniform scatter.
+	ds, err := Network(NetworkConfig{Pairs: 20000, Bits: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPrefix := map[uint64]float64{}
+	for i := 0; i < ds.Len(); i++ {
+		byPrefix[ds.Coords[0][i]>>8] += ds.Weights[i]
+	}
+	if len(byPrefix) >= 250 {
+		// 2^8 = 256 possible prefixes; clustering should leave some empty
+		// or, at minimum, concentrate weight. Check concentration instead.
+		var ws []float64
+		for _, w := range byPrefix {
+			ws = append(ws, w)
+		}
+		top, total := topShare(ws, 25)
+		if top < 0.4*total {
+			t.Fatalf("top-25 prefixes hold %v of %v: no clustering", top, total)
+		}
+	}
+}
+
+func topShare(ws []float64, k int) (top, total float64) {
+	for _, w := range ws {
+		total += w
+	}
+	for i := 0; i < k && len(ws) > 0; i++ {
+		best := 0
+		for j := range ws {
+			if ws[j] > ws[best] {
+				best = j
+			}
+		}
+		top += ws[best]
+		ws[best] = ws[len(ws)-1]
+		ws = ws[:len(ws)-1]
+	}
+	return top, total
+}
+
+func TestTicketsSmallScale(t *testing.T) {
+	ds, err := Tickets(TicketConfig{TroubleLeaves: 200, LocationLeaves: 800, Tickets: 5000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dims() != 2 {
+		t.Fatal("tickets must be 2-D")
+	}
+	if ds.Axes[0].Kind != structure.Explicit || ds.Axes[1].Kind != structure.Explicit {
+		t.Fatal("axes must be explicit hierarchies")
+	}
+	if ds.Axes[0].Tree.NumLeaves() != 200 || ds.Axes[1].Tree.NumLeaves() != 800 {
+		t.Fatalf("leaf counts %d/%d", ds.Axes[0].Tree.NumLeaves(), ds.Axes[1].Tree.NumLeaves())
+	}
+	if !xmath.AlmostEqual(ds.TotalWeight(), 5000, 1e-9) {
+		t.Fatalf("total weight %v want 5000 (unit tickets)", ds.TotalWeight())
+	}
+	if ds.Len() >= 5000 {
+		t.Fatal("expected some duplicate combinations to merge")
+	}
+}
+
+func TestRandomHierarchyExactLeafCount(t *testing.T) {
+	r := xmath.NewRand(4)
+	for _, n := range []int{1, 2, 7, 100, 3333} {
+		tree, err := RandomHierarchy(r, n, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.NumLeaves() != n {
+			t.Fatalf("leaves %d want %d", tree.NumLeaves(), n)
+		}
+	}
+	if _, err := RandomHierarchy(r, 0, 10); err == nil {
+		t.Fatal("0 leaves must error")
+	}
+}
+
+func TestUniformAreaQueryDisjoint(t *testing.T) {
+	r := xmath.NewRand(6)
+	ds, err := Network(NetworkConfig{Pairs: 2000, Bits: 14, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := UniformAreaQuery(ds, 15, 0.2, r)
+		if q.NumRanges() != 15 {
+			t.Fatalf("ranges %d want 15", q.NumRanges())
+		}
+		for a := 0; a < len(q); a++ {
+			for b := a + 1; b < len(q); b++ {
+				if q[a].Overlaps(q[b]) {
+					t.Fatalf("rects %d,%d overlap", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightCellsBalance(t *testing.T) {
+	ds, err := Network(NetworkConfig{Pairs: 8000, Bits: 16, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := NewWeightCells(ds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := 5
+	cells := wc.CellsAt(depth)
+	// Early-terminating branches (heavy singleton keys) persist as one cell
+	// instead of splitting, so the count can fall slightly below 2^depth.
+	if len(cells) < (1<<uint(depth))*3/4 || len(cells) > 1<<uint(depth) {
+		t.Fatalf("cells at depth %d: %d want ≈%d", depth, len(cells), 1<<uint(depth))
+	}
+	// Every level is a partition: cells are disjoint and cover all items.
+	for a := 0; a < len(cells); a++ {
+		for b := a + 1; b < len(cells); b++ {
+			if cells[a].Overlaps(cells[b]) {
+				t.Fatal("cells overlap")
+			}
+		}
+	}
+	covered := 0
+	for i := 0; i < ds.Len(); i++ {
+		for _, c := range cells {
+			if ds.InRange(i, c) {
+				covered++
+				break
+			}
+		}
+	}
+	if covered != ds.Len() {
+		t.Fatalf("cells cover %d of %d items", covered, ds.Len())
+	}
+	total := ds.TotalWeight()
+	expect := total / float64(len(cells))
+	outliers := 0
+	for _, c := range cells {
+		w := ds.RangeSum(c)
+		if w < 0.1*expect || w > 10*expect {
+			outliers++
+		}
+	}
+	// Heavy singleton keys legitimately form over/under-weight cells; the
+	// bulk must still be balanced.
+	if outliers > len(cells)/10 {
+		t.Fatalf("%d of %d cells badly unbalanced", outliers, len(cells))
+	}
+}
+
+func TestWeightCellsQueryAt(t *testing.T) {
+	ds, err := Network(NetworkConfig{Pairs: 4000, Bits: 14, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := NewWeightCells(ds, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xmath.NewRand(13)
+	q, err := wc.QueryAt(6, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumRanges() != 10 {
+		t.Fatalf("ranges %d want 10", q.NumRanges())
+	}
+	// Disjoint cells at the same depth.
+	for a := 0; a < len(q); a++ {
+		for b := a + 1; b < len(q); b++ {
+			if q[a].Overlaps(q[b]) {
+				t.Fatal("same-depth cells must be disjoint")
+			}
+		}
+	}
+	// Query weight ≈ 10/64 of total.
+	w := ds.QuerySum(q)
+	frac := w / ds.TotalWeight()
+	if frac < 0.03 || frac > 0.6 {
+		t.Fatalf("query weight fraction %v implausible for 10/64", frac)
+	}
+	if _, err := wc.QueryAt(1, 10, r); err == nil {
+		t.Fatal("too few cells must error")
+	}
+}
+
+func TestBatteryAndExactAnswers(t *testing.T) {
+	ds, err := Network(NetworkConfig{Pairs: 1000, Bits: 12, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xmath.NewRand(15)
+	queries := Battery(5, func() structure.Query { return UniformAreaQuery(ds, 4, 0.3, r) })
+	if len(queries) != 5 {
+		t.Fatal("battery size")
+	}
+	answers := ExactAnswers(ds, queries)
+	for i, a := range answers {
+		if a < 0 || a > ds.TotalWeight()+1e-9 {
+			t.Fatalf("answer %d = %v out of bounds", i, a)
+		}
+		if math.IsNaN(a) {
+			t.Fatal("NaN answer")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMixFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestSplitMixDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestSplitMixUniformity(t *testing.T) {
+	// Coarse chi-square style check on 16 buckets.
+	r := NewRand(7)
+	const n, buckets = 160000, 16
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[int(r.Float64()*buckets)]++
+	}
+	exp := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-exp) > 5*math.Sqrt(exp) {
+			t.Fatalf("bucket %d count %d too far from %v", b, c, exp)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRand(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := NewRand(9)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	Shuffle(r, xs)
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum || len(xs) != 8 {
+		t.Fatalf("shuffle changed contents: %v", xs)
+	}
+}
+
+func TestKahanSumAccuracy(t *testing.T) {
+	// Summing 1e-8 ten million times after a large head value loses
+	// precision with naive accumulation; Kahan keeps it.
+	var k KahanSum
+	k.Add(1e8)
+	for i := 0; i < 1e7; i++ {
+		k.Add(1e-8)
+	}
+	want := 1e8 + 0.1
+	if math.Abs(k.Sum()-want) > 1e-6 {
+		t.Fatalf("kahan sum %v want %v", k.Sum(), want)
+	}
+}
+
+func TestSumMatchesNaiveOnSmallInputs(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				xs[i] = 1
+			}
+		}
+		naive := 0.0
+		for _, x := range xs {
+			naive += x
+		}
+		return AlmostEqual(Sum(xs), naive, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1+1e-12, 1e-9) {
+		t.Fatal("tiny absolute diff should be equal")
+	}
+	if !AlmostEqual(1e12, 1e12+1, 1e-9) {
+		t.Fatal("tiny relative diff should be equal")
+	}
+	if AlmostEqual(1, 2, 1e-9) {
+		t.Fatal("1 and 2 are not equal")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {2, 1}}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Fatalf("Clamp01(%v)=%v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSnapProbAndIsSet(t *testing.T) {
+	if SnapProb(1e-12) != 0 || SnapProb(1-1e-12) != 1 {
+		t.Fatal("snap should settle near-boundary values")
+	}
+	if SnapProb(0.4) != 0.4 {
+		t.Fatal("snap must not move interior values")
+	}
+	if !IsSet(0) || !IsSet(1) || IsSet(0.5) {
+		t.Fatal("IsSet misclassifies")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want int
+	}{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.want {
+			t.Fatalf("Log2Ceil(%d)=%d want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if !AlmostEqual(Variance(xs), 1.25, 1e-12) {
+		t.Fatalf("variance %v", Variance(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+}
+
+func TestHash64Distribution(t *testing.T) {
+	// Buckets of the low 4 bits over sequential keys should be near uniform.
+	counts := make([]int, 16)
+	const n = 160000
+	for i := uint64(0); i < n; i++ {
+		counts[Hash64(i)&15]++
+	}
+	exp := float64(n) / 16
+	for b, c := range counts {
+		if math.Abs(float64(c)-exp) > 5*math.Sqrt(exp) {
+			t.Fatalf("hash bucket %d count %d too far from %v", b, c, exp)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package structaware is a Go implementation of structure-aware VarOpt
+// sampling, reproducing Cohen, Cormode, Duffield, "Structure-Aware Sampling:
+// Flexible and Accurate Summarization" (VLDB 2011).
+//
+// # Overview
+//
+// Given a large multiset of weighted keys living in a structured domain
+// (an order, a hierarchy such as IP prefixes, or a multi-dimensional product
+// of these), the library draws a fixed-size VarOpt sample whose keys are
+// spread so evenly across the structure that every structural range R
+// contains within ±∆ of its expected number of sample points — ∆ < 1 for
+// hierarchies, ∆ < 2 for arbitrary intervals, and O(√(d·s^((d-1)/d))) error
+// for d-dimensional boxes — while remaining a true VarOpt sample: exact size
+// s, unbiased Horvitz–Thompson estimates for arbitrary subset sums, and
+// exponential tail bounds.
+//
+// # Quick start
+//
+//	axes := []structaware.Axis{structaware.BitTrieAxis(32), structaware.BitTrieAxis(32)}
+//	ds, err := structaware.NewDataset(axes, points, weights)
+//	sum, err := structaware.Build(ds, structaware.Config{Size: 1000})
+//	estimate := sum.EstimateRange(structaware.Range{{Lo: a, Hi: b}, {Lo: c, Hi: d}})
+//
+// See examples/ for runnable scenarios (network flows, trouble tickets,
+// out-of-core two-pass construction) and DESIGN.md for the system inventory.
+//
+// The facade re-exports the library's public surface; the implementation
+// lives under internal/ (internal/core orchestrates, internal/aware,
+// internal/kd, internal/twopass implement the paper's algorithms, and
+// internal/wavelet, internal/qdigest, internal/sketch provide the baseline
+// summaries used by the experiment harness).
+package structaware
+
+import (
+	"structaware/internal/core"
+	"structaware/internal/hierarchy"
+	"structaware/internal/structure"
+)
+
+// Axis describes one dimension of the key domain.
+type Axis = structure.Axis
+
+// Interval is an inclusive coordinate interval.
+type Interval = structure.Interval
+
+// Range is an axis-parallel box (one Interval per dimension).
+type Range = structure.Range
+
+// Query is a union of disjoint boxes.
+type Query = structure.Query
+
+// Dataset is a columnar multiset of weighted multi-dimensional keys.
+type Dataset = structure.Dataset
+
+// Hierarchy is an explicit rooted tree over a key domain.
+type Hierarchy = hierarchy.Tree
+
+// HierarchyBuilder incrementally constructs a Hierarchy.
+type HierarchyBuilder = hierarchy.Builder
+
+// Summary is a queryable sample-based summary.
+type Summary = core.Summary
+
+// Config configures Build.
+type Config = core.Config
+
+// Method selects the sampling scheme.
+type Method = core.Method
+
+// Sampling methods. Aware (the default) is the paper's structure-aware
+// main-memory scheme; AwareTwoPass is the I/O-efficient variant; Oblivious
+// and Poisson are the classic baselines; Systematic is the non-VarOpt
+// ablation.
+const (
+	Aware        = core.Aware
+	AwareTwoPass = core.AwareTwoPass
+	Oblivious    = core.Oblivious
+	Poisson      = core.Poisson
+	Systematic   = core.Systematic
+)
+
+// OrderedAxis returns an ordered axis over [0, 2^bits).
+func OrderedAxis(bits int) Axis { return structure.OrderedAxis(bits) }
+
+// BitTrieAxis returns a binary-hierarchy axis over [0, 2^bits): the natural
+// structure of IP addresses, where ranges are prefixes.
+func BitTrieAxis(bits int) Axis { return structure.BitTrieAxis(bits) }
+
+// ExplicitAxis returns an axis backed by an explicit hierarchy; coordinates
+// are DFS-linearized leaf positions (see Hierarchy.LeafPosition).
+func ExplicitAxis(t *Hierarchy) Axis { return structure.ExplicitAxis(t) }
+
+// NewHierarchyBuilder returns a builder with the root (node 0) created.
+func NewHierarchyBuilder() *HierarchyBuilder { return hierarchy.NewBuilder() }
+
+// NewDataset validates and builds a dataset from row-major points:
+// points[i][d] is item i's coordinate on axis d. Duplicate keys are merged
+// by summing weights.
+func NewDataset(axes []Axis, points [][]uint64, weights []float64) (*Dataset, error) {
+	return structure.NewDataset(axes, points, weights)
+}
+
+// Build draws a sample summary from the dataset according to cfg.
+func Build(ds *Dataset, cfg Config) (*Summary, error) {
+	return core.Build(ds, cfg)
+}

@@ -1,0 +1,105 @@
+package structaware_test
+
+import (
+	"math"
+	"testing"
+
+	"structaware"
+)
+
+// The facade tests exercise the public API exactly as a downstream user
+// would: no internal imports besides the package under test.
+
+func buildFacadeDataset(t *testing.T) *structaware.Dataset {
+	t.Helper()
+	axes := []structaware.Axis{structaware.BitTrieAxis(12), structaware.OrderedAxis(12)}
+	var pts [][]uint64
+	var ws []float64
+	// A deterministic grid with a heavy diagonal.
+	for x := uint64(0); x < 64; x++ {
+		for y := uint64(0); y < 32; y++ {
+			pts = append(pts, []uint64{x * 64, y * 128})
+			w := 1.0
+			if x == 2*y {
+				w = 50
+			}
+			ws = append(ws, w)
+		}
+	}
+	ds, err := structaware.NewDataset(axes, pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFacadeBuildAndQuery(t *testing.T) {
+	ds := buildFacadeDataset(t)
+	sum, err := structaware.Build(ds, structaware.Config{Size: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Size() != 200 {
+		t.Fatalf("size %d want 200", sum.Size())
+	}
+	box := structaware.Range{{Lo: 0, Hi: 2047}, {Lo: 0, Hi: 4095}}
+	exact := ds.RangeSum(box)
+	got := sum.EstimateRange(box)
+	if math.Abs(got-exact) > 0.2*exact {
+		t.Fatalf("estimate %v exact %v", got, exact)
+	}
+}
+
+func TestFacadeMethods(t *testing.T) {
+	ds := buildFacadeDataset(t)
+	for _, m := range []structaware.Method{
+		structaware.Aware, structaware.AwareTwoPass, structaware.Oblivious,
+		structaware.Poisson, structaware.Systematic,
+	} {
+		sum, err := structaware.Build(ds, structaware.Config{Size: 100, Method: m, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if sum.Size() == 0 {
+			t.Fatalf("%v: empty", m)
+		}
+	}
+}
+
+func TestFacadeHierarchyBuilder(t *testing.T) {
+	b := structaware.NewHierarchyBuilder()
+	mid1 := b.AddChild(0)
+	mid2 := b.AddChild(0)
+	for i := 0; i < 4; i++ {
+		b.AddChild(mid1)
+		b.AddChild(mid2)
+	}
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 8 {
+		t.Fatalf("leaves %d want 8", tree.NumLeaves())
+	}
+	ax := structaware.ExplicitAxis(tree)
+	pts := make([][]uint64, 8)
+	ws := make([]float64, 8)
+	for i := range pts {
+		pts[i] = []uint64{uint64(i)}
+		ws[i] = float64(i + 1)
+	}
+	ds, err := structaware.NewDataset([]structaware.Axis{ax}, pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := structaware.Build(ds, structaware.Config{Size: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hierarchy node ranges estimate within τ (∆ < 1).
+	lo, hi, _ := tree.LeafInterval(mid1)
+	rg := structaware.Range{{Lo: lo, Hi: hi}}
+	if math.Abs(sum.EstimateRange(rg)-ds.RangeSum(rg)) > sum.Tau+1e-9 {
+		t.Fatal("hierarchy node estimate outside τ")
+	}
+}
