@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: all build test vet race bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench 'SerialSample$$|ParallelSample' -benchmem .

@@ -4,11 +4,14 @@
 package structaware_test
 
 import (
+	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"testing"
 
+	"structaware"
 	"structaware/internal/aware"
 	"structaware/internal/expt"
 	"structaware/internal/ipps"
@@ -75,6 +78,65 @@ func fixtures(b *testing.B) (*structure.Dataset, []structure.Query) {
 		})
 	})
 	return benchDS, benchQs
+}
+
+// ---- Parallel engine: serial vs sharded on a 1M-key input -------------------
+
+var (
+	bigOnce sync.Once
+	bigDS   *structure.Dataset
+)
+
+// bigFixture is a 2-D dataset of 2^20 distinct keys (a full 1024×1024 grid)
+// with heavy-tailed weights — large enough that the sharded pipeline's
+// per-worker threshold computation and closing passes dominate.
+func bigFixture(b *testing.B) *structure.Dataset {
+	b.Helper()
+	bigOnce.Do(func() {
+		const bits = 10
+		const n = 1 << (2 * bits) // 1,048,576 distinct keys
+		r := xmath.NewRand(77)
+		pts := make([][]uint64, n)
+		ws := make([]float64, n)
+		flat := make([]uint64, 2*n)
+		for i := 0; i < n; i++ {
+			pt := flat[2*i : 2*i+2]
+			pt[0], pt[1] = uint64(i)>>bits, uint64(i)&(1<<bits-1)
+			pts[i] = pt
+			ws[i] = math.Pow(1-r.Float64(), -0.6)
+		}
+		axes := []structure.Axis{structure.BitTrieAxis(bits), structure.BitTrieAxis(bits)}
+		ds, err := structure.NewDataset(axes, pts, ws)
+		if err != nil {
+			panic(err)
+		}
+		bigDS = ds
+	})
+	return bigDS
+}
+
+func benchSample1M(b *testing.B, workers int) {
+	ds := bigFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := structaware.SampleParallel(ds,
+			structaware.Config{Size: 4096, Seed: uint64(i + 1)}, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Size() != 4096 {
+			b.Fatalf("size %d", sum.Size())
+		}
+	}
+	b.ReportMetric(float64(ds.Len())*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+func BenchmarkSerialSample(b *testing.B) { benchSample1M(b, 1) }
+
+func BenchmarkParallelSample(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchSample1M(b, w) })
+	}
 }
 
 // ---- Micro: core primitives -------------------------------------------------

@@ -25,12 +25,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig2a..fig4c, v1..v5, or 'all')")
+		exp     = flag.String("exp", "", "experiment id (fig2a..fig4c, v1..v5, par, or 'all')")
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper scale)")
 		queries = flag.Int("queries", 50, "queries per configuration")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		out     = flag.String("o", "", "output file (default stdout)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		workers = flag.Int("workers", 0, "worker cap for the 'par' experiment (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -44,19 +45,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sasbench: -exp is required (use -list to see ids)")
 		os.Exit(2)
 	}
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "sasbench: -scale must be positive (got %g)\n", *scale)
+		os.Exit(2)
+	}
+	if *queries <= 0 {
+		fmt.Fprintf(os.Stderr, "sasbench: -queries must be positive (got %d)\n", *queries)
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "sasbench: -workers must be >= 0 (got %d)\n", *workers)
+		os.Exit(2)
+	}
 
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sasbench:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 
-	opts := expt.Options{Scale: *scale, Queries: *queries, Seed: *seed, Out: w}
+	opts := expt.Options{Scale: *scale, Queries: *queries, Seed: *seed, Out: w, Workers: *workers}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = expt.RunnerNames()
@@ -74,5 +88,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "## %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sasbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -28,6 +28,10 @@ func main() {
 		out     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
+	if err := validateFlags(*data, *pairs, *bits, *tickets); err != nil {
+		fmt.Fprintln(os.Stderr, "sasgen:", err)
+		os.Exit(2)
+	}
 
 	var ds *structure.Dataset
 	var err error
@@ -37,7 +41,7 @@ func main() {
 	case "tickets":
 		ds, err = workload.Tickets(workload.TicketConfig{Tickets: *tickets, Seed: *seed})
 	default:
-		fmt.Fprintf(os.Stderr, "sasgen: unknown dataset %q\n", *data)
+		fmt.Fprintf(os.Stderr, "sasgen: unknown dataset %q (want network or tickets)\n", *data)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -52,12 +56,41 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sasgen:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 	}
 	w := bufio.NewWriter(f)
-	defer w.Flush()
 	fmt.Fprintf(w, "# %s dataset: %d distinct keys, total weight %g\n", *data, ds.Len(), ds.TotalWeight())
 	for i := 0; i < ds.Len(); i++ {
 		fmt.Fprintf(w, "%d,%d,%g\n", ds.Coords[0][i], ds.Coords[1][i], ds.Weights[i])
 	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "sasgen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sasgen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// validateFlags rejects out-of-range flag values with a usage error before
+// any generation work happens. Only the flags the selected dataset actually
+// reads are validated; an unknown dataset is reported by the dispatch in
+// main.
+func validateFlags(data string, pairs, bits, tickets int) error {
+	switch data {
+	case "network":
+		if pairs <= 0 {
+			return fmt.Errorf("-pairs must be positive (got %d)", pairs)
+		}
+		if bits < 1 || bits > 63 {
+			return fmt.Errorf("-bits must be in [1,63] (got %d)", bits)
+		}
+	case "tickets":
+		if tickets <= 0 {
+			return fmt.Errorf("-tickets must be positive (got %d)", tickets)
+		}
+	}
+	return nil
 }

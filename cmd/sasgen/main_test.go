@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags("network", 196000, 20, 500000); err != nil {
+		t.Fatalf("valid network flags rejected: %v", err)
+	}
+	if err := validateFlags("tickets", 196000, 20, 500000); err != nil {
+		t.Fatalf("valid tickets flags rejected: %v", err)
+	}
+	cases := []struct {
+		data                 string
+		pairs, bits, tickets int
+	}{
+		{"network", 0, 20, 100},   // non-positive pairs
+		{"network", 100, 0, 100},  // bits below range
+		{"network", 100, 64, 100}, // bits above range
+		{"tickets", 100, 20, 0},   // non-positive tickets
+	}
+	for _, c := range cases {
+		if err := validateFlags(c.data, c.pairs, c.bits, c.tickets); err == nil {
+			t.Fatalf("validateFlags(%q, %d, %d, %d) must error", c.data, c.pairs, c.bits, c.tickets)
+		}
+	}
+	// Flags belonging to the non-selected dataset are never read, so they
+	// must not be validated.
+	if err := validateFlags("tickets", 0, 99, 100); err != nil {
+		t.Fatalf("network-only flags validated for tickets run: %v", err)
+	}
+	if err := validateFlags("network", 100, 20, 0); err != nil {
+		t.Fatalf("tickets-only flag validated for network run: %v", err)
+	}
+}

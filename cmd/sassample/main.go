@@ -8,6 +8,7 @@
 //	sassample -in data.csv -s 1000 -bits 20 -o sample.csv
 //	sassample -in data.csv -s 1000 -query 0:1023:0:1023
 //	sassample -in data.csv -s 1000 -method obliv
+//	sassample -in data.csv -s 1000 -workers 8
 package main
 
 import (
@@ -25,17 +26,22 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input CSV (x,y,weight per row)")
-		out    = flag.String("o", "", "output CSV (default stdout)")
-		s      = flag.Int("s", 1000, "sample size")
-		bits   = flag.Int("bits", 20, "domain bits per axis")
-		method = flag.String("method", "aware", "aware | aware2p | obliv | poisson")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		query  = flag.String("query", "", "optional box query x1:x2:y1:y2 to estimate")
+		in      = flag.String("in", "", "input CSV (x,y,weight per row)")
+		out     = flag.String("o", "", "output CSV (default stdout)")
+		s       = flag.Int("s", 1000, "sample size")
+		bits    = flag.Int("bits", 20, "domain bits per axis")
+		method  = flag.String("method", "aware", "aware | aware2p | obliv | poisson")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		query   = flag.String("query", "", "optional box query x1:x2:y1:y2 to estimate")
+		workers = flag.Int("workers", 1, "parallel sampling shards (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "sassample: -in is required")
+		os.Exit(2)
+	}
+	if err := validateFlags(*s, *bits, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "sassample:", err)
 		os.Exit(2)
 	}
 
@@ -50,7 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sassample:", err)
 		os.Exit(2)
 	}
-	sum, err := core.Build(ds, core.Config{Size: *s, Method: m, Seed: *seed})
+	sum, err := core.SampleParallel(ds, core.Config{Size: *s, Method: m, Seed: *seed}, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sassample:", err)
 		os.Exit(1)
@@ -74,15 +80,38 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sassample:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 	}
 	w := bufio.NewWriter(f)
-	defer w.Flush()
 	fmt.Fprintf(w, "# %s sample of %d keys (from %d), tau=%g\n", sum.Method, sum.Size(), ds.Len(), sum.Tau)
 	fmt.Fprintln(w, "# x,y,weight,adjusted_weight")
 	for k := 0; k < sum.Size(); k++ {
 		fmt.Fprintf(w, "%d,%d,%g,%g\n", sum.Coords[0][k], sum.Coords[1][k], sum.Weights[k], sum.AdjustedWeight(k))
 	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "sassample:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sassample:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// validateFlags rejects out-of-range flag values with a usage error before
+// any work happens.
+func validateFlags(s, bits, workers int) error {
+	if s <= 0 {
+		return fmt.Errorf("-s must be positive (got %d)", s)
+	}
+	if bits < 1 || bits > 63 {
+		return fmt.Errorf("-bits must be in [1,63] (got %d)", bits)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", workers)
+	}
+	return nil
 }
 
 func parseMethod(name string) (core.Method, error) {

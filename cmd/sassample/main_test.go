@@ -26,6 +26,24 @@ func TestParseMethod(t *testing.T) {
 	}
 }
 
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(1000, 20, 0); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	cases := []struct{ s, bits, workers int }{
+		{0, 20, 1},    // non-positive sample size
+		{-5, 20, 1},   // negative sample size
+		{100, 0, 1},   // bits below range
+		{100, 64, 1},  // bits above range
+		{100, 20, -1}, // negative workers
+	}
+	for _, c := range cases {
+		if err := validateFlags(c.s, c.bits, c.workers); err == nil {
+			t.Fatalf("validateFlags(%d, %d, %d) must error", c.s, c.bits, c.workers)
+		}
+	}
+}
+
 func TestParseBox(t *testing.T) {
 	box, err := parseBox("1:10:20:30")
 	if err != nil {

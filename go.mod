@@ -1,0 +1,3 @@
+module structaware
+
+go 1.24

@@ -13,11 +13,10 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"structaware/internal/aware"
+	"structaware/internal/engine"
 	"structaware/internal/ipps"
-	"structaware/internal/kd"
 	"structaware/internal/paggr"
 	"structaware/internal/structure"
 	"structaware/internal/twopass"
@@ -143,6 +142,46 @@ func Build(ds *structure.Dataset, cfg Config) (*Summary, error) {
 	}
 }
 
+// SampleParallel draws the summary with the sharded worker-pool pipeline of
+// internal/engine: the dataset is partitioned into `workers` contiguous
+// shards, each shard draws an independent VarOpt sample of target size
+// cfg.Size in its own goroutine, and the shard samples are merged into one
+// exact-size-s sample by re-sampling the union of their Horvitz–Thompson
+// adjusted weights, closing the merged candidates with the same
+// structure-aware pass Build uses. Estimates from the result are unbiased
+// for arbitrary subset sums, exactly as with Build.
+//
+// workers <= 0 uses all available CPUs; workers == 1 is identical to Build.
+// Only Aware and Oblivious have a parallel pipeline; the remaining methods
+// (Poisson, AwareTwoPass, Systematic) fall back to the serial Build path.
+// Runs are deterministic in (cfg, workers) — goroutine scheduling does not
+// affect the sample.
+func SampleParallel(ds *structure.Dataset, cfg Config, workers int) (*Summary, error) {
+	if cfg.Size <= 0 {
+		return nil, ipps.ErrBadSize
+	}
+	if ds.Len() == 0 {
+		return nil, ErrNoData
+	}
+	if workers == 1 || (cfg.Method != Aware && cfg.Method != Oblivious) {
+		return Build(ds, cfg)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res, err := engine.Run(ds, engine.Config{
+		Size:      cfg.Size,
+		Workers:   workers,
+		Seed:      seed,
+		Oblivious: cfg.Method == Oblivious,
+	})
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return fromIndices(ds, res.Indices, res.Tau, cfg.Method), nil
+}
+
 func mapErr(err error) error {
 	if errors.Is(err, varopt.ErrEmpty) {
 		return ErrNoData
@@ -175,28 +214,14 @@ func buildMainMemory(ds *structure.Dataset, cfg Config, r *xmath.SplitMix) ([]in
 		ipps.NormalizeToInteger(p, 1e-6)
 	}
 
-	switch {
-	case cfg.Method == Systematic:
-		order := coordOrder(ds, 0)
+	if cfg.Method == Systematic {
+		order := engine.CoordOrder(ds, 0, nil)
 		aware.Systematic(p, order, r.Float64())
-	case ds.Dims() == 1:
-		summarize1D(ds, 0, p, r)
-	default:
-		// Product structure: KD-HIERARCHY over the fractional keys (§4).
-		var fractional []int
-		for i, pi := range p {
-			if pi > 0 && pi < 1 {
-				fractional = append(fractional, i)
-			}
-		}
-		if len(fractional) > 1 {
-			tree, err := kd.Build(ds, fractional, p, kd.Config{})
-			if err != nil {
-				return nil, 0, err
-			}
-			tree.Summarize(p, r)
-		} else if len(fractional) == 1 {
-			paggr.ResolveLeftover(p, fractional[0], r)
+	} else {
+		// The structure-aware closing pass (1-D hierarchy/order schemes or
+		// KD-HIERARCHY, §3–§4) is shared with the parallel merge step.
+		if err := engine.Summarize(ds, nil, p, r); err != nil {
+			return nil, 0, err
 		}
 	}
 	idx := paggr.SampleIndices(p)
@@ -204,36 +229,6 @@ func buildMainMemory(ds *structure.Dataset, cfg Config, r *xmath.SplitMix) ([]in
 		return nil, 0, ErrNoData
 	}
 	return idx, tau, nil
-}
-
-// summarize1D dispatches on the axis kind: hierarchy axes get the ∆ < 1
-// scheme, ordered axes the ∆ < 2 order scheme.
-func summarize1D(ds *structure.Dataset, axis int, p []float64, r *xmath.SplitMix) {
-	ax := ds.Axes[axis]
-	order := coordOrder(ds, axis)
-	switch ax.Kind {
-	case structure.BitTrie:
-		aware.BitTrie(p, order, ds.Coords[axis], ax.Bits, r)
-	case structure.Explicit:
-		itemsAtLeaf := make([][]int, ax.Tree.NumLeaves())
-		for i, pos := range ds.Coords[axis] {
-			itemsAtLeaf[pos] = append(itemsAtLeaf[pos], i)
-		}
-		aware.Hierarchy(ax.Tree, itemsAtLeaf, p, r)
-	default:
-		aware.Order(p, order, r)
-	}
-}
-
-// coordOrder returns item indices sorted by their coordinate on the axis.
-func coordOrder(ds *structure.Dataset, axis int) []int {
-	order := make([]int, ds.Len())
-	for i := range order {
-		order[i] = i
-	}
-	coords := ds.Coords[axis]
-	sort.Slice(order, func(a, b int) bool { return coords[order[a]] < coords[order[b]] })
-	return order
 }
 
 // fromIndices materializes a Summary from sampled dataset indices.

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+func TestSampleParallelExactSize(t *testing.T) {
+	ds := make2D(t, 3000, 14, 31)
+	for _, m := range []Method{Aware, Oblivious} {
+		for _, workers := range []int{0, 2, 4, 8} {
+			sum, err := SampleParallel(ds, Config{Size: 250, Method: m, Seed: 7}, workers)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", m, workers, err)
+			}
+			if sum.Size() != 250 {
+				t.Fatalf("%v workers=%d: size %d want 250", m, workers, sum.Size())
+			}
+			if sum.Tau <= 0 {
+				t.Fatalf("%v workers=%d: tau %v", m, workers, sum.Tau)
+			}
+			if sum.Method != m {
+				t.Fatalf("method %v recorded as %v", m, sum.Method)
+			}
+		}
+	}
+}
+
+func TestSampleParallelOneWorkerEqualsBuild(t *testing.T) {
+	ds := make2D(t, 2000, 14, 33)
+	cfg := Config{Size: 200, Method: Aware, Seed: 9}
+	serial, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SampleParallel(ds, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Tau != serial.Tau || par.Size() != serial.Size() {
+		t.Fatal("workers=1 must be identical to Build")
+	}
+	for k := range par.Weights {
+		if par.Weights[k] != serial.Weights[k] || par.Coords[0][k] != serial.Coords[0][k] {
+			t.Fatalf("workers=1 diverged from Build at key %d", k)
+		}
+	}
+}
+
+func TestSampleParallelFallbackMethods(t *testing.T) {
+	ds := make2D(t, 1500, 14, 35)
+	for _, m := range []Method{Poisson, AwareTwoPass, Systematic} {
+		cfg := Config{Size: 100, Method: m, Seed: 3}
+		serial, err := Build(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := SampleParallel(ds, cfg, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if par.Tau != serial.Tau || par.Size() != serial.Size() {
+			t.Fatalf("%v: fallback must match Build", m)
+		}
+	}
+}
+
+func TestSampleParallelArgErrors(t *testing.T) {
+	ds := make2D(t, 100, 14, 37)
+	if _, err := SampleParallel(ds, Config{Size: 0}, 4); err == nil {
+		t.Fatal("size 0 must error")
+	}
+	empty, err := structure.NewDataset([]structure.Axis{structure.BitTrieAxis(8)}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SampleParallel(empty, Config{Size: 10}, 4); err != ErrNoData {
+		t.Fatalf("empty dataset: %v want ErrNoData", err)
+	}
+}
+
+// TestSampleParallelUnbiasedEstimates is the parallel counterpart of the
+// serial VarOpt property tests: with 4 workers, repeated builds give
+// unbiased Horvitz–Thompson estimates of range sums and of the total.
+func TestSampleParallelUnbiasedEstimates(t *testing.T) {
+	ds := make2D(t, 1200, 12, 39)
+	box := structure.Range{{Lo: 0, Hi: 1 << 11}, {Lo: 0, Hi: 1 << 12}}
+	exactBox := ds.RangeSum(box)
+	exactTotal := ds.TotalWeight()
+	const trials = 400
+	var accBox, accTotal xmath.KahanSum
+	for trial := 0; trial < trials; trial++ {
+		sum, err := SampleParallel(ds, Config{Size: 120, Method: Aware, Seed: uint64(trial + 1)}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Size() != 120 {
+			t.Fatalf("trial %d: size %d", trial, sum.Size())
+		}
+		accBox.Add(sum.EstimateRange(box))
+		accTotal.Add(sum.EstimateTotal())
+	}
+	meanBox := accBox.Sum() / trials
+	meanTotal := accTotal.Sum() / trials
+	if relErr := math.Abs(meanBox-exactBox) / exactBox; relErr > 0.05 {
+		t.Fatalf("box estimate mean %v exact %v (rel err %v)", meanBox, exactBox, relErr)
+	}
+	if relErr := math.Abs(meanTotal-exactTotal) / exactTotal; relErr > 0.02 {
+		t.Fatalf("total estimate mean %v exact %v (rel err %v)", meanTotal, exactTotal, relErr)
+	}
+}

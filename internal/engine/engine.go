@@ -1,0 +1,351 @@
+// Package engine is the sharded parallel sampling pipeline: it partitions a
+// weighted dataset across a worker pool, draws an independent
+// structure-aware (or oblivious) VarOpt sample per shard, and merges the
+// shard samples into a single exact-size sample with Horvitz–Thompson
+// adjusted weights that keep every subset-sum estimate unbiased.
+//
+// The architecture follows the two mergeability facts the construction rests
+// on: VarOpt samples over disjoint populations merge by re-sampling the
+// union of their HT adjusted weights (Cohen, Duffield, Kaplan, Lund, Thorup,
+// SODA 2009), and the closing pass that drives candidate probabilities to
+// 0/1 is free to choose its aggregation order (§2 of Cohen, Cormode,
+// Duffield, VLDB 2011) — so the merge re-runs the paper's structure-aware
+// pass over the merged candidate set, exactly like pass 2 of the
+// I/O-efficient construction of §5 with the per-shard samples playing the
+// role of the oversampled guide sample.
+//
+// Package core routes to this pipeline via SampleParallel; the serial Build
+// path shares the same closing pass through Summarize, so parallel and
+// serial samples satisfy the same VarOpt properties (exact size s, unbiased
+// HT estimates, exponential tail bounds).
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"structaware/internal/aware"
+	"structaware/internal/ipps"
+	"structaware/internal/kd"
+	"structaware/internal/paggr"
+	"structaware/internal/structure"
+	"structaware/internal/varopt"
+	"structaware/internal/xmath"
+)
+
+// Config configures a parallel sampling run.
+type Config struct {
+	// Size is the target sample size s (exact when the population is
+	// larger, as with every VarOpt scheme in this repository).
+	Size int
+	// Workers is the shard count, one goroutine per shard; <= 0 uses
+	// runtime.GOMAXPROCS(0). One worker degenerates to a single shard whose
+	// sample is returned (after the trivial merge) unchanged.
+	Workers int
+	// Seed makes the run deterministic — results do not depend on
+	// goroutine scheduling, only on the seed; 0 means seed 1.
+	Seed uint64
+	// Oblivious skips the structure-aware closing passes and uses
+	// randomly-ordered pair aggregation everywhere (the "obliv" baseline).
+	Oblivious bool
+}
+
+// Result is a drawn sample: dataset indices (ascending) and the IPPS
+// threshold, so the HT adjusted weight of item i is max(w_i, Tau).
+type Result struct {
+	Indices []int
+	Tau     float64
+}
+
+// Run draws a sample of size exactly min(cfg.Size, positive keys) from the
+// dataset using cfg.Workers parallel shards.
+func Run(ds *structure.Dataset, cfg Config) (*Result, error) {
+	if cfg.Size <= 0 {
+		return nil, ipps.ErrBadSize
+	}
+	n := ds.Len()
+	if n == 0 {
+		return nil, varopt.ErrEmpty
+	}
+	if err := ipps.ValidateWeights(ds.Weights); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	// Per-shard sampling. All shards share one probability vector: contiguous
+	// shards touch disjoint index ranges, so there are no write races, and
+	// the vector is reset to zero before the merge reuses it.
+	p := make([]float64, n)
+	bounds := shardBounds(n, workers)
+	shards := make([]varopt.Shard, len(bounds))
+	errs := make([]error, len(bounds))
+	var wg sync.WaitGroup
+	for j := range bounds {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			r := xmath.NewRand(shardSeed(seed, j))
+			shards[j], errs[j] = sampleShard(ds, p, bounds[j][0], bounds[j][1], cfg, r)
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, sh := range shards {
+		total += len(sh.Items)
+		for _, it := range sh.Items {
+			p[it.Index] = 0
+		}
+	}
+	if total == 0 {
+		return nil, varopt.ErrEmpty
+	}
+	return mergeShards(ds, p, shards, cfg, xmath.NewRand(shardSeed(seed, len(bounds))))
+}
+
+// shardSeed derives an independent per-shard RNG seed.
+func shardSeed(seed uint64, shard int) uint64 {
+	return xmath.Hash64(seed ^ xmath.Hash64(uint64(shard)+1))
+}
+
+// shardBounds splits [0, n) into w contiguous near-equal blocks.
+func shardBounds(n, w int) [][2]int {
+	bounds := make([][2]int, 0, w)
+	for j := 0; j < w; j++ {
+		lo, hi := j*n/w, (j+1)*n/w
+		if lo < hi {
+			bounds = append(bounds, [2]int{lo, hi})
+		}
+	}
+	return bounds
+}
+
+// sampleShard draws a VarOpt sample of target size cfg.Size from the items
+// in [lo, hi), writing only p[lo:hi]. A shard with at most cfg.Size positive
+// items keeps them all (threshold 0), which the merge step then thresholds
+// globally.
+func sampleShard(ds *structure.Dataset, p []float64, lo, hi int, cfg Config, r xmath.Rand) (varopt.Shard, error) {
+	seg := ds.Weights[lo:hi]
+	tau, err := ipps.Threshold(seg, cfg.Size)
+	if err != nil {
+		return varopt.Shard{}, err
+	}
+	for i := lo; i < hi; i++ {
+		switch w := ds.Weights[i]; {
+		case w <= 0:
+			p[i] = 0
+		case tau <= 0 || w >= tau:
+			p[i] = 1
+		default:
+			p[i] = w / tau
+		}
+	}
+	if tau > 0 {
+		ipps.NormalizeToInteger(p[lo:hi], 1e-6)
+	}
+	items := make([]int, hi-lo)
+	for k := range items {
+		items[k] = lo + k
+	}
+	if err := closeCandidates(ds, items, p, cfg.Oblivious, r); err != nil {
+		return varopt.Shard{}, err
+	}
+	sh := varopt.Shard{Tau: tau}
+	for i := lo; i < hi; i++ {
+		if p[i] == 1 {
+			sh.Items = append(sh.Items, varopt.StreamItem{Index: i, Weight: ds.Weights[i]})
+		}
+	}
+	return sh, nil
+}
+
+// mergeShards re-samples the union of the shards' adjusted weights down to
+// cfg.Size, closing the candidate probabilities with the same
+// structure-aware (or oblivious) pass the serial builder uses. p must be all
+// zero on entry and is reused as the candidate probability vector.
+func mergeShards(ds *structure.Dataset, p []float64, shards []varopt.Shard, cfg Config, r xmath.Rand) (*Result, error) {
+	if cfg.Oblivious {
+		sm, _, err := varopt.MergeAll(shards, cfg.Size, r)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Indices: sm.Indices, Tau: sm.Tau}, nil
+	}
+	adj, tau, keepAll, err := varopt.MergeThreshold(shards, cfg.Size)
+	if err != nil {
+		return nil, err
+	}
+	cand := make([]int, 0, len(adj))
+	for _, sh := range shards {
+		for _, it := range sh.Items {
+			cand = append(cand, it.Index)
+		}
+	}
+	if keepAll {
+		sort.Ints(cand)
+		return &Result{Indices: cand, Tau: tau}, nil
+	}
+	for k, i := range cand {
+		if a := adj[k]; a >= tau {
+			p[i] = 1
+		} else {
+			p[i] = a / tau
+		}
+	}
+	normalizeCandidates(p, cand)
+	if err := Summarize(ds, cand, p, r); err != nil {
+		return nil, err
+	}
+	out := &Result{Tau: tau}
+	for _, i := range cand {
+		if p[i] == 1 {
+			out.Indices = append(out.Indices, i)
+		}
+	}
+	sort.Ints(out.Indices)
+	return out, nil
+}
+
+// normalizeCandidates is ipps.NormalizeToInteger restricted to the candidate
+// entries of a sparse probability vector: it snaps Σ p[cand] to the nearest
+// integer by nudging the largest fractional candidate. Like its serial
+// counterpart, drift beyond rounding noise indicates a logic error upstream
+// and panics rather than silently bending the sample size.
+func normalizeCandidates(p []float64, cand []int) {
+	var sum xmath.KahanSum
+	best := -1
+	for _, i := range cand {
+		sum.Add(p[i])
+		if p[i] > xmath.Eps && p[i] < 1-xmath.Eps && (best < 0 || p[i] > p[best]) {
+			best = i
+		}
+	}
+	total := sum.Sum()
+	target := math.Round(total)
+	drift := target - total
+	if math.Abs(drift) > 1e-6 {
+		panic(fmt.Sprintf("engine: candidate probability mass %v too far from integer (drift %v)", total, drift))
+	}
+	if drift != 0 && best >= 0 {
+		p[best] = xmath.Clamp01(p[best] + drift)
+	}
+}
+
+// closeCandidates drives the fractional entries of p among items to 0/1:
+// structure-aware by default, randomly-ordered pair aggregation when
+// oblivious is set.
+func closeCandidates(ds *structure.Dataset, items []int, p []float64, oblivious bool, r xmath.Rand) error {
+	if oblivious {
+		order := xmath.Perm(r, len(items))
+		shuffled := make([]int, len(items))
+		for k, o := range order {
+			shuffled[k] = items[o]
+		}
+		left := paggr.AggregateSequence(p, shuffled, r)
+		paggr.ResolveLeftover(p, left, r)
+		return nil
+	}
+	return Summarize(ds, items, p, r)
+}
+
+// Summarize runs the paper's structure-aware closing pass over the listed
+// items, driving every fractional entry of p among them to 0/1 in place
+// (entries outside items must already be settled). A nil items slice means
+// every item of the dataset. One-dimensional datasets dispatch on the axis
+// kind — hierarchy axes get the ∆ < 1 scheme, ordered axes the ∆ < 2 order
+// scheme — and multi-dimensional datasets use KD-HIERARCHY (§4). It is
+// shared by the serial builder (internal/core, over all items) and the
+// parallel merge (over the shard candidates).
+func Summarize(ds *structure.Dataset, items []int, p []float64, r xmath.Rand) error {
+	if ds.Dims() == 1 {
+		summarize1D(ds, 0, items, p, r)
+		return nil
+	}
+	var fractional []int
+	if items == nil {
+		for i, pi := range p {
+			if pi > 0 && pi < 1 {
+				fractional = append(fractional, i)
+			}
+		}
+	} else {
+		for _, i := range items {
+			if pi := p[i]; pi > 0 && pi < 1 {
+				fractional = append(fractional, i)
+			}
+		}
+	}
+	switch {
+	case len(fractional) > 1:
+		tree, err := kd.Build(ds, fractional, p, kd.Config{})
+		if err != nil {
+			return err
+		}
+		tree.Summarize(p, r)
+	case len(fractional) == 1:
+		paggr.ResolveLeftover(p, fractional[0], r)
+	}
+	return nil
+}
+
+// summarize1D dispatches the one-dimensional closing pass on the axis kind.
+func summarize1D(ds *structure.Dataset, axis int, items []int, p []float64, r xmath.Rand) {
+	ax := ds.Axes[axis]
+	switch ax.Kind {
+	case structure.BitTrie:
+		order := CoordOrder(ds, axis, items)
+		aware.BitTrie(p, order, ds.Coords[axis], ax.Bits, r)
+	case structure.Explicit:
+		itemsAtLeaf := make([][]int, ax.Tree.NumLeaves())
+		if items == nil {
+			for i, pos := range ds.Coords[axis] {
+				itemsAtLeaf[pos] = append(itemsAtLeaf[pos], i)
+			}
+		} else {
+			for _, i := range items {
+				pos := ds.Coords[axis][i]
+				itemsAtLeaf[pos] = append(itemsAtLeaf[pos], i)
+			}
+		}
+		aware.Hierarchy(ax.Tree, itemsAtLeaf, p, r)
+	default:
+		order := CoordOrder(ds, axis, items)
+		aware.Order(p, order, r)
+	}
+}
+
+// CoordOrder returns the items sorted ascending by their coordinate on the
+// axis — the visit order of the one-dimensional summarizers, shared with
+// internal/core's systematic path. A nil items slice means every item of
+// the dataset; the input slice is never reordered.
+func CoordOrder(ds *structure.Dataset, axis int, items []int) []int {
+	var order []int
+	if items == nil {
+		order = make([]int, ds.Len())
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		order = append([]int(nil), items...)
+	}
+	coords := ds.Coords[axis]
+	sort.Slice(order, func(a, b int) bool { return coords[order[a]] < coords[order[b]] })
+	return order
+}

@@ -1,0 +1,178 @@
+package engine_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"structaware/internal/engine"
+	"structaware/internal/ipps"
+	"structaware/internal/structure"
+	"structaware/internal/varopt"
+	"structaware/internal/workload"
+	"structaware/internal/xmath"
+)
+
+// bitTrie1D builds a one-dimensional bit-trie dataset with deterministic
+// heavy-tailed weights.
+func bitTrie1D(t *testing.T, n, bits int) *structure.Dataset {
+	t.Helper()
+	pts := make([][]uint64, n)
+	ws := make([]float64, n)
+	r := xmath.NewRand(42)
+	for i := range pts {
+		pts[i] = []uint64{uint64(i) % (1 << uint(bits))}
+		ws[i] = math.Pow(1-r.Float64(), -0.7) // Pareto-ish, finite mean
+	}
+	ds, err := structure.NewDataset([]structure.Axis{structure.BitTrieAxis(bits)}, pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func network2D(t *testing.T, pairs int) *structure.Dataset {
+	t.Helper()
+	ds, err := workload.Network(workload.NetworkConfig{Pairs: pairs, Bits: 14, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func checkSample(t *testing.T, ds *structure.Dataset, res *engine.Result, wantSize int) {
+	t.Helper()
+	if len(res.Indices) != wantSize {
+		t.Fatalf("sample size %d want %d", len(res.Indices), wantSize)
+	}
+	for k, i := range res.Indices {
+		if i < 0 || i >= ds.Len() {
+			t.Fatalf("index %d out of range", i)
+		}
+		if k > 0 && i <= res.Indices[k-1] {
+			t.Fatalf("indices not strictly ascending: %v", res.Indices[:k+1])
+		}
+	}
+}
+
+func TestRunExactSizeAcrossWorkerCounts(t *testing.T) {
+	ds2 := network2D(t, 3000)
+	ds1 := bitTrie1D(t, 2000, 14)
+	for _, ds := range []*structure.Dataset{ds1, ds2} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			for _, oblivious := range []bool{false, true} {
+				res, err := engine.Run(ds, engine.Config{Size: 150, Workers: workers, Seed: 9, Oblivious: oblivious})
+				if err != nil {
+					t.Fatalf("workers=%d oblivious=%v: %v", workers, oblivious, err)
+				}
+				checkSample(t, ds, res, 150)
+				if res.Tau <= 0 {
+					t.Fatalf("workers=%d: expected positive threshold", workers)
+				}
+			}
+		}
+	}
+}
+
+func TestRunDeterministicUnderScheduling(t *testing.T) {
+	ds := network2D(t, 4000)
+	cfg := engine.Config{Size: 300, Workers: 6, Seed: 77}
+	first, err := engine.Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		res, err := engine.Run(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Tau != first.Tau || len(res.Indices) != len(first.Indices) {
+			t.Fatalf("rep %d: tau/size changed", rep)
+		}
+		for k := range res.Indices {
+			if res.Indices[k] != first.Indices[k] {
+				t.Fatalf("rep %d: index %d differs", rep, k)
+			}
+		}
+	}
+}
+
+func TestRunSmallPopulationKeepsEverything(t *testing.T) {
+	ds := bitTrie1D(t, 30, 8)
+	res, err := engine.Run(ds, engine.Config{Size: 100, Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tau != 0 {
+		t.Fatalf("tau %v want 0 (population smaller than s)", res.Tau)
+	}
+	if len(res.Indices) != ds.Len() {
+		t.Fatalf("kept %d of %d", len(res.Indices), ds.Len())
+	}
+}
+
+func TestRunMoreWorkersThanItems(t *testing.T) {
+	ds := bitTrie1D(t, 5, 8)
+	res, err := engine.Run(ds, engine.Config{Size: 2, Workers: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSample(t, ds, res, 2)
+}
+
+func TestRunArgErrors(t *testing.T) {
+	ds := bitTrie1D(t, 10, 8)
+	if _, err := engine.Run(ds, engine.Config{Size: 0, Workers: 2}); !errors.Is(err, ipps.ErrBadSize) {
+		t.Fatalf("size 0: %v want ErrBadSize", err)
+	}
+	empty, err := structure.NewDataset([]structure.Axis{structure.BitTrieAxis(8)}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(empty, engine.Config{Size: 5, Workers: 2}); !errors.Is(err, varopt.ErrEmpty) {
+		t.Fatalf("empty dataset: %v want ErrEmpty", err)
+	}
+	zero, err := structure.NewDataset([]structure.Axis{structure.BitTrieAxis(8)},
+		[][]uint64{{1}, {2}}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(zero, engine.Config{Size: 5, Workers: 2}); !errors.Is(err, varopt.ErrEmpty) {
+		t.Fatalf("all-zero weights: %v want ErrEmpty", err)
+	}
+}
+
+// TestRunUnbiasedSubsetSum verifies the parallel pipeline keeps
+// Horvitz–Thompson subset-sum estimates unbiased: over repeated runs the
+// mean estimate of a fixed prefix range matches the exact weight.
+func TestRunUnbiasedSubsetSum(t *testing.T) {
+	const (
+		n      = 400
+		s      = 40
+		trials = 3000
+	)
+	ds := bitTrie1D(t, n, 12)
+	prefix := structure.Range{{Lo: 0, Hi: 127}} // a trie node's leaf interval
+	exact := ds.RangeSum(prefix)
+	for _, workers := range []int{4, 7} {
+		var acc xmath.KahanSum
+		for trial := 0; trial < trials; trial++ {
+			res, err := engine.Run(ds, engine.Config{Size: s, Workers: workers, Seed: uint64(trial + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Indices) != s {
+				t.Fatalf("trial %d: size %d want %d", trial, len(res.Indices), s)
+			}
+			for _, i := range res.Indices {
+				if ds.InRange(i, prefix) {
+					acc.Add(ipps.AdjustedWeight(ds.Weights[i], res.Tau))
+				}
+			}
+		}
+		mean := acc.Sum() / trials
+		if relErr := math.Abs(mean-exact) / exact; relErr > 0.03 {
+			t.Fatalf("workers=%d: mean estimate %v exact %v (rel err %v)", workers, mean, exact, relErr)
+		}
+	}
+}

@@ -24,6 +24,9 @@ type Options struct {
 	Seed uint64
 	// Out receives the tab-separated rows.
 	Out io.Writer
+	// Workers caps the worker sweep of the parallel-engine experiment
+	// (par); 0 means all available CPUs.
+	Workers int
 }
 
 func (o Options) defaults() Options {

@@ -1,0 +1,86 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"structaware/internal/core"
+	"structaware/internal/structure"
+	"structaware/internal/workload"
+	"structaware/internal/xmath"
+)
+
+func init() {
+	Runners["par"] = Par
+}
+
+// Par measures the sharded parallel engine (core.SampleParallel over
+// internal/engine) against the serial builder on the network dataset:
+// build time and speedup per worker count, with the mean absolute query
+// error alongside to show the parallel sample loses no accuracy.
+func Par(o Options) error {
+	o = o.defaults()
+	ds, err := o.network()
+	if err != nil {
+		return err
+	}
+	size := ds.Len() / 16
+	if size < 100 {
+		size = 100
+	}
+	maxW := o.Workers
+	if maxW <= 0 {
+		maxW = runtime.GOMAXPROCS(0)
+	}
+	r := xmath.NewRand(o.Seed)
+	queries := workload.Battery(o.Queries, func() structure.Query {
+		return workload.UniformAreaQuery(ds, 4, 0.25, r)
+	})
+	exact := workload.ExactAnswers(ds, queries)
+	fmt.Fprintf(o.Out, "# parallel engine: aware build time vs workers; n=%d keys, s=%d\n", ds.Len(), size)
+	fmt.Fprintf(o.Out, "# workers\tbuild_ms\tspeedup\tmean_abs_err\n")
+	var serialMS float64
+	for _, w := range workerSweep(maxW) {
+		// Best of 3 so a one-shot GC pause or scheduler hiccup (especially
+		// in the serial baseline, which anchors every speedup row) does not
+		// skew the column.
+		var sum *core.Summary
+		best := math.Inf(1)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			s, err := core.SampleParallel(ds, core.Config{Size: size, Method: core.Aware, Seed: o.Seed}, w)
+			if err != nil {
+				return err
+			}
+			if ms := float64(time.Since(start).Microseconds()) / 1000; ms < best {
+				best = ms
+			}
+			sum = s
+		}
+		ms := best
+		if w == 1 {
+			serialMS = ms
+		}
+		speedup := 0.0
+		if ms > 0 {
+			speedup = serialMS / ms
+		}
+		e := MeanAbsError(sum, queries, exact, ds.TotalWeight())
+		fmt.Fprintf(o.Out, "%d\t%.2f\t%.2f\t%.5f\n", w, ms, speedup, e)
+	}
+	return nil
+}
+
+// workerSweep returns 1, 2, 4, ... capped at max (max itself included).
+func workerSweep(max int) []int {
+	ws := []int{1}
+	for w := 2; w < max; w *= 2 {
+		ws = append(ws, w)
+	}
+	if max > 1 {
+		ws = append(ws, max)
+	}
+	return ws
+}

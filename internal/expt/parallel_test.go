@@ -1,0 +1,54 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParRunnerRegistered(t *testing.T) {
+	if Runners["par"] == nil {
+		t.Fatal("runner par missing")
+	}
+}
+
+func TestParRunnerSmallScale(t *testing.T) {
+	var buf bytes.Buffer
+	o := quickOpts(&buf)
+	o.Workers = 3
+	if err := Par(o); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(buf.String())
+	lines := strings.Split(out, "\n")
+	// Header ×2 plus one row per sweep entry (1, 2, 3 workers).
+	if len(lines) != 5 {
+		t.Fatalf("unexpected output shape:\n%s", out)
+	}
+	for _, want := range []string{"workers", "speedup", "1\t", "2\t", "3\t"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkerSweep(t *testing.T) {
+	cases := map[int][]int{
+		1: {1},
+		2: {1, 2},
+		3: {1, 2, 3},
+		8: {1, 2, 4, 8},
+		9: {1, 2, 4, 8, 9},
+	}
+	for max, want := range cases {
+		got := workerSweep(max)
+		if len(got) != len(want) {
+			t.Fatalf("workerSweep(%d) = %v want %v", max, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workerSweep(%d) = %v want %v", max, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package varopt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"structaware/internal/ipps"
+	"structaware/internal/xmath"
+)
+
+// drawShard Batch-samples the weight slice and lifts the result to global
+// indices offset..offset+len-1.
+func drawShard(t *testing.T, weights []float64, offset, s int, r xmath.Rand) Shard {
+	t.Helper()
+	sm, err := Batch(weights, s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := Shard{Tau: sm.Tau}
+	for _, i := range sm.Indices {
+		sh.Items = append(sh.Items, StreamItem{Index: offset + i, Weight: weights[i]})
+	}
+	return sh
+}
+
+// testWeights returns n deterministic heavy-tailed-ish weights.
+func testWeights(n int) []float64 {
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = 1 + float64((i*7)%13) + float64(i%5)*0.25
+	}
+	return ws
+}
+
+func TestMergeAllExactSizeAndTauDominance(t *testing.T) {
+	const (
+		n      = 300
+		shards = 3
+		s      = 20
+	)
+	ws := testWeights(n)
+	r := xmath.NewRand(11)
+	var in []Shard
+	for j := 0; j < shards; j++ {
+		lo, hi := j*n/shards, (j+1)*n/shards
+		in = append(in, drawShard(t, ws[lo:hi], lo, s, r))
+	}
+	sm, items, err := MergeAll(in, s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Size() != s {
+		t.Fatalf("merged size %d want %d", sm.Size(), s)
+	}
+	for _, sh := range in {
+		if sm.Tau < sh.Tau {
+			t.Fatalf("merged Tau %v below shard Tau %v", sm.Tau, sh.Tau)
+		}
+	}
+	if len(items) != s {
+		t.Fatalf("items %d want %d", len(items), s)
+	}
+	for k, it := range items {
+		if it.Index != sm.Indices[k] {
+			t.Fatalf("items[%d].Index %d != Indices[%d] %d", k, it.Index, k, sm.Indices[k])
+		}
+		if k > 0 && sm.Indices[k] <= sm.Indices[k-1] {
+			t.Fatalf("indices not strictly ascending at %d: %v", k, sm.Indices)
+		}
+		if it.Weight != ws[it.Index] {
+			t.Fatalf("item %d weight %v want %v", it.Index, it.Weight, ws[it.Index])
+		}
+	}
+}
+
+func TestMergeAllKeepsSmallUnion(t *testing.T) {
+	r := xmath.NewRand(7)
+	// Union of 3 exact items fits in s=10: everything kept, Tau stays 0.
+	a := Shard{Items: []StreamItem{{Index: 2, Weight: 1}, {Index: 0, Weight: 3}}}
+	b := Shard{Items: []StreamItem{{Index: 5, Weight: 2}}}
+	sm, _, err := MergeAll([]Shard{a, b}, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Size() != 3 || sm.Tau != 0 {
+		t.Fatalf("size %d tau %v, want 3 and 0", sm.Size(), sm.Tau)
+	}
+	if sm.Indices[0] != 0 || sm.Indices[1] != 2 || sm.Indices[2] != 5 {
+		t.Fatalf("indices %v not sorted", sm.Indices)
+	}
+
+	// A single full shard with positive Tau merging to the same size: kept
+	// verbatim with its own threshold.
+	ws := testWeights(60)
+	full := drawShard(t, ws, 0, 8, r)
+	if full.Tau <= 0 {
+		t.Fatal("fixture must overflow")
+	}
+	sm, _, err = MergeAll([]Shard{full, {}}, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Size() != 8 || sm.Tau != full.Tau {
+		t.Fatalf("size %d tau %v, want 8 and %v", sm.Size(), sm.Tau, full.Tau)
+	}
+}
+
+// TestMergeAllUnbiasedSubsetSum mirrors the statistical style of
+// inclusion_test.go: over repeated shard-then-merge trials the
+// Horvitz–Thompson estimate of a fixed subset's weight is unbiased.
+func TestMergeAllUnbiasedSubsetSum(t *testing.T) {
+	const (
+		n      = 60
+		s      = 8
+		trials = 20000
+	)
+	ws := testWeights(n)
+	subset := func(i int) bool { return i < 15 }
+	var exact float64
+	for i := 0; i < n; i++ {
+		if subset(i) {
+			exact += ws[i]
+		}
+	}
+	r := xmath.NewRand(123)
+	var acc xmath.KahanSum
+	for trial := 0; trial < trials; trial++ {
+		a := drawShard(t, ws[:n/2], 0, s, r)
+		b := drawShard(t, ws[n/2:], n/2, s, r)
+		sm, items, err := Merge(a, b, s, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sm.Size() != s {
+			t.Fatalf("trial %d: size %d want %d", trial, sm.Size(), s)
+		}
+		for _, it := range items {
+			if subset(it.Index) {
+				acc.Add(sm.AdjustedWeight(it.Weight))
+			}
+		}
+	}
+	mean := acc.Sum() / trials
+	if relErr := math.Abs(mean-exact) / exact; relErr > 0.02 {
+		t.Fatalf("subset estimate mean %v exact %v (rel err %v)", mean, exact, relErr)
+	}
+}
+
+func TestMergeAllSizeGuard(t *testing.T) {
+	r := xmath.NewRand(17)
+	heavy := make([]float64, 10)
+	light := make([]float64, 10)
+	for i := range heavy {
+		heavy[i], light[i] = 100, 0.01
+	}
+	// Shards drawn at size 3, merged at size 5: the merged threshold lands
+	// below the heavy shard's threshold, so the single-Tau representation
+	// would bias estimates — MergeAll must refuse.
+	a := drawShard(t, heavy, 0, 3, r)
+	b := drawShard(t, light, 10, 3, r)
+	if a.Tau <= 0 || b.Tau <= 0 {
+		t.Fatal("fixture shards must overflow")
+	}
+	if _, _, err := MergeAll([]Shard{a, b}, 5, r); err == nil {
+		t.Fatal("undersized shards must be rejected")
+	}
+
+	// Same violation, but with the union fitting in s: the keepAll path
+	// must also refuse, or items from the threshold-0 shard would inherit
+	// the other shard's threshold as their adjusted weight.
+	small := Shard{Tau: 5, Items: []StreamItem{{Index: 0, Weight: 1}, {Index: 1, Weight: 1}, {Index: 2, Weight: 1}}}
+	exact := Shard{Items: []StreamItem{{Index: 3, Weight: 1}, {Index: 4, Weight: 1}, {Index: 5, Weight: 1}, {Index: 6, Weight: 1}}}
+	if _, _, err := MergeAll([]Shard{small, exact}, 10, r); err == nil {
+		t.Fatal("keepAll merge with mismatched shard thresholds must be rejected")
+	}
+}
+
+func TestMergeAllArgErrors(t *testing.T) {
+	r := xmath.NewRand(1)
+	if _, _, err := MergeAll(nil, 5, r); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty merge: %v want ErrEmpty", err)
+	}
+	sh := Shard{Items: []StreamItem{{Index: 0, Weight: 1}}}
+	if _, _, err := MergeAll([]Shard{sh}, 0, r); !errors.Is(err, ipps.ErrBadSize) {
+		t.Fatalf("zero size: %v want ErrBadSize", err)
+	}
+}

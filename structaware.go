@@ -104,3 +104,17 @@ func NewDataset(axes []Axis, points [][]uint64, weights []float64) (*Dataset, er
 func Build(ds *Dataset, cfg Config) (*Summary, error) {
 	return core.Build(ds, cfg)
 }
+
+// SampleParallel draws a sample summary with a sharded worker pool: the
+// dataset is partitioned across `workers` goroutines, each shard draws an
+// independent VarOpt sample, and the shard samples are merged into a single
+// exact-size sample (with the structure-aware closing pass re-run on the
+// merged candidates) whose Horvitz–Thompson estimates remain unbiased.
+//
+// workers <= 0 uses all available CPUs; workers == 1 is identical to Build.
+// Methods without a parallel pipeline (Poisson, AwareTwoPass, Systematic)
+// fall back to the serial Build path. Runs are deterministic in
+// (cfg, workers).
+func SampleParallel(ds *Dataset, cfg Config, workers int) (*Summary, error) {
+	return core.SampleParallel(ds, cfg, workers)
+}
