@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench
+.PHONY: all build test vet race bench bench-smoke
 
 all: build vet test
 
@@ -17,4 +17,7 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run XXX -bench 'SerialSample$$|ParallelSample' -benchmem .
+	$(GO) test -run XXX -bench 'SerialSample$$|ParallelSample|BuilderPush' -benchmem .
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -133,6 +133,35 @@ func benchSample1M(b *testing.B, workers int) {
 
 func BenchmarkSerialSample(b *testing.B) { benchSample1M(b, 1) }
 
+// BenchmarkBuilderPush tracks the streaming ingestion path on the same
+// 1M-key input: every key goes through Builder.Push (bounded-memory
+// reservoir) and the summary is finalized once per iteration.
+func BenchmarkBuilderPush(b *testing.B) {
+	ds := bigFixture(b)
+	pt := make([]uint64, ds.Dims())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld, err := structaware.NewBuilder(ds.Axes,
+			structaware.Config{Size: 4096, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < ds.Len(); j++ {
+			if err := bld.Push(ds.Point(j, pt), ds.Weights[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sum, err := bld.Finalize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Size() != 4096 {
+			b.Fatalf("size %d", sum.Size())
+		}
+	}
+	b.ReportMetric(float64(ds.Len())*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
 func BenchmarkParallelSample(b *testing.B) {
 	for _, w := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchSample1M(b, w) })

@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"structaware/internal/cliutil"
 	"structaware/internal/expt"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		workers = flag.Int("workers", 0, "worker cap for the 'par' experiment (0 = all CPUs)")
 	)
 	flag.Parse()
+	tool := cliutil.New("sasbench")
 
 	if *list {
 		for _, n := range expt.RunnerNames() {
@@ -42,31 +44,20 @@ func main() {
 		return
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "sasbench: -exp is required (use -list to see ids)")
-		os.Exit(2)
+		tool.Usagef("-exp is required (use -list to see ids)")
 	}
-	if *scale <= 0 {
-		fmt.Fprintf(os.Stderr, "sasbench: -scale must be positive (got %g)\n", *scale)
-		os.Exit(2)
-	}
-	if *queries <= 0 {
-		fmt.Fprintf(os.Stderr, "sasbench: -queries must be positive (got %d)\n", *queries)
-		os.Exit(2)
-	}
-	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "sasbench: -workers must be >= 0 (got %d)\n", *workers)
-		os.Exit(2)
-	}
+	tool.CheckUsage(cliutil.FirstError(
+		cliutil.PositiveFloat("-scale", *scale),
+		cliutil.Positive("-queries", *queries),
+		cliutil.NonNegative("-workers", *workers),
+	))
 
 	var w io.Writer = os.Stdout
 	var f *os.File
 	if *out != "" {
 		var err error
 		f, err = os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sasbench:", err)
-			os.Exit(1)
-		}
+		tool.Check(err)
 		w = f
 	}
 
@@ -78,21 +69,16 @@ func main() {
 	for _, name := range names {
 		run, ok := expt.Runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "sasbench: unknown experiment %q\n", name)
-			os.Exit(2)
+			tool.Usagef("unknown experiment %q", name)
 		}
 		start := time.Now()
 		fmt.Fprintf(w, "## experiment %s (scale %g, seed %d)\n", name, *scale, *seed)
 		if err := run(opts); err != nil {
-			fmt.Fprintf(os.Stderr, "sasbench: %s: %v\n", name, err)
-			os.Exit(1)
+			tool.Fatalf("%s: %v", name, err)
 		}
 		fmt.Fprintf(w, "## %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	if f != nil {
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "sasbench:", err)
-			os.Exit(1)
-		}
+		tool.Check(f.Close())
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"structaware/internal/cliutil"
 	"structaware/internal/structure"
 	"structaware/internal/workload"
 )
@@ -28,10 +29,8 @@ func main() {
 		out     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
-	if err := validateFlags(*data, *pairs, *bits, *tickets); err != nil {
-		fmt.Fprintln(os.Stderr, "sasgen:", err)
-		os.Exit(2)
-	}
+	tool := cliutil.New("sasgen")
+	tool.CheckUsage(validateFlags(*data, *pairs, *bits, *tickets))
 
 	var ds *structure.Dataset
 	var err error
@@ -41,36 +40,23 @@ func main() {
 	case "tickets":
 		ds, err = workload.Tickets(workload.TicketConfig{Tickets: *tickets, Seed: *seed})
 	default:
-		fmt.Fprintf(os.Stderr, "sasgen: unknown dataset %q (want network or tickets)\n", *data)
-		os.Exit(2)
+		tool.Usagef("unknown dataset %q (want network or tickets)", *data)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sasgen:", err)
-		os.Exit(1)
-	}
+	tool.Check(err)
 
 	f := os.Stdout
 	if *out != "" {
 		f, err = os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sasgen:", err)
-			os.Exit(1)
-		}
+		tool.Check(err)
 	}
 	w := bufio.NewWriter(f)
 	fmt.Fprintf(w, "# %s dataset: %d distinct keys, total weight %g\n", *data, ds.Len(), ds.TotalWeight())
 	for i := 0; i < ds.Len(); i++ {
 		fmt.Fprintf(w, "%d,%d,%g\n", ds.Coords[0][i], ds.Coords[1][i], ds.Weights[i])
 	}
-	if err := w.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "sasgen:", err)
-		os.Exit(1)
-	}
+	tool.Check(w.Flush())
 	if *out != "" {
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "sasgen:", err)
-			os.Exit(1)
-		}
+		tool.Check(f.Close())
 	}
 }
 
@@ -81,16 +67,12 @@ func main() {
 func validateFlags(data string, pairs, bits, tickets int) error {
 	switch data {
 	case "network":
-		if pairs <= 0 {
-			return fmt.Errorf("-pairs must be positive (got %d)", pairs)
-		}
-		if bits < 1 || bits > 63 {
-			return fmt.Errorf("-bits must be in [1,63] (got %d)", bits)
-		}
+		return cliutil.FirstError(
+			cliutil.Positive("-pairs", pairs),
+			cliutil.InRange("-bits", bits, 1, 63),
+		)
 	case "tickets":
-		if tickets <= 0 {
-			return fmt.Errorf("-tickets must be positive (got %d)", tickets)
-		}
+		return cliutil.Positive("-tickets", tickets)
 	}
 	return nil
 }

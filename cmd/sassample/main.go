@@ -1,7 +1,9 @@
 // Command sassample draws a structure-aware VarOpt sample from a CSV of
 // weighted 2-D keys ("x,y,weight" rows; lines starting with '#' are
 // comments) and writes the sampled keys with their Horvitz–Thompson
-// adjusted weights. Optionally it answers a box query from the sample.
+// adjusted weights. It also serializes summaries, merges serialized shard
+// summaries, ingests unbounded streams from stdin, and answers box queries
+// from a sample.
 //
 // Usage:
 //
@@ -9,16 +11,28 @@
 //	sassample -in data.csv -s 1000 -query 0:1023:0:1023
 //	sassample -in data.csv -s 1000 -method obliv
 //	sassample -in data.csv -s 1000 -workers 8
+//
+// Summary lifecycle (build shards out-of-process, persist, ship, merge):
+//
+//	sassample -in shard0.csv -s 1000 -dump shard0.sas
+//	cat shard1.csv | sassample -in - -s 1000 -dump shard1.sas
+//	sassample -merge shard0.sas,shard1.sas -s 1000 -o merged.csv
+//
+// With -in - the rows are streamed from stdin through the Builder pipeline:
+// working memory stays bounded (-buffer keys, default 5×s) no matter how
+// long the stream is, so the input never needs to fit in memory.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"structaware/internal/cliutil"
 	"structaware/internal/core"
 	"structaware/internal/structure"
 	"structaware/internal/twopass"
@@ -26,90 +40,163 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input CSV (x,y,weight per row)")
+		in      = flag.String("in", "", "input CSV (x,y,weight per row); '-' streams from stdin")
+		merge   = flag.String("merge", "", "comma-separated serialized summaries to merge (instead of -in)")
 		out     = flag.String("o", "", "output CSV (default stdout)")
+		dump    = flag.String("dump", "", "write the summary in serialized binary form to this path")
 		s       = flag.Int("s", 1000, "sample size")
 		bits    = flag.Int("bits", 20, "domain bits per axis")
 		method  = flag.String("method", "aware", "aware | aware2p | obliv | poisson")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		query   = flag.String("query", "", "optional box query x1:x2:y1:y2 to estimate")
 		workers = flag.Int("workers", 1, "parallel sampling shards (0 = all CPUs, 1 = serial)")
+		buffer  = flag.Int("buffer", 0, "streaming buffer in keys for -in - (0 = 5*s)")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "sassample: -in is required")
-		os.Exit(2)
+	tool := cliutil.New("sassample")
+	if (*in == "") == (*merge == "") {
+		tool.Usagef("exactly one of -in or -merge is required")
 	}
-	if err := validateFlags(*s, *bits, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "sassample:", err)
-		os.Exit(2)
-	}
-
-	ds, err := readCSV(*in, *bits)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sassample:", err)
-		os.Exit(1)
-	}
-
+	tool.CheckUsage(cliutil.FirstError(
+		cliutil.Positive("-s", *s),
+		cliutil.InRange("-bits", *bits, 1, 63),
+		cliutil.NonNegative("-workers", *workers),
+		cliutil.NonNegative("-buffer", *buffer),
+	))
 	m, err := parseMethod(*method)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sassample:", err)
-		os.Exit(2)
-	}
-	sum, err := core.SampleParallel(ds, core.Config{Size: *s, Method: m, Seed: *seed}, *workers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sassample:", err)
-		os.Exit(1)
+	tool.CheckUsage(err)
+	cfg := core.Config{Size: *s, Method: m, Seed: *seed, Buffer: *buffer}
+
+	var sum *core.Summary
+	exact := func(structure.Range) (float64, bool) { return 0, false }
+	switch {
+	case *merge != "":
+		sum, err = mergeSummaries(strings.Split(*merge, ","), *s, *seed)
+		tool.Check(err)
+	case *in == "-":
+		// NewBuilder rejects non-streamable configurations (method without
+		// a streaming pipeline, buffer below the sample size) — those are
+		// flag mistakes, hence usage errors.
+		axes := []structure.Axis{structure.BitTrieAxis(*bits), structure.BitTrieAxis(*bits)}
+		b, err := core.NewBuilder(axes, cfg)
+		tool.CheckUsage(err)
+		sum, err = buildStream(os.Stdin, b)
+		tool.Check(err)
+	default:
+		ds, err := readCSV(*in, *bits)
+		tool.Check(err)
+		sum, err = core.SampleParallel(ds, cfg, *workers)
+		tool.Check(err)
+		exact = func(box structure.Range) (float64, bool) { return ds.RangeSum(box), true }
 	}
 
-	if *query != "" {
+	if *dump != "" {
+		tool.Check(writeSummaryFile(*dump, sum))
+	}
+	switch {
+	case *query != "":
 		box, err := parseBox(*query)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sassample:", err)
-			os.Exit(2)
+		tool.CheckUsage(err)
+		if ex, ok := exact(box); ok {
+			fmt.Printf("exact=%g estimate=%g (summary size %d, tau %g)\n",
+				ex, sum.EstimateRange(box), sum.Size(), sum.Tau)
+		} else {
+			fmt.Printf("estimate=%g (summary size %d, tau %g; exact unavailable without the dataset)\n",
+				sum.EstimateRange(box), sum.Size(), sum.Tau)
 		}
-		fmt.Printf("exact=%g estimate=%g (summary size %d, tau %g)\n",
-			ds.RangeSum(box), sum.EstimateRange(box), sum.Size(), sum.Tau)
-		return
-	}
-
-	f := os.Stdout
-	if *out != "" {
-		f, err = os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sassample:", err)
-			os.Exit(1)
-		}
-	}
-	w := bufio.NewWriter(f)
-	fmt.Fprintf(w, "# %s sample of %d keys (from %d), tau=%g\n", sum.Method, sum.Size(), ds.Len(), sum.Tau)
-	fmt.Fprintln(w, "# x,y,weight,adjusted_weight")
-	for k := 0; k < sum.Size(); k++ {
-		fmt.Fprintf(w, "%d,%d,%g,%g\n", sum.Coords[0][k], sum.Coords[1][k], sum.Weights[k], sum.AdjustedWeight(k))
-	}
-	if err := w.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "sassample:", err)
-		os.Exit(1)
-	}
-	if *out != "" {
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "sassample:", err)
-			os.Exit(1)
-		}
+	case *dump == "" || *out != "":
+		// CSV goes to stdout by default, but not as a side effect of -dump
+		// alone; an explicit -o always gets the CSV too.
+		tool.Check(writeCSV(*out, sum))
 	}
 }
 
-// validateFlags rejects out-of-range flag values with a usage error before
-// any work happens.
-func validateFlags(s, bits, workers int) error {
-	if s <= 0 {
-		return fmt.Errorf("-s must be positive (got %d)", s)
+// mergeSummaries loads serialized shard summaries and merges them to size s.
+func mergeSummaries(paths []string, s int, seed uint64) (*core.Summary, error) {
+	sums := make([]*core.Summary, 0, len(paths))
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := core.ReadSummary(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		sums = append(sums, sum)
 	}
-	if bits < 1 || bits > 63 {
-		return fmt.Errorf("-bits must be in [1,63] (got %d)", bits)
+	return core.MergeSummaries(s, seed, sums...)
+}
+
+// buildStream ingests CSV rows from r through the streaming Builder
+// pipeline (bounded memory), using the same row parser as file input.
+func buildStream(r io.Reader, b *core.Builder) (*core.Summary, error) {
+	src, err := twopass.NewReaderSource(r, 2)
+	if err != nil {
+		return nil, err
 	}
-	if workers < 0 {
-		return fmt.Errorf("-workers must be >= 0 (got %d)", workers)
+	for {
+		pt, w, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := b.Push(pt, w); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finalize()
+}
+
+// writeSummaryFile serializes the summary to path.
+func writeSummaryFile(path string, sum *core.Summary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := sum.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeCSV writes the sampled keys with adjusted weights to path (stdout
+// when empty).
+func writeCSV(path string, sum *core.Summary) error {
+	f := os.Stdout
+	if path != "" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# %s sample of %d keys, tau=%g\n", sum.Method, sum.Size(), sum.Tau)
+	header := make([]string, len(sum.Axes))
+	for d := range header {
+		header[d] = fmt.Sprintf("c%d", d)
+	}
+	fmt.Fprintf(w, "# %s,weight,adjusted_weight\n", strings.Join(header, ","))
+	for k := 0; k < sum.Size(); k++ {
+		for d := range sum.Axes {
+			fmt.Fprintf(w, "%d,", sum.Coords[d][k])
+		}
+		fmt.Fprintf(w, "%g,%g\n", sum.Weights[k], sum.AdjustedWeight(k))
+	}
+	if err := w.Flush(); err != nil {
+		if path != "" {
+			f.Close()
+		}
+		return err
+	}
+	if path != "" {
+		return f.Close()
 	}
 	return nil
 }

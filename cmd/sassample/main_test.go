@@ -1,11 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"structaware/internal/core"
+	"structaware/internal/structure"
 )
 
 func TestParseMethod(t *testing.T) {
@@ -23,24 +26,6 @@ func TestParseMethod(t *testing.T) {
 	}
 	if _, err := parseMethod("bogus"); err == nil {
 		t.Fatal("unknown method must error")
-	}
-}
-
-func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(1000, 20, 0); err != nil {
-		t.Fatalf("valid flags rejected: %v", err)
-	}
-	cases := []struct{ s, bits, workers int }{
-		{0, 20, 1},    // non-positive sample size
-		{-5, 20, 1},   // negative sample size
-		{100, 0, 1},   // bits below range
-		{100, 64, 1},  // bits above range
-		{100, 20, -1}, // negative workers
-	}
-	for _, c := range cases {
-		if err := validateFlags(c.s, c.bits, c.workers); err == nil {
-			t.Fatalf("validateFlags(%d, %d, %d) must error", c.s, c.bits, c.workers)
-		}
 	}
 }
 
@@ -88,3 +73,76 @@ func TestReadCSVEndToEnd(t *testing.T) {
 		t.Fatal("missing file must error")
 	}
 }
+
+// TestStreamDumpMergeLifecycle drives the serve workflow end to end through
+// the CLI helpers: two shards built from streams (one per "process"),
+// serialized to disk, then merged from the serialized forms.
+func TestStreamDumpMergeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	const bits = 10
+	shardCSV := func(seed, n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			x := (seed*31 + i*7) % (1 << bits)
+			y := (seed*17 + i*13) % (1 << bits)
+			fmt.Fprintf(&sb, "%d,%d,1.5\n", x, y)
+		}
+		return sb.String()
+	}
+	cfg := core.Config{Size: 40, Seed: 3}
+	axes := []structure.Axis{structure.BitTrieAxis(bits), structure.BitTrieAxis(bits)}
+	var paths []string
+	for j := 0; j < 2; j++ {
+		b, err := core.NewBuilder(axes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := buildStream(strings.NewReader(shardCSV(j+1, 500)), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Size() != 40 {
+			t.Fatalf("shard %d size %d", j, sum.Size())
+		}
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.sas", j))
+		if err := writeSummaryFile(path, sum); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	merged, err := mergeSummaries(paths, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Size() != 40 {
+		t.Fatalf("merged size %d want 40", merged.Size())
+	}
+	if merged.Tau <= 0 {
+		t.Fatalf("merged tau %v", merged.Tau)
+	}
+	// CSV output of the merged summary is well-formed.
+	outPath := filepath.Join(dir, "merged.csv")
+	if err := writeCSV(outPath, merged); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2+merged.Size() {
+		t.Fatalf("%d output lines want %d", len(lines), 2+merged.Size())
+	}
+	// Merging a corrupt file fails cleanly.
+	bad := filepath.Join(dir, "bad.sas")
+	if err := os.WriteFile(bad, []byte("not a summary"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mergeSummaries(append(paths, bad), 40, 9); err == nil {
+		t.Fatal("corrupt shard must error")
+	}
+	if _, err := mergeSummaries([]string{filepath.Join(dir, "missing.sas")}, 40, 9); err == nil {
+		t.Fatal("missing shard must error")
+	}
+}
+

@@ -1,0 +1,112 @@
+// Package cliutil centralizes the flag-validation and exit-code plumbing
+// shared by the repository's command-line tools (cmd/sassample,
+// cmd/sasbench, cmd/sasgen). The conventions it encodes:
+//
+//   - errors print to stderr as "<tool>: <message>";
+//   - usage errors (bad or missing flags) exit with code 2;
+//   - runtime failures (I/O, sampling errors) exit with code 1.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Tool is one command's error-reporting context.
+type Tool struct {
+	// Name prefixes every message ("sassample: ...").
+	Name string
+	// Stderr receives the messages; defaults to os.Stderr via New.
+	Stderr io.Writer
+	// Exit terminates the process; defaults to os.Exit via New. Tests
+	// substitute a recorder (the methods below do return after calling a
+	// non-terminating Exit).
+	Exit func(code int)
+}
+
+// New returns a Tool wired to os.Stderr and os.Exit.
+func New(name string) *Tool {
+	return &Tool{Name: name, Stderr: os.Stderr, Exit: os.Exit}
+}
+
+// fail prints the message and exits with the given code.
+func (t *Tool) fail(code int, msg string) {
+	fmt.Fprintf(t.Stderr, "%s: %s\n", t.Name, msg)
+	t.Exit(code)
+}
+
+// Usagef reports a usage error and exits with code 2.
+func (t *Tool) Usagef(format string, args ...interface{}) {
+	t.fail(2, fmt.Sprintf(format, args...))
+}
+
+// CheckUsage exits with code 2 when err is non-nil (flag validation).
+func (t *Tool) CheckUsage(err error) {
+	if err != nil {
+		t.fail(2, err.Error())
+	}
+}
+
+// Check exits with code 1 when err is non-nil (runtime failure).
+func (t *Tool) Check(err error) {
+	if err != nil {
+		t.fail(1, err.Error())
+	}
+}
+
+// Fatalf reports a runtime failure and exits with code 1.
+func (t *Tool) Fatalf(format string, args ...interface{}) {
+	t.fail(1, fmt.Sprintf(format, args...))
+}
+
+// FirstError returns the first non-nil error, so a tool can validate every
+// flag in one CheckUsage call.
+func FirstError(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Positive validates an integer flag that must be > 0.
+func Positive(flag string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be positive (got %d)", flag, v)
+	}
+	return nil
+}
+
+// PositiveFloat validates a float flag that must be > 0.
+func PositiveFloat(flag string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be positive (got %g)", flag, v)
+	}
+	return nil
+}
+
+// NonNegative validates an integer flag that must be >= 0.
+func NonNegative(flag string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0 (got %d)", flag, v)
+	}
+	return nil
+}
+
+// InRange validates an integer flag that must lie in [lo, hi].
+func InRange(flag string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("%s must be in [%d,%d] (got %d)", flag, lo, hi, v)
+	}
+	return nil
+}
+
+// Required validates a string flag that must be non-empty.
+func Required(flag, v string) error {
+	if v == "" {
+		return fmt.Errorf("%s is required", flag)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package cliutil
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// recorder returns a Tool writing to a buffer and recording exit codes
+// instead of terminating.
+func recorder() (*Tool, *bytes.Buffer, *[]int) {
+	var buf bytes.Buffer
+	var codes []int
+	t := &Tool{Name: "sastool", Stderr: &buf, Exit: func(c int) { codes = append(codes, c) }}
+	return t, &buf, &codes
+}
+
+func TestCheckUsageAndCheck(t *testing.T) {
+	tool, buf, codes := recorder()
+	tool.CheckUsage(nil)
+	tool.Check(nil)
+	if len(*codes) != 0 || buf.Len() != 0 {
+		t.Fatalf("nil errors must be silent (codes %v, output %q)", *codes, buf.String())
+	}
+	tool.CheckUsage(errors.New("-s must be positive"))
+	tool.Check(errors.New("open: no such file"))
+	if want := []int{2, 1}; len(*codes) != 2 || (*codes)[0] != want[0] || (*codes)[1] != want[1] {
+		t.Fatalf("exit codes %v want %v", *codes, want)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sastool: -s must be positive") || !strings.Contains(out, "sastool: open: no such file") {
+		t.Fatalf("output %q missing tool-prefixed messages", out)
+	}
+}
+
+func TestUsagefAndFatalf(t *testing.T) {
+	tool, buf, codes := recorder()
+	tool.Usagef("unknown method %q", "bogus")
+	tool.Fatalf("experiment %s: %v", "fig2a", errors.New("boom"))
+	if want := []int{2, 1}; (*codes)[0] != want[0] || (*codes)[1] != want[1] {
+		t.Fatalf("exit codes %v want %v", *codes, want)
+	}
+	if out := buf.String(); !strings.Contains(out, `unknown method "bogus"`) || !strings.Contains(out, "fig2a: boom") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestValidators(t *testing.T) {
+	if err := FirstError(nil, nil, Positive("-s", 1)); err != nil {
+		t.Fatalf("all-valid FirstError: %v", err)
+	}
+	if err := FirstError(nil, Positive("-s", 0), Positive("-q", -1)); err == nil || !strings.Contains(err.Error(), "-s") {
+		t.Fatalf("FirstError must surface the first failure, got %v", err)
+	}
+	cases := []struct {
+		name string
+		err  error
+		want bool // want an error
+	}{
+		{"positive ok", Positive("-s", 5), false},
+		{"positive zero", Positive("-s", 0), true},
+		{"positive negative", Positive("-s", -3), true},
+		{"posfloat ok", PositiveFloat("-scale", 0.5), false},
+		{"posfloat zero", PositiveFloat("-scale", 0), true},
+		{"nonneg ok", NonNegative("-workers", 0), false},
+		{"nonneg bad", NonNegative("-workers", -1), true},
+		{"range ok lo", InRange("-bits", 1, 1, 63), false},
+		{"range ok hi", InRange("-bits", 63, 1, 63), false},
+		{"range below", InRange("-bits", 0, 1, 63), true},
+		{"range above", InRange("-bits", 64, 1, 63), true},
+		{"required ok", Required("-in", "x.csv"), false},
+		{"required empty", Required("-in", ""), true},
+	}
+	for _, c := range cases {
+		if got := c.err != nil; got != c.want {
+			t.Fatalf("%s: error=%v want error=%v", c.name, c.err, c.want)
+		}
+	}
+	// Messages name the flag so the user knows what to fix.
+	if err := InRange("-bits", 64, 1, 63); !strings.Contains(err.Error(), "-bits") {
+		t.Fatalf("message %q must name the flag", err)
+	}
+}

@@ -14,10 +14,8 @@ import (
 	"errors"
 	"fmt"
 
-	"structaware/internal/aware"
 	"structaware/internal/engine"
 	"structaware/internal/ipps"
-	"structaware/internal/paggr"
 	"structaware/internal/structure"
 	"structaware/internal/twopass"
 	"structaware/internal/varopt"
@@ -62,16 +60,24 @@ func (m Method) String() string {
 	}
 }
 
-// Config configures Build.
+// Config configures Build and NewBuilder.
 type Config struct {
 	// Size is the target sample size s (exact for VarOpt methods).
 	Size int
 	// Method selects the scheme; the zero value is Aware.
 	Method Method
-	// Oversample sets the two-pass guide-sample factor (default 5).
+	// Oversample sets the two-pass guide-sample factor and the streaming
+	// Builder's default buffer multiple (default 5).
 	Oversample int
 	// Seed makes the construction deterministic; 0 means seed 1.
 	Seed uint64
+	// Buffer bounds the streaming Builder's working memory: the number of
+	// candidate keys its reservoir retains during ingestion. 0 means
+	// Oversample×Size; explicit values below Size are rejected (the
+	// reservoir must be at least the target size for the final merge to
+	// preserve unbiasedness). Build ignores it — the dataset-backed path
+	// closes over the full dataset.
+	Buffer int
 }
 
 func (c Config) rand() *xmath.SplitMix {
@@ -103,7 +109,11 @@ type Summary struct {
 // ErrNoData is returned when the dataset has no positive-weight keys.
 var ErrNoData = errors.New("core: dataset has no positive-weight keys")
 
-// Build draws a sample summary from the dataset according to cfg.
+// Build draws a sample summary from the dataset according to cfg. It is a
+// thin driver over the shared pipeline: dataset rows are the (already
+// materialized) ingestion output, and the structure-aware closing pass of
+// internal/engine — the same one the parallel merge and the streaming
+// Builder finish with — settles the candidate probabilities.
 func Build(ds *structure.Dataset, cfg Config) (*Summary, error) {
 	if cfg.Size <= 0 {
 		return nil, ipps.ErrBadSize
@@ -113,12 +123,6 @@ func Build(ds *structure.Dataset, cfg Config) (*Summary, error) {
 	}
 	r := cfg.rand()
 	switch cfg.Method {
-	case Oblivious:
-		sm, err := varopt.Batch(ds.Weights, cfg.Size, r)
-		if err != nil {
-			return nil, mapErr(err)
-		}
-		return fromIndices(ds, sm.Indices, sm.Tau, cfg.Method), nil
 	case Poisson:
 		sm, err := varopt.Poisson(ds.Weights, cfg.Size, r)
 		if err != nil {
@@ -131,14 +135,29 @@ func Build(ds *structure.Dataset, cfg Config) (*Summary, error) {
 			return nil, mapErr(err)
 		}
 		return fromIndices(ds, res.Indices, res.Tau, cfg.Method), nil
-	case Aware, Systematic:
-		idx, tau, err := buildMainMemory(ds, cfg, r)
+	case Aware, Oblivious, Systematic:
+		kept, tau, err := engine.Close(ds, nil, make([]float64, ds.Len()), cfg.Size, closeMode(cfg.Method), r)
 		if err != nil {
 			return nil, mapErr(err)
 		}
-		return fromIndices(ds, idx, tau, cfg.Method), nil
+		if len(kept) == 0 {
+			return nil, ErrNoData
+		}
+		return fromIndices(ds, kept, tau, cfg.Method), nil
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", cfg.Method)
+	}
+}
+
+// closeMode maps a Method to the shared pipeline's closing-pass selector.
+func closeMode(m Method) engine.CloseMode {
+	switch m {
+	case Oblivious:
+		return engine.CloseOblivious
+	case Systematic:
+		return engine.CloseSystematic
+	default:
+		return engine.CloseAware
 	}
 }
 
@@ -200,35 +219,6 @@ func buildTwoPass(ds *structure.Dataset, cfg Config, r *xmath.SplitMix) (*twopas
 		return twopass.Order(ds, 0, cfg.Size, tc, r)
 	}
 	return twopass.Product(ds, cfg.Size, tc, r)
-}
-
-// buildMainMemory runs the main-memory structure-aware (or systematic)
-// summarization and returns the sampled indices and τ.
-func buildMainMemory(ds *structure.Dataset, cfg Config, r *xmath.SplitMix) ([]int, float64, error) {
-	tau, err := ipps.Threshold(ds.Weights, cfg.Size)
-	if err != nil {
-		return nil, 0, err
-	}
-	p := ipps.Probabilities(ds.Weights, tau)
-	if tau > 0 {
-		ipps.NormalizeToInteger(p, 1e-6)
-	}
-
-	if cfg.Method == Systematic {
-		order := engine.CoordOrder(ds, 0, nil)
-		aware.Systematic(p, order, r.Float64())
-	} else {
-		// The structure-aware closing pass (1-D hierarchy/order schemes or
-		// KD-HIERARCHY, §3–§4) is shared with the parallel merge step.
-		if err := engine.Summarize(ds, nil, p, r); err != nil {
-			return nil, 0, err
-		}
-	}
-	idx := paggr.SampleIndices(p)
-	if len(idx) == 0 {
-		return nil, 0, ErrNoData
-	}
-	return idx, tau, nil
 }
 
 // fromIndices materializes a Summary from sampled dataset indices.

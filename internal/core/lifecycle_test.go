@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"structaware/internal/hierarchy"
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+// TestMarshalBinaryRoundTripEquality: MarshalBinary/UnmarshalBinary preserve
+// every field a query can observe.
+func TestMarshalBinaryRoundTripEquality(t *testing.T) {
+	ds := make2D(t, 700, 14, 51)
+	orig, err := Build(ds, Config{Size: 90, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != orig.Size() || got.Tau != orig.Tau || got.Method != orig.Method {
+		t.Fatalf("header mismatch after round trip")
+	}
+	if len(got.Axes) != len(orig.Axes) {
+		t.Fatal("axis count mismatch")
+	}
+	for d := range got.Axes {
+		if got.Axes[d].Kind != orig.Axes[d].Kind || got.Axes[d].DomainSize() != orig.Axes[d].DomainSize() {
+			t.Fatalf("axis %d mismatch", d)
+		}
+	}
+	for k := 0; k < orig.Size(); k++ {
+		if got.Weights[k] != orig.Weights[k] ||
+			got.Coords[0][k] != orig.Coords[0][k] || got.Coords[1][k] != orig.Coords[1][k] {
+			t.Fatalf("key %d mismatch", k)
+		}
+	}
+	r := xmath.NewRand(99)
+	for q := 0; q < 50; q++ {
+		box := randomBox(ds, r)
+		if got.EstimateRange(box) != orig.EstimateRange(box) {
+			t.Fatalf("estimates diverge on %v", box)
+		}
+	}
+}
+
+// TestExplicitHierarchyAxisRoundTrip: format 2 embeds explicit trees, so
+// hierarchy summaries survive serialization with their structure (not a
+// flattened ordered view).
+func TestExplicitHierarchyAxisRoundTrip(t *testing.T) {
+	hb := hierarchy.NewBuilder()
+	var leaves []int32
+	for c := 0; c < 4; c++ {
+		mid := hb.AddChild(0)
+		for l := 0; l < 5; l++ {
+			leaves = append(leaves, hb.AddChild(mid))
+		}
+	}
+	tree, err := hb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	axes := []structure.Axis{structure.ExplicitAxis(tree)}
+	var pts [][]uint64
+	var ws []float64
+	r := xmath.NewRand(5)
+	for i := 0; i < 300; i++ {
+		leaf := leaves[r.Uint64()%uint64(len(leaves))]
+		pos, _ := tree.LeafPosition(leaf)
+		pts = append(pts, []uint64{pos})
+		ws = append(ws, 1+10*r.Float64())
+	}
+	ds, err := structure.NewDataset(axes, pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Build(ds, Config{Size: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	ax := got.Axes[0]
+	if ax.Kind != structure.Explicit || ax.Tree == nil {
+		t.Fatalf("explicit axis downgraded to %v", ax.Kind)
+	}
+	if ax.Tree.NumLeaves() != tree.NumLeaves() || ax.Tree.NumNodes() != tree.NumNodes() {
+		t.Fatal("tree shape lost in round trip")
+	}
+	// Hierarchy-node queries agree exactly.
+	for _, v := range tree.InternalNodes() {
+		lo, hi, ok := tree.LeafInterval(v)
+		if !ok {
+			continue
+		}
+		box := structure.Range{{Lo: lo, Hi: hi}}
+		if got.EstimateRange(box) != orig.EstimateRange(box) {
+			t.Fatalf("node %d estimate diverges", v)
+		}
+	}
+}
+
+// TestReadSummaryVersionMismatch: other format versions are rejected with
+// ErrVersion (distinct from generic corruption).
+func TestReadSummaryVersionMismatch(t *testing.T) {
+	ds := make2D(t, 200, 10, 53)
+	sum, err := Build(ds, Config{Size: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sum.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ver := range []byte{'1', '3', '9'} {
+		old := append([]byte(nil), data...)
+		old[3] = ver
+		_, err := ReadSummary(bytes.NewReader(old))
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("version %c: %v want ErrVersion", ver, err)
+		}
+	}
+	// Non-SAS garbage is a format error, not a version error.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := ReadSummary(bytes.NewReader(bad)); !errors.Is(err, ErrBadFormat) || errors.Is(err, ErrVersion) {
+		t.Fatalf("garbage magic: %v want ErrBadFormat", err)
+	}
+	var s Summary
+	if err := s.UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+// randomBox draws a random axis-parallel box over the dataset's domain.
+func randomBox(ds *structure.Dataset, r xmath.Rand) structure.Range {
+	box := make(structure.Range, ds.Dims())
+	for d, a := range ds.Axes {
+		n := a.DomainSize()
+		lo := r.Uint64() % n
+		hi := lo + r.Uint64()%(n-lo)
+		box[d] = structure.Interval{Lo: lo, Hi: hi}
+	}
+	return box
+}
+
+// TestMergedDeserializedShardsUnbiased is the lifecycle property test of the
+// serving workflow: shard summaries are built by independent Builders over
+// disjoint slices of the data, serialized, "shipped" (deserialized from
+// bytes), and merged — and the merged summary's Horvitz–Thompson estimates
+// over random ranges remain unbiased against the exact sums.
+func TestMergedDeserializedShardsUnbiased(t *testing.T) {
+	const (
+		s      = 120
+		shards = 3
+		trials = 250
+	)
+	ds := make2D(t, 3000, 12, 57)
+	// Random query ranges with non-trivial mass (tiny ranges would need far
+	// more trials for the mean to settle).
+	qr := xmath.NewRand(4242)
+	var boxes []structure.Range
+	for len(boxes) < 5 {
+		box := randomBox(ds, qr)
+		if ds.RangeSum(box) >= 0.05*ds.TotalWeight() {
+			boxes = append(boxes, box)
+		}
+	}
+	exact := make([]float64, len(boxes))
+	for q, box := range boxes {
+		exact[q] = ds.RangeSum(box)
+	}
+	acc := make([]xmath.KahanSum, len(boxes))
+	var accTotal xmath.KahanSum
+	pt := make([]uint64, ds.Dims())
+	for trial := 0; trial < trials; trial++ {
+		var blobs [][]byte
+		for j := 0; j < shards; j++ {
+			b, err := NewBuilder(ds.Axes, Config{Size: s, Seed: uint64(1000*trial + j + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, hi := j*ds.Len()/shards, (j+1)*ds.Len()/shards
+			for i := lo; i < hi; i++ {
+				if err := b.Push(ds.Point(i, pt), ds.Weights[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sum, err := b.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := sum.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, blob)
+		}
+		// "Second process": reconstruct the shard summaries from bytes only.
+		restored := make([]*Summary, shards)
+		for j, blob := range blobs {
+			restored[j] = new(Summary)
+			if err := restored[j].UnmarshalBinary(blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged, err := MergeSummaries(s, uint64(trial+1), restored...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.Size() != s {
+			t.Fatalf("trial %d: merged size %d want %d", trial, merged.Size(), s)
+		}
+		for q, box := range boxes {
+			acc[q].Add(merged.EstimateRange(box))
+		}
+		accTotal.Add(merged.EstimateTotal())
+	}
+	for q := range boxes {
+		mean := acc[q].Sum() / trials
+		if relErr := math.Abs(mean-exact[q]) / exact[q]; relErr > 0.08 {
+			t.Fatalf("box %d: mean estimate %v exact %v (rel err %v)", q, mean, exact[q], relErr)
+		}
+	}
+	meanTotal := accTotal.Sum() / trials
+	if relErr := math.Abs(meanTotal-ds.TotalWeight()) / ds.TotalWeight(); relErr > 0.03 {
+		t.Fatalf("total: mean %v exact %v (rel err %v)", meanTotal, ds.TotalWeight(), relErr)
+	}
+}

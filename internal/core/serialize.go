@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -12,79 +13,89 @@ import (
 )
 
 // Summaries outlive the data they summarize — the paper's workflow archives
-// or deletes the raw table once the summary is built. WriteTo/ReadSummary
-// give the Summary a compact, versioned binary encoding for that purpose.
+// or deletes the raw table once the summary is built, and the serving
+// architecture builds shard summaries out-of-process, persists them, ships
+// them, and merges them at query time (MergeSummaries). WriteTo/ReadSummary
+// and the encoding.BinaryMarshaler/BinaryUnmarshaler pair give the Summary
+// a compact, versioned binary encoding for that lifecycle.
 //
-// Layout (little endian):
+// Format version 2 ("SAS2", little endian):
 //
-//	magic "SAS1" | method u8 | tau f64 | dims u16 | per-axis {kind u8, bits u16}
+//	magic "SAS2" | method u8 | tau f64 | dims u16
+//	| per-axis metadata (structure.WriteAxis; explicit hierarchies embed
+//	  their full tree, so axes round-trip losslessly)
 //	| size u32 | coords dims×size u64 | weights size f64
 //
-// Explicit-hierarchy axes serialize their kind and linearized domain width;
-// the tree itself is intentionally not embedded (it belongs to the schema,
-// not the sample). ReadSummary restores such axes as Ordered over the same
-// coordinate space, which answers every query expressible as intervals —
-// i.e. everything the linearized representation supports.
+// Version 1 encoded explicit axes as flattened ordered views; readers of
+// this version reject it (and any other version) with ErrVersion so a
+// mixed-version fleet fails loudly instead of answering hierarchy queries
+// from silently downgraded metadata.
 
-var magic = [4]byte{'S', 'A', 'S', '1'}
+var magic = [4]byte{'S', 'A', 'S', '2'}
 
 // ErrBadFormat is returned when decoding fails.
 var ErrBadFormat = errors.New("core: bad summary encoding")
 
+// ErrVersion is returned when decoding a summary written by a different
+// format version than this build reads.
+var ErrVersion = errors.New("core: unsupported summary format version")
+
+// maxSummarySize bounds decoded sample sizes so corrupt input cannot
+// trigger absurd allocations.
+const maxSummarySize = 1 << 30
+
 // WriteTo serializes the summary. It implements io.WriterTo.
 func (s *Summary) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
-	var n int64
+	cw := &countingWriter{w: bw}
 	write := func(v interface{}) error {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-		n += int64(binary.Size(v))
-		return nil
+		return binary.Write(cw, binary.LittleEndian, v)
 	}
 	if err := write(magic); err != nil {
-		return n, err
+		return cw.n, err
 	}
 	if err := write(uint8(s.Method)); err != nil {
-		return n, err
+		return cw.n, err
 	}
 	if err := write(s.Tau); err != nil {
-		return n, err
+		return cw.n, err
 	}
 	if err := write(uint16(len(s.Axes))); err != nil {
-		return n, err
+		return cw.n, err
 	}
 	for _, ax := range s.Axes {
-		if err := write(uint8(ax.Kind)); err != nil {
-			return n, err
-		}
-		bits := ax.Bits
-		if ax.Kind == structure.Explicit {
-			// Preserve the linearized domain width.
-			bits = 0
-			for (uint64(1) << uint(bits)) < ax.DomainSize() {
-				bits++
-			}
-		}
-		if err := write(uint16(bits)); err != nil {
-			return n, err
+		if err := structure.WriteAxis(cw, ax); err != nil {
+			return cw.n, err
 		}
 	}
 	if err := write(uint32(s.Size())); err != nil {
-		return n, err
+		return cw.n, err
 	}
 	for d := range s.Axes {
 		if err := write(s.Coords[d]); err != nil {
-			return n, err
+			return cw.n, err
 		}
 	}
 	if err := write(s.Weights); err != nil {
-		return n, err
+		return cw.n, err
 	}
-	return n, bw.Flush()
+	return cw.n, bw.Flush()
 }
 
-// ReadSummary deserializes a summary written by WriteTo.
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadSummary deserializes a summary written by WriteTo. Summaries written
+// by other format versions are rejected with ErrVersion.
 func ReadSummary(r io.Reader) (*Summary, error) {
 	br := bufio.NewReader(r)
 	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
@@ -93,6 +104,9 @@ func ReadSummary(r io.Reader) (*Summary, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
 	if m != magic {
+		if m[0] == 'S' && m[1] == 'A' && m[2] == 'S' {
+			return nil, fmt.Errorf("%w: got %q, this build reads %q", ErrVersion, m[:], magic[:])
+		}
 		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m[:])
 	}
 	var method uint8
@@ -104,7 +118,7 @@ func ReadSummary(r io.Reader) (*Summary, error) {
 	if err := read(&tau); err != nil {
 		return nil, fmt.Errorf("%w: tau", ErrBadFormat)
 	}
-	if math.IsNaN(tau) || tau < 0 {
+	if math.IsNaN(tau) || math.IsInf(tau, 0) || tau < 0 {
 		return nil, fmt.Errorf("%w: tau %v", ErrBadFormat, tau)
 	}
 	if err := read(&dims); err != nil {
@@ -115,30 +129,17 @@ func ReadSummary(r io.Reader) (*Summary, error) {
 	}
 	s := &Summary{Tau: tau, Method: Method(method), Axes: make([]structure.Axis, dims)}
 	for d := range s.Axes {
-		var kind uint8
-		var bits uint16
-		if err := read(&kind); err != nil {
-			return nil, fmt.Errorf("%w: axis kind", ErrBadFormat)
+		ax, err := structure.ReadAxis(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: axis %d: %v", ErrBadFormat, d, err)
 		}
-		if err := read(&bits); err != nil {
-			return nil, fmt.Errorf("%w: axis bits", ErrBadFormat)
-		}
-		if bits == 0 || bits > 63 {
-			return nil, fmt.Errorf("%w: axis bits %d", ErrBadFormat, bits)
-		}
-		k := structure.AxisKind(kind)
-		if k == structure.Explicit {
-			// The tree is schema, not sample; reopen as an ordered view of
-			// the linearized coordinates.
-			k = structure.Ordered
-		}
-		s.Axes[d] = structure.Axis{Kind: k, Bits: int(bits)}
+		s.Axes[d] = ax
 	}
 	var size uint32
 	if err := read(&size); err != nil {
 		return nil, fmt.Errorf("%w: size", ErrBadFormat)
 	}
-	if size > 1<<30 {
+	if size > maxSummarySize {
 		return nil, fmt.Errorf("%w: size %d", ErrBadFormat, size)
 	}
 	s.Coords = make([][]uint64, dims)
@@ -146,6 +147,11 @@ func ReadSummary(r io.Reader) (*Summary, error) {
 		s.Coords[d] = make([]uint64, size)
 		if err := read(s.Coords[d]); err != nil {
 			return nil, fmt.Errorf("%w: coords", ErrBadFormat)
+		}
+		for _, x := range s.Coords[d] {
+			if x >= s.Axes[d].DomainSize() {
+				return nil, fmt.Errorf("%w: coordinate %d out of domain on axis %d", ErrBadFormat, x, d)
+			}
 		}
 	}
 	s.Weights = make([]float64, size)
@@ -158,4 +164,23 @@ func ReadSummary(r io.Reader) (*Summary, error) {
 		}
 	}
 	return s, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	got, err := ReadSummary(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	*s = *got
+	return nil
 }

@@ -14,15 +14,16 @@
 // I/O-efficient construction of §5 with the per-shard samples playing the
 // role of the oversampled guide sample.
 //
-// Package core routes to this pipeline via SampleParallel; the serial Build
-// path shares the same closing pass through Summarize, so parallel and
-// serial samples satisfy the same VarOpt properties (exact size s, unbiased
-// HT estimates, exponential tail bounds).
+// Package core routes to this pipeline via SampleParallel. The finalization
+// itself — threshold, probability fill, normalization, closing pass — lives
+// in Close and MergeClose (close.go) and is shared with the serial Build
+// path, the streaming Builder (whose reservoir finalizes as a single
+// mergeable shard), and summary merging, so every construction path
+// satisfies the same VarOpt properties (exact size s, unbiased HT
+// estimates, exponential tail bounds).
 package engine
 
 import (
-	"fmt"
-	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -117,7 +118,15 @@ func Run(ds *structure.Dataset, cfg Config) (*Result, error) {
 	if total == 0 {
 		return nil, varopt.ErrEmpty
 	}
-	return mergeShards(ds, p, shards, cfg, xmath.NewRand(shardSeed(seed, len(bounds))))
+	return mergeShards(ds, p, shards, cfg.Size, cfg.mode(), xmath.NewRand(shardSeed(seed, len(bounds))))
+}
+
+// mode maps the Oblivious flag to the closing pass selector.
+func (c Config) mode() CloseMode {
+	if c.Oblivious {
+		return CloseOblivious
+	}
+	return CloseAware
 }
 
 // shardSeed derives an independent per-shard RNG seed.
@@ -138,131 +147,23 @@ func shardBounds(n, w int) [][2]int {
 }
 
 // sampleShard draws a VarOpt sample of target size cfg.Size from the items
-// in [lo, hi), writing only p[lo:hi]. A shard with at most cfg.Size positive
-// items keeps them all (threshold 0), which the merge step then thresholds
-// globally.
+// in [lo, hi) through the shared closing pass, writing only p[lo:hi]. A
+// shard with at most cfg.Size positive items keeps them all (threshold 0),
+// which the merge step then thresholds globally.
 func sampleShard(ds *structure.Dataset, p []float64, lo, hi int, cfg Config, r xmath.Rand) (varopt.Shard, error) {
-	seg := ds.Weights[lo:hi]
-	tau, err := ipps.Threshold(seg, cfg.Size)
-	if err != nil {
-		return varopt.Shard{}, err
-	}
-	for i := lo; i < hi; i++ {
-		switch w := ds.Weights[i]; {
-		case w <= 0:
-			p[i] = 0
-		case tau <= 0 || w >= tau:
-			p[i] = 1
-		default:
-			p[i] = w / tau
-		}
-	}
-	if tau > 0 {
-		ipps.NormalizeToInteger(p[lo:hi], 1e-6)
-	}
 	items := make([]int, hi-lo)
 	for k := range items {
 		items[k] = lo + k
 	}
-	if err := closeCandidates(ds, items, p, cfg.Oblivious, r); err != nil {
+	kept, tau, err := Close(ds, items, p, cfg.Size, cfg.mode(), r)
+	if err != nil {
 		return varopt.Shard{}, err
 	}
 	sh := varopt.Shard{Tau: tau}
-	for i := lo; i < hi; i++ {
-		if p[i] == 1 {
-			sh.Items = append(sh.Items, varopt.StreamItem{Index: i, Weight: ds.Weights[i]})
-		}
+	for _, i := range kept {
+		sh.Items = append(sh.Items, varopt.StreamItem{Index: i, Weight: ds.Weights[i]})
 	}
 	return sh, nil
-}
-
-// mergeShards re-samples the union of the shards' adjusted weights down to
-// cfg.Size, closing the candidate probabilities with the same
-// structure-aware (or oblivious) pass the serial builder uses. p must be all
-// zero on entry and is reused as the candidate probability vector.
-func mergeShards(ds *structure.Dataset, p []float64, shards []varopt.Shard, cfg Config, r xmath.Rand) (*Result, error) {
-	if cfg.Oblivious {
-		sm, _, err := varopt.MergeAll(shards, cfg.Size, r)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Indices: sm.Indices, Tau: sm.Tau}, nil
-	}
-	adj, tau, keepAll, err := varopt.MergeThreshold(shards, cfg.Size)
-	if err != nil {
-		return nil, err
-	}
-	cand := make([]int, 0, len(adj))
-	for _, sh := range shards {
-		for _, it := range sh.Items {
-			cand = append(cand, it.Index)
-		}
-	}
-	if keepAll {
-		sort.Ints(cand)
-		return &Result{Indices: cand, Tau: tau}, nil
-	}
-	for k, i := range cand {
-		if a := adj[k]; a >= tau {
-			p[i] = 1
-		} else {
-			p[i] = a / tau
-		}
-	}
-	normalizeCandidates(p, cand)
-	if err := Summarize(ds, cand, p, r); err != nil {
-		return nil, err
-	}
-	out := &Result{Tau: tau}
-	for _, i := range cand {
-		if p[i] == 1 {
-			out.Indices = append(out.Indices, i)
-		}
-	}
-	sort.Ints(out.Indices)
-	return out, nil
-}
-
-// normalizeCandidates is ipps.NormalizeToInteger restricted to the candidate
-// entries of a sparse probability vector: it snaps Σ p[cand] to the nearest
-// integer by nudging the largest fractional candidate. Like its serial
-// counterpart, drift beyond rounding noise indicates a logic error upstream
-// and panics rather than silently bending the sample size.
-func normalizeCandidates(p []float64, cand []int) {
-	var sum xmath.KahanSum
-	best := -1
-	for _, i := range cand {
-		sum.Add(p[i])
-		if p[i] > xmath.Eps && p[i] < 1-xmath.Eps && (best < 0 || p[i] > p[best]) {
-			best = i
-		}
-	}
-	total := sum.Sum()
-	target := math.Round(total)
-	drift := target - total
-	if math.Abs(drift) > 1e-6 {
-		panic(fmt.Sprintf("engine: candidate probability mass %v too far from integer (drift %v)", total, drift))
-	}
-	if drift != 0 && best >= 0 {
-		p[best] = xmath.Clamp01(p[best] + drift)
-	}
-}
-
-// closeCandidates drives the fractional entries of p among items to 0/1:
-// structure-aware by default, randomly-ordered pair aggregation when
-// oblivious is set.
-func closeCandidates(ds *structure.Dataset, items []int, p []float64, oblivious bool, r xmath.Rand) error {
-	if oblivious {
-		order := xmath.Perm(r, len(items))
-		shuffled := make([]int, len(items))
-		for k, o := range order {
-			shuffled[k] = items[o]
-		}
-		left := paggr.AggregateSequence(p, shuffled, r)
-		paggr.ResolveLeftover(p, left, r)
-		return nil
-	}
-	return Summarize(ds, items, p, r)
 }
 
 // Summarize runs the paper's structure-aware closing pass over the listed

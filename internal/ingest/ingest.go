@@ -1,0 +1,167 @@
+// Package ingest is the repository's single streaming ingestion pipeline:
+// a bounded-memory front end that every construction path pushes weighted
+// keys through, whether the keys come from an in-memory Dataset, a CSV
+// stream, stdin, or a shard of a partitioned population.
+//
+// An Ingester combines the three things pass 1 of every construction needs:
+//
+//   - a stream VarOpt reservoir (internal/varopt) of fixed capacity that
+//     retains a mergeable sample of everything pushed so far, with its own
+//     IPPS threshold τ₀ (0 until the reservoir overflows);
+//   - optionally, the retained items' coordinates, compacted in lockstep
+//     with the reservoir so memory stays O(capacity) regardless of stream
+//     length; and
+//   - optionally, the streaming IPPS threshold τ_s for a separate target
+//     size (the paper's Algorithm 4), which the two-pass construction of §5
+//     needs alongside its guide sample.
+//
+// Consumers: core.Builder (streaming public API), the two-pass constructions
+// (guide-sample pass), and — via the dataset-backed fast path in
+// internal/core and internal/engine — the serial and sharded builders.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+
+	"structaware/internal/ipps"
+	"structaware/internal/varopt"
+	"structaware/internal/xmath"
+)
+
+// ErrFinalized is returned when pushing into a result-extracted Ingester
+// whose reservoir has been handed off.
+var ErrFinalized = errors.New("ingest: ingester already finalized")
+
+// Config configures an Ingester.
+type Config struct {
+	// Capacity is the reservoir size: the number of candidate keys retained.
+	// Must be positive.
+	Capacity int
+	// Dims, when positive, makes the Ingester retain each reservoir item's
+	// coordinates (copied on Push); Point then recovers them. Zero means
+	// coordinates are not tracked (the caller can look items up by index,
+	// e.g. in a Dataset).
+	Dims int
+	// ThresholdSize, when positive, additionally tracks the streaming IPPS
+	// threshold τ_s for that target sample size over the full stream.
+	ThresholdSize int
+}
+
+// Ingester is the streaming ingestion state. It is not safe for concurrent
+// use; shard-parallel callers run one Ingester per shard.
+type Ingester struct {
+	stream *varopt.Stream
+	thr    *ipps.StreamThreshold
+	points map[int][]uint64
+	cap    int
+	dims   int
+	rows   int
+	done   bool
+}
+
+// New creates an Ingester. r drives the reservoir's sampling decisions.
+func New(cfg Config, r xmath.Rand) (*Ingester, error) {
+	if cfg.Capacity <= 0 {
+		return nil, ipps.ErrBadSize
+	}
+	stream, err := varopt.NewStream(cfg.Capacity, r)
+	if err != nil {
+		return nil, err
+	}
+	g := &Ingester{stream: stream, cap: cfg.Capacity, dims: cfg.Dims}
+	if cfg.ThresholdSize > 0 {
+		if g.thr, err = ipps.NewStreamThreshold(cfg.ThresholdSize); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Dims > 0 {
+		g.points = make(map[int][]uint64, 2*cfg.Capacity)
+	}
+	return g, nil
+}
+
+// Push consumes one weighted key. The row index assigned to the key is the
+// number of prior Push calls, so dataset-backed callers pushing rows in
+// order can use dataset positions as reservoir indices. pt is copied when
+// coordinates are tracked and may be nil otherwise; zero-weight keys advance
+// the row index but never enter the reservoir.
+func (g *Ingester) Push(pt []uint64, w float64) error {
+	if g.done {
+		return ErrFinalized
+	}
+	if g.dims > 0 && len(pt) != g.dims {
+		return fmt.Errorf("ingest: point has %d dims, want %d", len(pt), g.dims)
+	}
+	index := g.rows
+	g.rows++
+	if g.thr != nil {
+		if err := g.thr.Process(w); err != nil {
+			return err
+		}
+	} else if err := ipps.ValidateWeights([]float64{w}); err != nil {
+		return err
+	}
+	if w == 0 {
+		return nil
+	}
+	if err := g.stream.Process(index, w); err != nil {
+		return err
+	}
+	if g.points != nil {
+		g.points[index] = append([]uint64(nil), pt...)
+		if len(g.points) >= 4*g.cap {
+			g.compact()
+		}
+	}
+	return nil
+}
+
+// compact drops coordinates of rows no longer held by the reservoir.
+func (g *Ingester) compact() {
+	_, items := g.stream.Result()
+	keep := make(map[int][]uint64, len(items))
+	for _, it := range items {
+		if pt, ok := g.points[it.Index]; ok {
+			keep[it.Index] = pt
+		}
+	}
+	g.points = keep
+}
+
+// Rows returns the number of keys pushed (including zero-weight ones).
+func (g *Ingester) Rows() int { return g.rows }
+
+// Seen returns the number of positive-weight keys pushed.
+func (g *Ingester) Seen() int { return g.stream.Seen() }
+
+// Tau returns the streaming IPPS threshold τ_s tracked for
+// Config.ThresholdSize, and whether one was configured.
+func (g *Ingester) Tau() (float64, bool) {
+	if g.thr == nil {
+		return 0, false
+	}
+	return g.thr.Tau(), true
+}
+
+// Guide returns the reservoir contents: a mergeable VarOpt sample of
+// everything pushed so far, as items (original weights, ascending row
+// index) plus the reservoir threshold τ₀. τ₀ == 0 means the reservoir never
+// overflowed, so the items are the entire positive-weight input. Further
+// pushes are rejected once Guide has been called.
+func (g *Ingester) Guide() (items []varopt.StreamItem, tau0 float64) {
+	g.done = true
+	if g.points != nil {
+		g.compact()
+	}
+	sm, items := g.stream.Result()
+	return items, sm.Tau
+}
+
+// Point returns the retained coordinates of the reservoir item with the
+// given row index. It is only valid for indices of items returned by Guide
+// on a coordinate-tracking Ingester.
+func (g *Ingester) Point(index int) ([]uint64, bool) {
+	pt, ok := g.points[index]
+	return pt, ok
+}

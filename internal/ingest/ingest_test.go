@@ -1,0 +1,128 @@
+package ingest
+
+import (
+	"testing"
+
+	"structaware/internal/ipps"
+	"structaware/internal/xmath"
+)
+
+func TestSmallStreamKeptExactly(t *testing.T) {
+	g, err := New(Config{Capacity: 100, Dims: 2}, xmath.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := g.Push([]uint64{uint64(i), uint64(2 * i)}, float64(i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, tau0 := g.Guide()
+	if tau0 != 0 {
+		t.Fatalf("tau0 %v want 0 (no overflow)", tau0)
+	}
+	// 8 of 40 rows have weight 0 (i%5 == 0) and never enter the reservoir.
+	if len(items) != 32 || g.Seen() != 32 || g.Rows() != 40 {
+		t.Fatalf("items %d seen %d rows %d", len(items), g.Seen(), g.Rows())
+	}
+	for _, it := range items {
+		pt, ok := g.Point(it.Index)
+		if !ok || pt[0] != uint64(it.Index) || pt[1] != uint64(2*it.Index) {
+			t.Fatalf("coordinates lost for row %d: %v %v", it.Index, pt, ok)
+		}
+		if it.Weight != float64(it.Index%5) {
+			t.Fatalf("row %d weight %v", it.Index, it.Weight)
+		}
+	}
+	if err := g.Push([]uint64{1, 1}, 1); err != ErrFinalized {
+		t.Fatalf("push after Guide: %v want ErrFinalized", err)
+	}
+}
+
+func TestOverflowBoundsMemoryAndThreshold(t *testing.T) {
+	const capacity, n = 64, 5000
+	g, err := New(Config{Capacity: capacity, Dims: 1, ThresholdSize: 16}, xmath.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := make([]float64, n)
+	r := xmath.NewRand(8)
+	for i := 0; i < n; i++ {
+		ws[i] = 1 + 50*r.Float64()
+		if err := g.Push([]uint64{uint64(i)}, ws[i]); err != nil {
+			t.Fatal(err)
+		}
+		if len(g.points) >= 4*capacity {
+			t.Fatalf("row %d: %d retained points, compaction failed", i, len(g.points))
+		}
+	}
+	items, tau0 := g.Guide()
+	if len(items) != capacity {
+		t.Fatalf("reservoir %d want %d", len(items), capacity)
+	}
+	if tau0 <= 0 {
+		t.Fatalf("tau0 %v want > 0 after overflow", tau0)
+	}
+	if len(g.points) != capacity {
+		t.Fatalf("%d points retained after Guide, want %d", len(g.points), capacity)
+	}
+	for _, it := range items {
+		if pt, ok := g.Point(it.Index); !ok || pt[0] != uint64(it.Index) {
+			t.Fatalf("coordinates lost for reservoir row %d", it.Index)
+		}
+	}
+	// The tracked streaming threshold matches the batch solver.
+	want, err := ipps.Threshold(ws, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := g.Tau()
+	if !ok || !xmath.AlmostEqual(got, want, 1e-9) {
+		t.Fatalf("streaming tau %v (ok=%v) want %v", got, ok, want)
+	}
+}
+
+func TestNoCoordinateTracking(t *testing.T) {
+	g, err := New(Config{Capacity: 8}, xmath.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := g.Push(nil, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, tau0 := g.Guide()
+	if len(items) != 8 || tau0 <= 0 {
+		t.Fatalf("items %d tau0 %v", len(items), tau0)
+	}
+	if _, ok := g.Point(items[0].Index); ok {
+		t.Fatal("Point must report absence when coordinates are not tracked")
+	}
+	if _, ok := g.Tau(); ok {
+		t.Fatal("Tau must report absence when no threshold size was configured")
+	}
+}
+
+func TestPushErrors(t *testing.T) {
+	if _, err := New(Config{Capacity: 0}, xmath.NewRand(1)); err == nil {
+		t.Fatal("capacity 0 must error")
+	}
+	g, err := New(Config{Capacity: 4, Dims: 2}, xmath.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Push([]uint64{1}, 1); err == nil {
+		t.Fatal("wrong dims must error")
+	}
+	if err := g.Push([]uint64{1, 2}, -1); err == nil {
+		t.Fatal("negative weight must error")
+	}
+	g2, err := New(Config{Capacity: 4}, xmath.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Push(nil, -1); err == nil {
+		t.Fatal("negative weight must error without threshold tracking")
+	}
+}

@@ -1,0 +1,100 @@
+package structure
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"structaware/internal/hierarchy"
+)
+
+// Axis metadata encoding: the binary schema description embedded in
+// serialized summaries (internal/core). Ordered and bit-trie axes encode
+// their domain width; explicit-hierarchy axes embed the full tree as a
+// parent vector, so a summary shipped to another process round-trips with
+// its hierarchy intact (hierarchy.New orders children by node id, which is
+// exactly how every Tree in this repository is built, so the DFS leaf
+// linearization — and with it every coordinate — is reproduced bit for
+// bit).
+//
+// Layout (little endian):
+//
+//	kind u8
+//	Ordered/BitTrie: bits u16
+//	Explicit:        nodes u32 | parents nodes×i32 (-1 marks the root)
+
+// ErrBadAxisEncoding is returned when decoding axis metadata fails.
+var ErrBadAxisEncoding = errors.New("structure: bad axis encoding")
+
+// maxEncodedTreeNodes bounds decoded hierarchy sizes so corrupt or hostile
+// input cannot trigger absurd allocations.
+const maxEncodedTreeNodes = 1 << 26
+
+// WriteAxis writes the axis metadata to w.
+func WriteAxis(w io.Writer, a Axis) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint8(a.Kind)); err != nil {
+		return err
+	}
+	if a.Kind == Explicit {
+		n := a.Tree.NumNodes()
+		if err := binary.Write(w, binary.LittleEndian, uint32(n)); err != nil {
+			return err
+		}
+		parents := make([]int32, n)
+		for v := int32(0); int(v) < n; v++ {
+			parents[v] = a.Tree.Parent(v)
+		}
+		return binary.Write(w, binary.LittleEndian, parents)
+	}
+	return binary.Write(w, binary.LittleEndian, uint16(a.Bits))
+}
+
+// ReadAxis decodes one axis written by WriteAxis. Decoded metadata is fully
+// validated: malformed trees and out-of-range widths are rejected rather
+// than deferred to query time.
+func ReadAxis(r io.Reader) (Axis, error) {
+	var kind uint8
+	if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
+		return Axis{}, fmt.Errorf("%w: kind: %v", ErrBadAxisEncoding, err)
+	}
+	k := AxisKind(kind)
+	switch k {
+	case Ordered, BitTrie:
+		var bits uint16
+		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+			return Axis{}, fmt.Errorf("%w: bits: %v", ErrBadAxisEncoding, err)
+		}
+		a := Axis{Kind: k, Bits: int(bits)}
+		if err := a.Validate(); err != nil {
+			return Axis{}, fmt.Errorf("%w: %v", ErrBadAxisEncoding, err)
+		}
+		return a, nil
+	case Explicit:
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return Axis{}, fmt.Errorf("%w: node count: %v", ErrBadAxisEncoding, err)
+		}
+		if n == 0 || n > maxEncodedTreeNodes {
+			return Axis{}, fmt.Errorf("%w: %d tree nodes", ErrBadAxisEncoding, n)
+		}
+		parents := make([]int32, n)
+		if err := binary.Read(r, binary.LittleEndian, parents); err != nil {
+			return Axis{}, fmt.Errorf("%w: parents: %v", ErrBadAxisEncoding, err)
+		}
+		tree, err := hierarchy.New(parents)
+		if err != nil {
+			return Axis{}, fmt.Errorf("%w: %v", ErrBadAxisEncoding, err)
+		}
+		a := Axis{Kind: Explicit, Tree: tree}
+		if err := a.Validate(); err != nil {
+			return Axis{}, fmt.Errorf("%w: %v", ErrBadAxisEncoding, err)
+		}
+		return a, nil
+	default:
+		return Axis{}, fmt.Errorf("%w: unknown kind %d", ErrBadAxisEncoding, kind)
+	}
+}

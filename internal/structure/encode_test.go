@@ -1,0 +1,93 @@
+package structure
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"structaware/internal/hierarchy"
+)
+
+func TestAxisRoundTripFlat(t *testing.T) {
+	for _, a := range []Axis{OrderedAxis(1), OrderedAxis(63), BitTrieAxis(32)} {
+		var buf bytes.Buffer
+		if err := WriteAxis(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAxis(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != a.Kind || got.Bits != a.Bits {
+			t.Fatalf("round trip %+v -> %+v", a, got)
+		}
+	}
+}
+
+func TestAxisRoundTripExplicitTree(t *testing.T) {
+	b := hierarchy.NewBuilder()
+	c1 := b.AddChild(0)
+	c2 := b.AddChild(0)
+	b.AddChild(c1)
+	b.AddChild(c1)
+	b.AddChild(c2)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ExplicitAxis(tree)
+	var buf bytes.Buffer
+	if err := WriteAxis(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAxis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != Explicit || got.Tree == nil {
+		t.Fatalf("explicit axis decoded as %+v", got)
+	}
+	if got.Tree.NumNodes() != tree.NumNodes() || got.Tree.NumLeaves() != tree.NumLeaves() {
+		t.Fatalf("tree shape lost: %d/%d nodes, %d/%d leaves",
+			got.Tree.NumNodes(), tree.NumNodes(), got.Tree.NumLeaves(), tree.NumLeaves())
+	}
+	// The DFS leaf linearization — the coordinate system — is reproduced
+	// exactly, node by node.
+	for v := int32(0); int(v) < tree.NumNodes(); v++ {
+		if got.Tree.Parent(v) != tree.Parent(v) {
+			t.Fatalf("node %d parent %d want %d", v, got.Tree.Parent(v), tree.Parent(v))
+		}
+		wantLo, wantHi, wantOK := tree.LeafInterval(v)
+		gotLo, gotHi, gotOK := got.Tree.LeafInterval(v)
+		if gotLo != wantLo || gotHi != wantHi || gotOK != wantOK {
+			t.Fatalf("node %d leaf interval [%d,%d] want [%d,%d]", v, gotLo, gotHi, wantLo, wantHi)
+		}
+	}
+}
+
+func TestReadAxisRejectsMalformedInput(t *testing.T) {
+	// Invalid widths never encode.
+	if err := WriteAxis(&bytes.Buffer{}, OrderedAxis(64)); err == nil {
+		t.Fatal("bits 64 must not encode")
+	}
+	cases := map[string][]byte{
+		"empty":           nil,
+		"unknown kind":    {9, 1, 0},
+		"bits zero":       {0, 0, 0},
+		"bits oversized":  {0, 200, 0},
+		"truncated bits":  {0, 1},
+		"zero tree nodes": {2, 0, 0, 0, 0},
+		"truncated tree":  {2, 3, 0, 0, 0, 255, 255},
+		"malformed tree":  {2, 2, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0}, // cycle: 0->1->0
+	}
+	for name, raw := range cases {
+		if _, err := ReadAxis(bytes.NewReader(raw)); !errors.Is(err, ErrBadAxisEncoding) {
+			t.Fatalf("%s: %v want ErrBadAxisEncoding", name, err)
+		}
+	}
+	// Absurd node counts are rejected before allocation.
+	huge := []byte{2, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := ReadAxis(bytes.NewReader(huge)); !errors.Is(err, ErrBadAxisEncoding) {
+		t.Fatal("huge node count must be rejected")
+	}
+}

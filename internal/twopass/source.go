@@ -2,7 +2,9 @@ package twopass
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -43,17 +45,58 @@ func (s *SliceSource) Next() ([]uint64, float64, bool, error) {
 	return s.Points[i], s.Weights[i], true, nil
 }
 
-// CSVSource streams "c0,c1,...,weight" rows from a file; lines starting
-// with '#' are skipped. Each Reset reopens the file, so a full two-pass
-// construction performs exactly two sequential reads.
+// rowScanner is the one CSV row parser behind CSVSource and ReaderSource:
+// "c0,c1,...,weight" rows, blank lines and lines starting with '#' skipped,
+// fields trimmed. name prefixes parse errors ("name:line: ...").
+type rowScanner struct {
+	name string
+	sc   *bufio.Scanner
+	dims int
+	line int
+	buf  []uint64
+}
+
+func newRowScanner(name string, r io.Reader, dims int) *rowScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &rowScanner{name: name, sc: sc, dims: dims, buf: make([]uint64, dims)}
+}
+
+func (rs *rowScanner) next() ([]uint64, float64, bool, error) {
+	for rs.sc.Scan() {
+		rs.line++
+		text := strings.TrimSpace(rs.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != rs.dims+1 {
+			return nil, 0, false, fmt.Errorf("%s:%d: want %d fields, got %d", rs.name, rs.line, rs.dims+1, len(parts))
+		}
+		for d := 0; d < rs.dims; d++ {
+			v, err := strconv.ParseUint(strings.TrimSpace(parts[d]), 10, 64)
+			if err != nil {
+				return nil, 0, false, fmt.Errorf("%s:%d: %v", rs.name, rs.line, err)
+			}
+			rs.buf[d] = v
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(parts[rs.dims]), 64)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("%s:%d: %v", rs.name, rs.line, err)
+		}
+		return rs.buf, w, true, nil
+	}
+	return nil, 0, false, rs.sc.Err()
+}
+
+// CSVSource streams CSV rows from a file. Each Reset reopens the file, so a
+// full two-pass construction performs exactly two sequential reads.
 type CSVSource struct {
 	Path string
 	Dims int
 
-	f    *os.File
-	sc   *bufio.Scanner
-	line int
-	buf  []uint64
+	f  *os.File
+	rs *rowScanner
 }
 
 // NewCSVSource opens a CSV source with the given number of key dimensions.
@@ -61,7 +104,7 @@ func NewCSVSource(path string, dims int) (*CSVSource, error) {
 	if dims < 1 {
 		return nil, fmt.Errorf("twopass: dims must be positive")
 	}
-	src := &CSVSource{Path: path, Dims: dims, buf: make([]uint64, dims)}
+	src := &CSVSource{Path: path, Dims: dims}
 	if err := src.Reset(); err != nil {
 		return nil, err
 	}
@@ -78,9 +121,7 @@ func (c *CSVSource) Reset() error {
 		return err
 	}
 	c.f = f
-	c.sc = bufio.NewScanner(f)
-	c.sc.Buffer(make([]byte, 1<<20), 1<<20)
-	c.line = 0
+	c.rs = newRowScanner(c.Path, f, c.Dims)
 	return nil
 }
 
@@ -96,30 +137,34 @@ func (c *CSVSource) Close() error {
 
 // Next implements Source.
 func (c *CSVSource) Next() ([]uint64, float64, bool, error) {
-	for c.sc.Scan() {
-		c.line++
-		text := strings.TrimSpace(c.sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		parts := strings.Split(text, ",")
-		if len(parts) != c.Dims+1 {
-			return nil, 0, false, fmt.Errorf("%s:%d: want %d fields, got %d", c.Path, c.line, c.Dims+1, len(parts))
-		}
-		for d := 0; d < c.Dims; d++ {
-			v, err := strconv.ParseUint(strings.TrimSpace(parts[d]), 10, 64)
-			if err != nil {
-				return nil, 0, false, fmt.Errorf("%s:%d: %v", c.Path, c.line, err)
-			}
-			c.buf[d] = v
-		}
-		w, err := strconv.ParseFloat(strings.TrimSpace(parts[c.Dims]), 64)
-		if err != nil {
-			return nil, 0, false, fmt.Errorf("%s:%d: %v", c.Path, c.line, err)
-		}
-		return c.buf, w, true, nil
+	return c.rs.next()
+}
+
+// ReaderSource streams CSV rows (same format as CSVSource) from an
+// arbitrary io.Reader exactly once — stdin, a socket, a pipe. It cannot be
+// rewound, so it feeds the one-pass constructions (the streaming Builder),
+// not the two-pass ones.
+type ReaderSource struct {
+	rs *rowScanner
+}
+
+// NewReaderSource wraps r as a one-shot CSV source with the given number of
+// key dimensions.
+func NewReaderSource(r io.Reader, dims int) (*ReaderSource, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("twopass: dims must be positive")
 	}
-	return nil, 0, false, c.sc.Err()
+	return &ReaderSource{rs: newRowScanner("stream", r, dims)}, nil
+}
+
+// Reset implements Source; a reader stream cannot be rewound.
+func (s *ReaderSource) Reset() error {
+	return errors.New("twopass: reader source cannot be rewound")
+}
+
+// Next implements Source.
+func (s *ReaderSource) Next() ([]uint64, float64, bool, error) {
+	return s.rs.next()
 }
 
 // DatasetSource adapts a columnar Dataset to a Source without copying.

@@ -1,0 +1,48 @@
+package twopass
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReaderSourceParsesSharedFormat(t *testing.T) {
+	input := "# header\n\n1,2,0.5\n 3 , 4 , 1.5 \n"
+	src, err := NewReaderSource(strings.NewReader(input), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts [][]uint64
+	var ws []float64
+	for {
+		pt, w, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		pts = append(pts, append([]uint64(nil), pt...))
+		ws = append(ws, w)
+	}
+	if len(pts) != 2 || pts[0][0] != 1 || pts[1][1] != 4 || ws[0] != 0.5 || ws[1] != 1.5 {
+		t.Fatalf("parsed %v %v", pts, ws)
+	}
+	if err := src.Reset(); err == nil {
+		t.Fatal("reader source must refuse to rewind")
+	}
+}
+
+func TestReaderSourceErrors(t *testing.T) {
+	if _, err := NewReaderSource(strings.NewReader(""), 0); err == nil {
+		t.Fatal("dims 0 must error")
+	}
+	for _, bad := range []string{"1,2\n", "1,2,3,4\n", "a,2,3\n", "1,2,x\n"} {
+		src, err := NewReaderSource(strings.NewReader(bad), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := src.Next(); err == nil {
+			t.Fatalf("row %q must error", bad)
+		}
+	}
+}

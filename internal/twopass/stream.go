@@ -3,6 +3,7 @@ package twopass
 import (
 	"fmt"
 
+	"structaware/internal/ingest"
 	"structaware/internal/ipps"
 	"structaware/internal/kd"
 	"structaware/internal/paggr"
@@ -46,19 +47,13 @@ func ProductStream(src Source, axes []structure.Axis, s int, cfg Config, r xmath
 	}
 	sPrime := cfg.oversample() * s
 
-	// ---- Pass 1: guide reservoir (with retained coordinates) + τ_s.
-	stream, err := varopt.NewStream(sPrime, r)
+	// ---- Pass 1: guide reservoir (with retained coordinates) + τ_s,
+	// through the shared ingestion pipeline. The ingester compacts retained
+	// coordinates in lockstep with its reservoir, so memory stays O(s′).
+	ing, err := ingest.New(ingest.Config{Capacity: sPrime, Dims: len(axes), ThresholdSize: s}, r)
 	if err != nil {
 		return nil, err
 	}
-	thr, err := ipps.NewStreamThreshold(s)
-	if err != nil {
-		return nil, err
-	}
-	// The reservoir tracks items by sequence number; keep their coordinates
-	// in a side map, compacted periodically so memory stays O(s′).
-	points := make(map[int][]uint64, 2*sPrime)
-	seq := 0
 	for {
 		pt, w, ok, err := src.Next()
 		if err != nil {
@@ -67,23 +62,12 @@ func ProductStream(src Source, axes []structure.Axis, s int, cfg Config, r xmath
 		if !ok {
 			break
 		}
-		if err := thr.Process(w); err != nil {
+		if err := ing.Push(pt, w); err != nil {
 			return nil, err
 		}
-		if w > 0 {
-			if err := stream.Process(seq, w); err != nil {
-				return nil, err
-			}
-			points[seq] = append([]uint64(nil), pt...)
-			if len(points) >= 4*sPrime {
-				compactPoints(points, stream)
-			}
-		}
-		seq++
 	}
-	compactPoints(points, stream)
-	tau := thr.Tau()
-	_, guideItems := stream.Result()
+	guideItems, _ := ing.Guide()
+	tau, _ := ing.Tau()
 
 	if tau <= 0 {
 		// Fewer than s positive keys: re-read and keep everything.
@@ -116,7 +100,7 @@ func ProductStream(src Source, axes []structure.Axis, s int, cfg Config, r xmath
 		if it.Weight >= tau {
 			continue
 		}
-		pt, ok := points[it.Index]
+		pt, ok := ing.Point(it.Index)
 		if !ok {
 			return nil, fmt.Errorf("twopass: internal: lost coordinates for guide key %d", it.Index)
 		}
@@ -248,24 +232,6 @@ func ProductStream(src Source, axes []structure.Axis, s int, cfg Config, r xmath
 		return nil, varopt.ErrEmpty
 	}
 	return &StreamResult{Items: sample, Tau: tau, GuideSize: len(guideItems), Cells: cells}, nil
-}
-
-// compactPoints drops coordinates of sequence numbers no longer in the
-// reservoir.
-func compactPoints(points map[int][]uint64, stream *varopt.Stream) {
-	_, items := stream.Result()
-	keep := make(map[int][]uint64, len(items))
-	for _, it := range items {
-		if pt, ok := points[it.Index]; ok {
-			keep[it.Index] = pt
-		}
-	}
-	for k := range points {
-		delete(points, k)
-	}
-	for k, v := range keep {
-		points[k] = v
-	}
 }
 
 // columns converts row-major points to the columnar layout of Dataset.

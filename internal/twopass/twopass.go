@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 
+	"structaware/internal/ingest"
 	"structaware/internal/ipps"
 	"structaware/internal/kd"
 	"structaware/internal/paggr"
@@ -129,25 +130,20 @@ func run(ds *structure.Dataset, s int, cfg Config, r xmath.Rand, mkLocator func(
 	}
 	sPrime := cfg.oversample() * s
 
-	// ---- Pass 1: guide sample S′ + streaming τ_s, one sequential scan.
-	stream, err := varopt.NewStream(sPrime, r)
+	// ---- Pass 1: guide sample S′ + streaming τ_s through the shared
+	// ingestion pipeline, one sequential scan. Coordinates are not tracked:
+	// the dataset is resident, so guide keys are looked up by row index.
+	ing, err := ingest.New(ingest.Config{Capacity: sPrime, ThresholdSize: s}, r)
 	if err != nil {
 		return nil, err
 	}
-	thr, err := ipps.NewStreamThreshold(s)
-	if err != nil {
-		return nil, err
-	}
-	for i, w := range ds.Weights {
-		if err := stream.Process(i, w); err != nil {
-			return nil, err
-		}
-		if err := thr.Process(w); err != nil {
+	for _, w := range ds.Weights {
+		if err := ing.Push(nil, w); err != nil {
 			return nil, err
 		}
 	}
-	tau := thr.Tau()
-	_, guideItems := stream.Result()
+	guideItems, _ := ing.Guide()
+	tau, _ := ing.Tau()
 
 	if tau <= 0 {
 		// Fewer than s positive keys: the sample is exact.

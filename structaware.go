@@ -32,6 +32,8 @@
 package structaware
 
 import (
+	"io"
+
 	"structaware/internal/core"
 	"structaware/internal/hierarchy"
 	"structaware/internal/structure"
@@ -58,10 +60,17 @@ type Hierarchy = hierarchy.Tree
 // HierarchyBuilder incrementally constructs a Hierarchy.
 type HierarchyBuilder = hierarchy.Builder
 
-// Summary is a queryable sample-based summary.
+// Summary is a queryable sample-based summary. It is self-contained: it can
+// outlive the data, be serialized (MarshalBinary/WriteTo), shipped, and
+// merged with summaries of disjoint populations (MergeSummaries).
 type Summary = core.Summary
 
-// Config configures Build.
+// Builder is the streaming construction API: Push weighted keys one at a
+// time and Finalize into a Summary, with working memory bounded by
+// Config.Buffer regardless of stream length. See NewBuilder.
+type Builder = core.Builder
+
+// Config configures Build, SampleParallel, and NewBuilder.
 type Config = core.Config
 
 // Method selects the sampling scheme.
@@ -117,4 +126,32 @@ func Build(ds *Dataset, cfg Config) (*Summary, error) {
 // (cfg, workers).
 func SampleParallel(ds *Dataset, cfg Config, workers int) (*Summary, error) {
 	return core.SampleParallel(ds, cfg, workers)
+}
+
+// NewBuilder creates a streaming Builder over the given key domain: push
+// weighted keys from any source (a file, a socket, stdin, one shard of a
+// partitioned population) and Finalize into a Summary without materializing
+// a Dataset. Ingestion runs through a mergeable stream VarOpt reservoir of
+// Config.Buffer keys (default Oversample×Size), and finalization uses the
+// same structure-aware closing pass as Build, so the resulting Summary has
+// the same guarantees over the retained candidates. Only the Aware and
+// Oblivious methods stream.
+func NewBuilder(axes []Axis, cfg Config) (*Builder, error) {
+	return core.NewBuilder(axes, cfg)
+}
+
+// MergeSummaries combines summaries built independently over pairwise
+// disjoint populations — by separate Builders, processes, or machines, with
+// serialization in between — into one summary of size exactly
+// min(size, union size) whose Horvitz–Thompson estimates remain unbiased.
+// Every input must have been built with target size >= size and describe
+// the same key domain.
+func MergeSummaries(size int, seed uint64, summaries ...*Summary) (*Summary, error) {
+	return core.MergeSummaries(size, seed, summaries...)
+}
+
+// ReadSummary deserializes a summary written by Summary.WriteTo or
+// Summary.MarshalBinary, rejecting other format versions.
+func ReadSummary(r io.Reader) (*Summary, error) {
+	return core.ReadSummary(r)
 }

@@ -1,6 +1,7 @@
 package structaware_test
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -63,6 +64,66 @@ func TestFacadeMethods(t *testing.T) {
 		if sum.Size() == 0 {
 			t.Fatalf("%v: empty", m)
 		}
+	}
+}
+
+// TestFacadeStreamingLifecycle drives the full public lifecycle: stream two
+// disjoint shards through Builders, serialize each summary, deserialize,
+// merge, and query.
+func TestFacadeStreamingLifecycle(t *testing.T) {
+	ds := buildFacadeDataset(t)
+	cfg := structaware.Config{Size: 150, Seed: 11}
+	half := ds.Len() / 2
+	blobs := make([][]byte, 2)
+	for j := range blobs {
+		b, err := structaware.NewBuilder(ds.Axes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := j*half, (j+1)*half
+		if j == 1 {
+			hi = ds.Len()
+		}
+		pt := make([]uint64, ds.Dims())
+		for i := lo; i < hi; i++ {
+			if err := b.Push(ds.Point(i, pt), ds.Weights[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum, err := b.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blobs[j], err = sum.MarshalBinary(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shards := make([]*structaware.Summary, 2)
+	for j, blob := range blobs {
+		var s structaware.Summary
+		if err := s.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		shards[j] = &s
+	}
+	merged, err := structaware.MergeSummaries(150, 5, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Size() != 150 {
+		t.Fatalf("merged size %d want 150", merged.Size())
+	}
+	exact := ds.TotalWeight()
+	if got := merged.EstimateTotal(); math.Abs(got-exact) > 0.3*exact {
+		t.Fatalf("merged total %v exact %v", got, exact)
+	}
+	// ReadSummary is the io.Reader face of UnmarshalBinary.
+	again, err := structaware.ReadSummary(bytes.NewReader(blobs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Size() != shards[0].Size() || again.Tau != shards[0].Tau {
+		t.Fatal("ReadSummary and UnmarshalBinary disagree")
 	}
 }
 
