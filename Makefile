@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke
+.PHONY: all build test vet fmt-check race bench bench-smoke smoke-serve
 
-all: build vet test
+all: build vet fmt-check test
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,10 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
@@ -21,3 +25,6 @@ bench:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+smoke-serve:
+	./scripts/smoke_sasserve.sh

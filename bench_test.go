@@ -168,6 +168,71 @@ func BenchmarkParallelSample(b *testing.B) {
 	}
 }
 
+// ---- Indexed vs linear query path (s = 10k) ---------------------------------
+
+var (
+	idxOnce  sync.Once
+	idxSum   *structaware.Summary
+	idxIS    *structaware.IndexedSummary
+	idxBoxes []structure.Range
+)
+
+// indexedFixture draws a 10k-key summary from the 1M-key input and compiles
+// its serving index, plus a battery of ~1%-area boxes (a few hundred sampled
+// keys each) to query.
+func indexedFixture(b *testing.B) (*structaware.Summary, *structaware.IndexedSummary, []structure.Range) {
+	b.Helper()
+	idxOnce.Do(func() {
+		ds := bigFixture(b)
+		sum, err := structaware.SampleParallel(ds, structaware.Config{Size: 10000, Seed: 42}, 0)
+		if err != nil {
+			panic(err)
+		}
+		is, err := sum.Index()
+		if err != nil {
+			panic(err)
+		}
+		idxSum, idxIS = sum, is
+		r := xmath.NewRand(6)
+		for i := 0; i < 256; i++ {
+			box := make(structure.Range, len(ds.Axes))
+			for d, a := range ds.Axes {
+				dom := a.DomainSize()
+				w := dom / 10 // 10% per axis => ~1% of the area
+				lo := r.Uint64() % (dom - w)
+				box[d] = structure.Interval{Lo: lo, Hi: lo + w - 1}
+			}
+			idxBoxes = append(idxBoxes, box)
+		}
+	})
+	return idxSum, idxIS, idxBoxes
+}
+
+// BenchmarkLinearEstimateRange is the baseline: the paper's O(s) scan of
+// every sampled key per query.
+func BenchmarkLinearEstimateRange(b *testing.B) {
+	sum, _, boxes := indexedFixture(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += sum.EstimateRange(boxes[i%len(boxes)])
+	}
+	_ = sink
+}
+
+// BenchmarkIndexedEstimateRange answers the same queries through the
+// compiled index (Summary.Index): O(log s + answer) per query, bit-for-bit
+// identical results. Compare with BenchmarkLinearEstimateRange.
+func BenchmarkIndexedEstimateRange(b *testing.B) {
+	_, is, boxes := indexedFixture(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += is.EstimateRange(boxes[i%len(boxes)])
+	}
+	_ = sink
+}
+
 // ---- Micro: core primitives -------------------------------------------------
 
 func BenchmarkPairAggregate(b *testing.B) {

@@ -48,7 +48,7 @@ func main() {
 		bits    = flag.Int("bits", 20, "domain bits per axis")
 		method  = flag.String("method", "aware", "aware | aware2p | obliv | poisson")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		query   = flag.String("query", "", "optional box query x1:x2:y1:y2 to estimate")
+		query   = flag.String("query", "", "optional box query x1:x2,y1:y2 to estimate (legacy x1:x2:y1:y2 also accepted)")
 		workers = flag.Int("workers", 1, "parallel sampling shards (0 = all CPUs, 1 = serial)")
 		buffer  = flag.Int("buffer", 0, "streaming buffer in keys for -in - (0 = 5*s)")
 	)
@@ -239,10 +239,23 @@ func readCSV(path string, bits int) (*structure.Dataset, error) {
 	return structure.NewDataset(axes, pts, ws)
 }
 
+// parseBox accepts the canonical range syntax shared with sasserve
+// ("x1:x2,y1:y2", structure.ParseRange) and, for compatibility, the legacy
+// all-colon form "x1:x2:y1:y2".
 func parseBox(s string) (structure.Range, error) {
+	if strings.Contains(s, ",") {
+		box, err := structure.ParseRange(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(box) != 2 {
+			return nil, fmt.Errorf("query must name two axes (x1:x2,y1:y2)")
+		}
+		return box, nil
+	}
 	parts := strings.Split(s, ":")
 	if len(parts) != 4 {
-		return nil, fmt.Errorf("query must be x1:x2:y1:y2")
+		return nil, fmt.Errorf("query must be x1:x2,y1:y2 (or legacy x1:x2:y1:y2)")
 	}
 	vals := make([]uint64, 4)
 	for i, p := range parts {
@@ -251,6 +264,9 @@ func parseBox(s string) (structure.Range, error) {
 			return nil, err
 		}
 		vals[i] = v
+	}
+	if vals[0] > vals[1] || vals[2] > vals[3] {
+		return nil, fmt.Errorf("query interval is empty (lo > hi)")
 	}
 	return structure.Range{{Lo: vals[0], Hi: vals[1]}, {Lo: vals[2], Hi: vals[3]}}, nil
 }

@@ -37,7 +37,16 @@ func TestParseBox(t *testing.T) {
 	if box[0].Lo != 1 || box[0].Hi != 10 || box[1].Lo != 20 || box[1].Hi != 30 {
 		t.Fatalf("box %v", box)
 	}
-	for _, bad := range []string{"1:2:3", "a:2:3:4", "1:2:3:4:5", ""} {
+	// The canonical comma syntax shared with sasserve parses to the same
+	// box.
+	canon, err := parseBox("1:10,20:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon[0] != box[0] || canon[1] != box[1] {
+		t.Fatalf("canonical box %v, want %v", canon, box)
+	}
+	for _, bad := range []string{"1:2:3", "a:2:3:4", "1:2:3:4:5", "", "1:2,3:4,5:6", "10:1,2:3", "10:1:2:3", "1:2:30:3"} {
 		if _, err := parseBox(bad); err == nil {
 			t.Fatalf("parseBox(%q) must error", bad)
 		}
@@ -145,4 +154,3 @@ func TestStreamDumpMergeLifecycle(t *testing.T) {
 		t.Fatal("missing shard must error")
 	}
 }
-

@@ -1,0 +1,376 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"structaware/internal/cliutil"
+	"structaware/internal/core"
+	"structaware/internal/structure"
+)
+
+// entry is one loaded summary: the deserialized Summary plus its compiled
+// immutable query index. Entries are never mutated after creation, so a
+// request goroutine can use one without locking; reloads swap whole entries
+// under the store lock.
+type entry struct {
+	name     string
+	path     string
+	sum      *core.Summary
+	idx      *core.IndexedSummary
+	loadedAt time.Time
+	bytes    int64
+}
+
+// loadEntry reads and indexes one serialized summary.
+func loadEntry(name, path string, now time.Time) (*entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	sum, err := core.ReadSummary(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	idx, err := sum.Index()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &entry{
+		name:     name,
+		path:     path,
+		sum:      sum,
+		idx:      idx,
+		loadedAt: now,
+		bytes:    info.Size(),
+	}, nil
+}
+
+// store holds the serving set. The read path takes the lock only to fetch
+// an *entry pointer; all query work happens on the immutable entry.
+type store struct {
+	sources []cliutil.Assignment
+	logf    func(format string, args ...any)
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+func newStore(sources []cliutil.Assignment, logf func(format string, args ...any)) *store {
+	return &store{sources: sources, logf: logf, entries: make(map[string]*entry)}
+}
+
+// loadAll loads every configured summary; any failure is fatal (startup).
+func (st *store) loadAll() error {
+	now := time.Now()
+	fresh := make(map[string]*entry, len(st.sources))
+	for _, src := range st.sources {
+		e, err := loadEntry(src.Name, src.Value, now)
+		if err != nil {
+			return err
+		}
+		fresh[src.Name] = e
+	}
+	st.mu.Lock()
+	st.entries = fresh
+	st.mu.Unlock()
+	return nil
+}
+
+// reload re-reads every configured summary (SIGHUP). A summary that fails
+// to load keeps serving its previous version; the failure is logged. The
+// swap is atomic per entry, so concurrent requests see either the old or
+// the new index, never a partial one.
+func (st *store) reload() {
+	now := time.Now()
+	for _, src := range st.sources {
+		e, err := loadEntry(src.Name, src.Value, now)
+		if err != nil {
+			st.logf("reload %s: %v (keeping previous version)", src.Name, err)
+			continue
+		}
+		st.mu.Lock()
+		st.entries[src.Name] = e
+		st.mu.Unlock()
+		st.logf("reloaded %s from %s (%d keys)", src.Name, src.Value, e.sum.Size())
+	}
+}
+
+// get fetches a serving entry by name.
+func (st *store) get(name string) (*entry, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	e, ok := st.entries[name]
+	return e, ok
+}
+
+// ---- JSON shapes ------------------------------------------------------------
+
+type axisMeta struct {
+	Kind       string `json:"kind"`
+	Bits       int    `json:"bits,omitempty"`
+	DomainSize uint64 `json:"domain_size"`
+	Leaves     int    `json:"leaves,omitempty"`
+}
+
+type summaryMeta struct {
+	Name          string     `json:"name"`
+	Path          string     `json:"path"`
+	Method        string     `json:"method"`
+	Size          int        `json:"size"`
+	Dims          int        `json:"dims"`
+	Tau           float64    `json:"tau"`
+	TotalEstimate float64    `json:"total_estimate"`
+	Axes          []axisMeta `json:"axes"`
+	LoadedAt      time.Time  `json:"loaded_at"`
+	Bytes         int64      `json:"bytes"`
+}
+
+func (e *entry) meta() summaryMeta {
+	axes := make([]axisMeta, len(e.sum.Axes))
+	for d, a := range e.sum.Axes {
+		am := axisMeta{Kind: a.Kind.String(), DomainSize: a.DomainSize()}
+		if a.Kind == structure.Explicit {
+			am.Leaves = a.Tree.NumLeaves()
+		} else {
+			am.Bits = a.Bits
+		}
+		axes[d] = am
+	}
+	return summaryMeta{
+		Name:          e.name,
+		Path:          e.path,
+		Method:        e.sum.Method.String(),
+		Size:          e.sum.Size(),
+		Dims:          len(e.sum.Axes),
+		Tau:           e.sum.Tau,
+		TotalEstimate: e.idx.EstimateTotal(),
+		Axes:          axes,
+		LoadedAt:      e.loadedAt,
+		Bytes:         e.bytes,
+	}
+}
+
+// estimateRequest is the batched POST body. Ranges use the textual
+// "lo:hi,lo:hi" box syntax (one interval per axis) rather than JSON
+// numbers, so coordinates above 2^53 survive JavaScript clients intact.
+type estimateRequest struct {
+	Ranges []string `json:"ranges"`
+}
+
+type estimateResponse struct {
+	Summary   string    `json:"summary"`
+	Ranges    []string  `json:"ranges"`
+	Estimates []float64 `json:"estimates"`
+	// Total is the multi-range estimate over the union of the requested
+	// boxes (each sampled key counted once, as Summary.EstimateQuery).
+	Total float64 `json:"total"`
+}
+
+type representativesResponse struct {
+	Summary string `json:"summary"`
+	Range   string `json:"range"`
+	Count   int    `json:"count"`
+	// Keys are coordinate tuples; note JSON consumers limited to float64
+	// lose precision above 2^53 (axes up to 53 bits are always safe).
+	Keys            [][]uint64 `json:"keys"`
+	AdjustedWeights []float64  `json:"adjusted_weights"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- Handlers ---------------------------------------------------------------
+
+// handler builds the HTTP API:
+//
+//	GET  /healthz                                  liveness + loaded count
+//	GET  /v1/summaries                             metadata for every summary
+//	GET  /v1/summaries/{name}                      metadata for one summary
+//	GET  /v1/summaries/{name}/total                total-weight estimate
+//	GET  /v1/summaries/{name}/estimate?range=...   one estimate per range param
+//	POST /v1/summaries/{name}/estimate             batched {"ranges": [...]}
+//	GET  /v1/summaries/{name}/representatives?range=...&limit=n
+func (st *store) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", st.handleHealth)
+	mux.HandleFunc("GET /v1/summaries", st.handleList)
+	mux.HandleFunc("GET /v1/summaries/{name}", st.withEntry(st.handleMeta))
+	mux.HandleFunc("GET /v1/summaries/{name}/total", st.withEntry(st.handleTotal))
+	mux.HandleFunc("GET /v1/summaries/{name}/estimate", st.withEntry(st.handleEstimateGet))
+	mux.HandleFunc("POST /v1/summaries/{name}/estimate", st.withEntry(st.handleEstimatePost))
+	mux.HandleFunc("GET /v1/summaries/{name}/representatives", st.withEntry(st.handleRepresentatives))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// withEntry resolves the {name} path component to a loaded summary.
+func (st *store) withEntry(h func(http.ResponseWriter, *http.Request, *entry)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		e, ok := st.get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no summary named %q", name)
+			return
+		}
+		h(w, r, e)
+	}
+}
+
+func (st *store) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	st.mu.RLock()
+	n := len(st.entries)
+	st.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "summaries": n})
+}
+
+func (st *store) handleList(w http.ResponseWriter, _ *http.Request) {
+	st.mu.RLock()
+	metas := make([]summaryMeta, 0, len(st.entries))
+	for _, src := range st.sources {
+		if e, ok := st.entries[src.Name]; ok {
+			metas = append(metas, e.meta())
+		}
+	}
+	st.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"summaries": metas})
+}
+
+func (st *store) handleMeta(w http.ResponseWriter, _ *http.Request, e *entry) {
+	writeJSON(w, http.StatusOK, e.meta())
+}
+
+func (st *store) handleTotal(w http.ResponseWriter, _ *http.Request, e *entry) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"summary":  e.name,
+		"estimate": e.idx.EstimateTotal(),
+	})
+}
+
+// maxRangesPerRequest bounds batched estimate requests: each range costs an
+// index traversal, so an unbounded batch would let one request monopolize
+// the server.
+const maxRangesPerRequest = 1024
+
+// maxEstimateBody bounds the POST body size (1024 ranges of generous length
+// fit comfortably).
+const maxEstimateBody = 1 << 20
+
+// parseBoxes parses and validates the textual ranges against the summary's
+// axes.
+func parseBoxes(texts []string, e *entry) ([]structure.Range, error) {
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("at least one range is required (lo:hi per axis, comma-separated)")
+	}
+	if len(texts) > maxRangesPerRequest {
+		return nil, fmt.Errorf("%d ranges exceed the per-request limit of %d", len(texts), maxRangesPerRequest)
+	}
+	boxes := make([]structure.Range, len(texts))
+	for i, text := range texts {
+		box, err := structure.ParseRange(text)
+		if err != nil {
+			return nil, err
+		}
+		if err := box.Check(e.sum.Axes); err != nil {
+			return nil, err
+		}
+		boxes[i] = box
+	}
+	return boxes, nil
+}
+
+// estimate answers one batched estimate request from the shared index.
+func estimate(e *entry, texts []string, boxes []structure.Range) estimateResponse {
+	resp := estimateResponse{Summary: e.name, Ranges: texts}
+	if len(boxes) == 1 {
+		// The union of one box is that box; one traversal answers both.
+		resp.Estimates = []float64{e.idx.EstimateRange(boxes[0])}
+		resp.Total = resp.Estimates[0]
+	} else {
+		resp.Estimates, resp.Total = e.idx.EstimateRanges(structure.Query(boxes))
+	}
+	return resp
+}
+
+func (st *store) handleEstimateGet(w http.ResponseWriter, r *http.Request, e *entry) {
+	texts := r.URL.Query()["range"]
+	boxes, err := parseBoxes(texts, e)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimate(e, texts, boxes))
+}
+
+func (st *store) handleEstimatePost(w http.ResponseWriter, r *http.Request, e *entry) {
+	var req estimateRequest
+	body := http.MaxBytesReader(w, r.Body, maxEstimateBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	boxes, err := parseBoxes(req.Ranges, e)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimate(e, req.Ranges, boxes))
+}
+
+func (st *store) handleRepresentatives(w http.ResponseWriter, r *http.Request, e *entry) {
+	q := r.URL.Query()
+	texts := q["range"]
+	if len(texts) != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one range parameter is required")
+		return
+	}
+	boxes, err := parseBoxes(texts, e)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		limit, err = strconv.Atoi(s)
+		if err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+	}
+	keys, ws := e.idx.RepresentativeKeys(boxes[0], limit)
+	if keys == nil {
+		keys = [][]uint64{}
+	}
+	if ws == nil {
+		ws = []float64{}
+	}
+	writeJSON(w, http.StatusOK, representativesResponse{
+		Summary:         e.name,
+		Range:           texts[0],
+		Count:           len(keys),
+		Keys:            keys,
+		AdjustedWeights: ws,
+	})
+}

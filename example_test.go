@@ -1,7 +1,9 @@
 package structaware_test
 
 import (
+	"bytes"
 	"fmt"
+	"math"
 
 	"structaware"
 )
@@ -71,4 +73,109 @@ func Example_hierarchy() {
 	fmt.Printf("east subtree weight: %.0f\n", ds.RangeSum(structaware.Range{{Lo: lo, Hi: hi}}))
 	// Output:
 	// east subtree weight: 10
+}
+
+// ExampleBuilder streams weighted keys through the bounded-memory Builder —
+// the stream never needs to fit in memory — and finalizes into an
+// exact-size summary.
+func ExampleBuilder() {
+	axes := []structaware.Axis{structaware.BitTrieAxis(16)}
+	b, err := structaware.NewBuilder(axes, structaware.Config{Size: 100, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for i := uint64(0); i < 50000; i++ { // any source: file, socket, stdin, queue
+		key := i * 2654435761 % 65536 // scrambled but deterministic keys
+		if err := b.Push([]uint64{key}, 1); err != nil {
+			panic(err)
+		}
+	}
+	sum, err := b.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pushed %d keys, sampled %d\n", b.Pushed(), sum.Size())
+	fmt.Printf("total estimate within 1%%: %v\n", math.Abs(sum.EstimateTotal()-50000) < 500)
+	// Output:
+	// pushed 50000 keys, sampled 100
+	// total estimate within 1%: true
+}
+
+// ExampleMergeSummaries builds summaries of two disjoint populations in
+// separate Builders (imagine separate processes), ships one through its
+// binary serialization, and merges them into a single unbiased summary.
+func ExampleMergeSummaries() {
+	axes := []structaware.Axis{structaware.OrderedAxis(16)}
+	build := func(lo uint64, seed uint64) *structaware.Summary {
+		b, err := structaware.NewBuilder(axes, structaware.Config{Size: 200, Seed: seed})
+		if err != nil {
+			panic(err)
+		}
+		for i := uint64(0); i < 10000; i++ {
+			if err := b.Push([]uint64{lo + i}, 2); err != nil {
+				panic(err)
+			}
+		}
+		sum, err := b.Finalize()
+		if err != nil {
+			panic(err)
+		}
+		return sum
+	}
+	sumA := build(0, 1)     // population A: keys [0, 10000)
+	sumB := build(20000, 2) // population B: keys [20000, 30000), disjoint
+
+	// Ship B as bytes (persist, send over the network, ...) and restore.
+	blob, err := sumB.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	restored, err := structaware.ReadSummary(bytes.NewReader(blob))
+	if err != nil {
+		panic(err)
+	}
+
+	merged, err := structaware.MergeSummaries(200, 3, sumA, restored)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("merged size: %d\n", merged.Size())
+	est := merged.EstimateRange(structaware.Range{{Lo: 0, Hi: 9999}})
+	fmt.Printf("population A estimate within 5%%: %v\n", math.Abs(est-20000) < 1000)
+	// Output:
+	// merged size: 200
+	// population A estimate within 5%: true
+}
+
+// ExampleSummary_Index compiles a summary into an IndexedSummary — the
+// serving-side structure behind cmd/sasserve — whose estimates are
+// bit-for-bit identical to the linear scan but run in O(log s + answer).
+func ExampleSummary_Index() {
+	axes := []structaware.Axis{structaware.BitTrieAxis(12), structaware.BitTrieAxis(12)}
+	var pts [][]uint64
+	var ws []float64
+	for i := uint64(0); i < 20000; i++ {
+		pts = append(pts, []uint64{i * 2654435761 % 4096, i * 40503 % 4096})
+		ws = append(ws, 1+float64(i%9))
+	}
+	ds, err := structaware.NewDataset(axes, pts, ws)
+	if err != nil {
+		panic(err)
+	}
+	sum, err := structaware.Build(ds, structaware.Config{Size: 1000, Seed: 9})
+	if err != nil {
+		panic(err)
+	}
+	indexed, err := sum.Index()
+	if err != nil {
+		panic(err)
+	}
+	box := structaware.Range{{Lo: 0, Hi: 1023}, {Lo: 2048, Hi: 3071}}
+	fmt.Printf("indexed == linear: %v\n",
+		indexed.EstimateRange(box) == sum.EstimateRange(box))
+	fmt.Printf("total == linear total: %v\n",
+		indexed.EstimateTotal() == sum.EstimateTotal())
+	// Output:
+	// indexed == linear: true
+	// total == linear total: true
 }

@@ -1,6 +1,6 @@
 // Package cliutil centralizes the flag-validation and exit-code plumbing
 // shared by the repository's command-line tools (cmd/sassample,
-// cmd/sasbench, cmd/sasgen). The conventions it encodes:
+// cmd/sasbench, cmd/sasgen, cmd/sasserve). The conventions it encodes:
 //
 //   - errors print to stderr as "<tool>: <message>";
 //   - usage errors (bad or missing flags) exit with code 2;
@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 )
 
 // Tool is one command's error-reporting context.
@@ -109,4 +111,46 @@ func Required(flag, v string) error {
 		return fmt.Errorf("%s is required", flag)
 	}
 	return nil
+}
+
+// Assignment is one parsed "name=value" argument.
+type Assignment struct {
+	Name, Value string
+}
+
+// ParseAssignments parses positional "name=value" arguments (cmd/sasserve's
+// summary list). A bare "value" gets its name derived from the value's last
+// path element with any extension stripped ("data/net.sas" → "net").
+// Names must be non-empty and unique; order is preserved.
+func ParseAssignments(args []string) ([]Assignment, error) {
+	out := make([]Assignment, 0, len(args))
+	seen := make(map[string]bool, len(args))
+	for _, arg := range args {
+		name, value, ok := strings.Cut(arg, "=")
+		if !ok {
+			value = arg
+			name = defaultName(arg)
+		}
+		if name == "" || value == "" {
+			return nil, fmt.Errorf("argument %q is not name=value", arg)
+		}
+		if strings.ContainsAny(name, "/\\ \t%#?") || name == "." || name == ".." {
+			// Names become URL path segments (sasserve routes on
+			// /v1/summaries/{name}); slashes, dot segments, and URL
+			// metacharacters would make the summary unreachable.
+			return nil, fmt.Errorf("name %q is not a valid URL path segment", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate name %q", name)
+		}
+		seen[name] = true
+		out = append(out, Assignment{Name: name, Value: value})
+	}
+	return out, nil
+}
+
+// defaultName derives a name from a path: last element, extension stripped.
+func defaultName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
 }

@@ -82,3 +82,33 @@ func TestValidators(t *testing.T) {
 		t.Fatalf("message %q must name the flag", err)
 	}
 }
+
+func TestParseAssignments(t *testing.T) {
+	got, err := ParseAssignments([]string{"net=data/net.sas", "data/tickets.sas"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Assignment{{"net", "data/net.sas"}, {"tickets", "data/tickets.sas"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assignment %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range [][]string{
+		{"=path"},                   // empty name
+		{"name="},                   // empty value
+		{"a=1", "a=2"},              // duplicate explicit names
+		{"dir/x.sas", "dir2/x.sas"}, // duplicate derived names
+		{"a/b=x.sas"},               // slash would break URL routing
+		{"a b=x.sas"},               // whitespace
+		{"..=x.sas"},                // dot segment is cleaned away by net/http
+		{"a%b=x.sas"},               // URL metacharacter
+	} {
+		if _, err := ParseAssignments(bad); err == nil {
+			t.Fatalf("%v accepted", bad)
+		}
+	}
+}

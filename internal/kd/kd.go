@@ -75,9 +75,12 @@ func (t *Tree) Leaves() []*Node { return t.leaves }
 func (t *Tree) MaxDepth() int { return t.maxDepth }
 
 // Build constructs the kd-hierarchy over the given items of ds. p[i] is the
-// probability mass of item i (IPPS inclusion probability); items with p=1
-// should be excluded by the caller, as the paper prescribes. The items slice
-// is reordered in place during construction.
+// probability mass of item i; when summarizing this is the IPPS inclusion
+// probability (items with p=1 should be excluded by the caller, as the
+// paper prescribes), while the query index of internal/queryidx partitions
+// by Horvitz–Thompson adjusted weight instead. Only ds.Axes and ds.Coords
+// are consulted, so a columnar view over sampled keys works as well as a
+// full dataset. The items slice is reordered in place during construction.
 func Build(ds *structure.Dataset, items []int, p []float64, cfg Config) (*Tree, error) {
 	if ds.Dims() == 0 {
 		return nil, fmt.Errorf("kd: dataset has no axes")

@@ -1,0 +1,477 @@
+// Package queryidx compiles a finished sample summary into an immutable
+// query index, turning the O(s) linear scan of the paper's query procedure
+// ("we just compute the intersection of the sample with each query
+// rectangle", Cohen, Cormode, Duffield, VLDB 2011, §1) into an
+// O(log s + answer) lookup (plus an s/64-word bitmap sweep — 64 keys per
+// machine word — that keeps exact summation-order parity; see below). The
+// index is the read/serving side of the
+// summary lifecycle: built once from the sampled keys, never mutated, and
+// safe to share across any number of concurrently querying goroutines.
+//
+// Two structures are compiled, matching the two shapes of structural range
+// the paper queries:
+//
+//   - Per axis, the sampled keys sorted by coordinate together with prefix
+//     sums of their Horvitz–Thompson adjusted weights. A one-dimensional
+//     interval resolves to a contiguous run of this array by binary search;
+//     the prefix sums give O(log s) slab weights (SlabWeight) and O(1)
+//     emptiness tests for multi-axis pruning.
+//   - For multi-axis summaries, a kd-partition over the sampled keys
+//     (internal/kd — the same KD-HIERARCHY of §4 used at build time, here
+//     with adjusted weight as the mass), flattened into a compact node
+//     array whose every subtree owns a contiguous span of a single item
+//     array. An axis-parallel box query descends the partition, taking
+//     fully covered subtrees wholesale and filtering only boundary leaves.
+//
+// Estimates are bit-for-bit identical to the linear implementations in
+// internal/core: the index is only used to find the sampled keys inside the
+// query, and their adjusted weights are then summed in the same canonical
+// order (ascending sample position, Kahan compensation) as the linear scan.
+// Floating-point summation does not commute, so "same set, same order, same
+// algorithm" is the invariant that makes an indexed deployment
+// indistinguishable from the reference implementation. The canonical order
+// is recovered by marking found keys in a pooled bitmap and sweeping its
+// s/64 words, so per-query cost is Θ(log s + answer + s/64) — the sweep
+// touches 64 keys per word and is ~1% of the linear scan's per-key work.
+package queryidx
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"structaware/internal/ipps"
+	"structaware/internal/kd"
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+// maxLeafItems caps kd leaf size: small enough that boundary-leaf filtering
+// stays cheap, large enough that the flattened node array stays compact.
+const maxLeafItems = 16
+
+// Index is an immutable range-query index over a finished sample. All
+// methods are safe for concurrent use.
+type Index struct {
+	axes []structure.Axis
+	size int
+
+	// adj[k] is the HT adjusted weight max(weight[k], tau) of sample key k.
+	adj []float64
+	// coords[d][k] is key k's coordinate on axis d (shared with the caller,
+	// never written).
+	coords [][]uint64
+	// total is the canonical full-sample Kahan sum of adjusted weights.
+	total float64
+
+	byAxis []axisIndex
+
+	// kd partition, compiled for multi-axis summaries only.
+	nodes []node
+	items []int32 // key ids arranged so every node's subtree is items[start:end)
+
+	// pool recycles per-query scratch bitmaps across goroutines.
+	pool sync.Pool
+}
+
+// axisIndex is the sorted view of one axis.
+type axisIndex struct {
+	// sorted[i] is the i-th smallest coordinate (ties kept, one entry per
+	// sampled key).
+	sorted []uint64
+	// order[i] is the key id holding sorted[i]; ties are broken by key id so
+	// the layout is deterministic.
+	order []int32
+	// prefix[i] is the plain left-to-right sum of adjusted weights over
+	// order[:i]; len(prefix) == size+1.
+	prefix []float64
+}
+
+// node is one flattened kd-partition node. Left child is the next node in
+// the array (pre-order layout); leaves have axis == -1.
+type node struct {
+	axis       int32
+	split      uint64
+	right      int32 // index of the right child (internal nodes only)
+	start, end int32 // span in Index.items owned by the subtree
+}
+
+// New compiles an index over a sample of weighted keys: coords[d][k] is key
+// k's coordinate on axis d, weights[k] its original weight, and tau the IPPS
+// threshold (adjusted weight = max(weight, tau), as in internal/core). The
+// coordinate columns are retained and must not be mutated afterwards (the
+// index itself never writes to them); weights are only read during
+// construction.
+func New(axes []structure.Axis, coords [][]uint64, weights []float64, tau float64) (*Index, error) {
+	if len(axes) == 0 {
+		return nil, errors.New("queryidx: no axes")
+	}
+	if len(coords) != len(axes) {
+		return nil, fmt.Errorf("queryidx: %d coordinate columns for %d axes", len(coords), len(axes))
+	}
+	size := len(weights)
+	for d := range coords {
+		if len(coords[d]) != size {
+			return nil, fmt.Errorf("queryidx: axis %d has %d coordinates for %d weights", d, len(coords[d]), size)
+		}
+	}
+	ix := &Index{
+		axes:   axes,
+		size:   size,
+		adj:    make([]float64, size),
+		coords: coords,
+		byAxis: make([]axisIndex, len(axes)),
+	}
+	var totalSum xmath.KahanSum
+	for k, w := range weights {
+		ix.adj[k] = ipps.AdjustedWeight(w, tau)
+		totalSum.Add(ix.adj[k])
+	}
+	ix.total = totalSum.Sum()
+	for d := range axes {
+		ix.byAxis[d] = buildAxis(coords[d], ix.adj)
+	}
+	if len(axes) > 1 && size > 0 {
+		if err := ix.buildKD(); err != nil {
+			return nil, err
+		}
+	}
+	words := (size + 63) / 64
+	dims := len(axes)
+	ix.pool.New = func() any {
+		return &scratch{bits: make([]uint64, words), box: make(structure.Range, dims)}
+	}
+	return ix, nil
+}
+
+// buildAxis sorts one axis by (coordinate, key id) and accumulates the
+// prefix sums of adjusted weights in that order.
+func buildAxis(coords []uint64, adj []float64) axisIndex {
+	n := len(coords)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := coords[order[a]], coords[order[b]]
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	ax := axisIndex{
+		sorted: make([]uint64, n),
+		order:  order,
+		prefix: make([]float64, n+1),
+	}
+	for i, k := range order {
+		ax.sorted[i] = coords[k]
+		ax.prefix[i+1] = ax.prefix[i] + adj[k]
+	}
+	return ax
+}
+
+// buildKD constructs the kd-partition over all sampled keys (mass = adjusted
+// weight) and flattens it into the pre-order node/item arrays.
+func (ix *Index) buildKD() error {
+	ids := make([]int, ix.size)
+	for i := range ids {
+		ids[i] = i
+	}
+	// The kd builder works over a columnar dataset view; the summary's
+	// columns are exactly that (totalWeight is unused by kd).
+	ds := &structure.Dataset{Axes: ix.axes, Coords: ix.coords}
+	tree, err := kd.Build(ds, ids, ix.adj, kd.Config{MaxLeafItems: maxLeafItems})
+	if err != nil {
+		return fmt.Errorf("queryidx: %w", err)
+	}
+	ix.items = make([]int32, 0, ix.size)
+	ix.flatten(tree.Root)
+	return nil
+}
+
+// flatten appends the subtree rooted at n in pre-order and returns its node
+// index.
+func (ix *Index) flatten(n *kd.Node) int32 {
+	me := int32(len(ix.nodes))
+	ix.nodes = append(ix.nodes, node{start: int32(len(ix.items))})
+	if n.IsLeaf() {
+		for _, id := range n.Items {
+			ix.items = append(ix.items, int32(id))
+		}
+		ix.nodes[me].axis = -1
+	} else {
+		ix.flatten(n.Left) // == me+1
+		right := ix.flatten(n.Right)
+		ix.nodes[me].axis = int32(n.Axis)
+		ix.nodes[me].split = n.Split
+		ix.nodes[me].right = right
+	}
+	ix.nodes[me].end = int32(len(ix.items))
+	return me
+}
+
+// Size returns the number of indexed sample keys.
+func (ix *Index) Size() int { return ix.size }
+
+// Dims returns the number of axes.
+func (ix *Index) Dims() int { return len(ix.axes) }
+
+// Total returns the Horvitz–Thompson estimate of the total weight (the
+// canonical full-sample sum; identical to summing every adjusted weight in
+// sample order).
+func (ix *Index) Total() float64 { return ix.total }
+
+// AdjustedWeight returns the adjusted weight of sample key k.
+func (ix *Index) AdjustedWeight(k int) float64 { return ix.adj[k] }
+
+// run locates the contiguous run of axis d's sorted array covered by iv,
+// returning half-open positions [lo, hi).
+func (ix *Index) run(d int, iv structure.Interval) (lo, hi int) {
+	s := ix.byAxis[d].sorted
+	lo = sort.Search(len(s), func(i int) bool { return s[i] >= iv.Lo })
+	hi = sort.Search(len(s), func(i int) bool { return s[i] > iv.Hi })
+	if hi < lo {
+		hi = lo // empty interval (Lo > Hi)
+	}
+	return lo, hi
+}
+
+// SlabWeight returns the summed adjusted weight of the sampled keys whose
+// coordinate on axis d lies in iv — the weight of the axis-aligned slab —
+// in O(log s) via the prefix sums. The result is the plain left-to-right
+// prefix difference: mathematically exact, within normal floating-point
+// rounding of the canonical-order sum (use Keys/EstimateRange when
+// bit-exact agreement with the linear scan matters).
+func (ix *Index) SlabWeight(d int, iv structure.Interval) float64 {
+	lo, hi := ix.run(d, iv)
+	p := ix.byAxis[d].prefix
+	return p[hi] - p[lo]
+}
+
+// scratch is the per-query working state: a bitmap with one bit per sample
+// key. Marking in-range keys as bits (instead of appending ids) makes the
+// canonical ascending iteration order free — no sort — and dedupes
+// multi-range queries as a side effect. Bitmaps are pooled so a serving
+// process does not allocate per request; at s=10k a bitmap is 1.25 KiB and
+// lives in L1.
+type scratch struct {
+	bits []uint64
+	box  structure.Range // kd descent box, reused across queries
+}
+
+// acquire returns a cleared bitmap (plus descent box) from the pool.
+func (ix *Index) acquire() *scratch {
+	sc := ix.pool.Get().(*scratch)
+	clear(sc.bits)
+	return sc
+}
+
+// Keys returns the ids of the sampled keys inside the box r, sorted
+// ascending. A range shorter than the axis count leaves the remaining axes
+// unconstrained, and one longer than the axis count panics — both mirroring
+// the linear scan's semantics. The returned slice is freshly allocated.
+func (ix *Index) Keys(r structure.Range) []int32 {
+	sc := ix.acquire()
+	defer ix.pool.Put(sc)
+	if !ix.mark(r, sc) {
+		return nil
+	}
+	var ids []int32
+	for w, word := range sc.bits {
+		for ; word != 0; word &= word - 1 {
+			ids = append(ids, int32(w*64+bits.TrailingZeros64(word)))
+		}
+	}
+	return ids
+}
+
+// mark sets the bit of every in-range key; it reports whether any key can
+// match (false = provably empty, bitmap untouched).
+func (ix *Index) mark(r structure.Range, sc *scratch) bool {
+	if ix.size == 0 {
+		return false
+	}
+	if len(r) > len(ix.axes) {
+		// The linear scan panics (index out of range) on the same input;
+		// fail just as loudly instead of silently ignoring intervals.
+		// Serving layers validate with Range.Check before querying.
+		panic(fmt.Sprintf("queryidx: range has %d intervals for %d axes", len(r), len(ix.axes)))
+	}
+	// Per-axis runs: O(log s) emptiness rejection, and the best axis to
+	// scan when one run is very selective.
+	bestAxis, bestLen := -1, ix.size+1
+	for d, iv := range r {
+		lo, hi := ix.run(d, iv)
+		if hi == lo {
+			return false
+		}
+		if hi-lo < bestLen {
+			bestAxis, bestLen = d, hi-lo
+		}
+	}
+	if bestAxis == -1 { // no constrained axis: everything matches
+		for k := 0; k < ix.size; k++ {
+			sc.bits[k>>6] |= 1 << (k & 63)
+		}
+		return true
+	}
+	if len(ix.axes) == 1 {
+		lo, hi := ix.run(0, r[0])
+		for _, k := range ix.byAxis[0].order[lo:hi] {
+			sc.bits[k>>6] |= 1 << (k & 63)
+		}
+		return true
+	}
+	// Multi-axis: scan the most selective axis run only when it is tiny
+	// (cheaper than even touching the kd partition); otherwise descend the
+	// kd partition, which takes fully covered subtrees wholesale and
+	// filters only boundary leaves.
+	if bestLen <= 2*maxLeafItems {
+		lo, hi := ix.run(bestAxis, r[bestAxis])
+		for _, k := range ix.byAxis[bestAxis].order[lo:hi] {
+			if ix.inRange(int(k), r) {
+				sc.bits[k>>6] |= 1 << (k & 63)
+			}
+		}
+		return true
+	}
+	for d, a := range ix.axes {
+		sc.box[d] = structure.Interval{Lo: 0, Hi: a.DomainSize() - 1}
+	}
+	ix.markKD(0, sc.box, r, sc.bits)
+	return true
+}
+
+// markKD descends the flattened kd partition. box is the region owned by
+// node n (mutated on descent and restored before returning).
+func (ix *Index) markKD(n int32, box, r structure.Range, bits []uint64) {
+	nd := &ix.nodes[n]
+	if contains(r, box) {
+		for _, k := range ix.items[nd.start:nd.end] {
+			bits[k>>6] |= 1 << (k & 63)
+		}
+		return
+	}
+	if nd.axis < 0 { // boundary leaf: filter
+		for _, k := range ix.items[nd.start:nd.end] {
+			if ix.inRange(int(k), r) {
+				bits[k>>6] |= 1 << (k & 63)
+			}
+		}
+		return
+	}
+	d := int(nd.axis)
+	iv := structure.Interval{Lo: 0, Hi: ^uint64(0)}
+	if d < len(r) {
+		iv = r[d]
+	}
+	if iv.Lo <= nd.split {
+		saved := box[d].Hi
+		box[d].Hi = nd.split
+		ix.markKD(n+1, box, r, bits)
+		box[d].Hi = saved
+	}
+	if iv.Hi > nd.split {
+		saved := box[d].Lo
+		box[d].Lo = nd.split + 1
+		ix.markKD(nd.right, box, r, bits)
+		box[d].Lo = saved
+	}
+}
+
+// contains reports whether the (possibly shorter) query box r fully covers
+// box; axes beyond len(r) are unconstrained.
+func contains(r, box structure.Range) bool {
+	for d, iv := range r {
+		if iv.Lo > box[d].Lo || box[d].Hi > iv.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// inRange reports whether key k lies in the box r (constrained axes only).
+func (ix *Index) inRange(k int, r structure.Range) bool {
+	for d, iv := range r {
+		if !iv.Contains(ix.coords[d][k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sumBits adds the adjusted weights of the marked keys in canonical order
+// (ascending key id, Kahan compensation) — the same set, order, and
+// algorithm as the linear scan, hence bit-identical results.
+func (ix *Index) sumBits(sc *scratch) float64 {
+	var s xmath.KahanSum
+	for w, word := range sc.bits {
+		for ; word != 0; word &= word - 1 {
+			s.Add(ix.adj[w*64+bits.TrailingZeros64(word)])
+		}
+	}
+	return s.Sum()
+}
+
+// EstimateRange returns the unbiased HT estimate of the weight in box r,
+// bit-for-bit identical to the linear scan over the sample.
+func (ix *Index) EstimateRange(r structure.Range) float64 {
+	sc := ix.acquire()
+	defer ix.pool.Put(sc)
+	if !ix.mark(r, sc) {
+		return 0
+	}
+	return ix.sumBits(sc)
+}
+
+// EstimateQuery returns the unbiased estimate over a multi-range query.
+// Boxes may overlap: each sampled key is counted once, exactly as the
+// linear implementation does (the bitmap dedupes for free).
+func (ix *Index) EstimateQuery(q structure.Query) float64 {
+	sc := ix.acquire()
+	defer ix.pool.Put(sc)
+	any := false
+	for _, r := range q {
+		if ix.mark(r, sc) {
+			any = true
+		}
+	}
+	if !any {
+		return 0
+	}
+	return ix.sumBits(sc)
+}
+
+// EstimateRanges answers a batch in one pass: per-box estimates (each
+// bit-identical to EstimateRange of that box) plus the deduplicated union
+// estimate (bit-identical to EstimateQuery of the whole batch). Each box is
+// marked once and OR-ed into a union bitmap, halving the index work of
+// computing the two separately — the serving daemon's batched endpoint.
+func (ix *Index) EstimateRanges(q structure.Query) (ests []float64, total float64) {
+	ests = make([]float64, len(q))
+	union := ix.acquire()
+	defer ix.pool.Put(union)
+	per := ix.acquire()
+	defer ix.pool.Put(per)
+	any := false
+	for i, r := range q {
+		if i > 0 {
+			clear(per.bits)
+		}
+		if !ix.mark(r, per) {
+			continue
+		}
+		ests[i] = ix.sumBits(per)
+		for w, word := range per.bits {
+			union.bits[w] |= word
+		}
+		any = true
+	}
+	if !any {
+		return ests, 0
+	}
+	return ests, ix.sumBits(union)
+}

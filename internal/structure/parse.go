@@ -1,0 +1,80 @@
+package structure
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Textual range syntax, shared by the CLIs (sassample -query) and the
+// sasserve HTTP API: an interval is "lo:hi" (inclusive ends) and a box is
+// one interval per axis joined by commas, e.g. "0:1023,512:767".
+
+// ParseInterval parses "lo:hi" into an inclusive Interval.
+func ParseInterval(s string) (Interval, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return Interval{}, fmt.Errorf("structure: interval %q is not lo:hi", s)
+	}
+	l, err := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+	if err != nil {
+		return Interval{}, fmt.Errorf("structure: interval %q: bad lo: %v", s, err)
+	}
+	h, err := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+	if err != nil {
+		return Interval{}, fmt.Errorf("structure: interval %q: bad hi: %v", s, err)
+	}
+	if l > h {
+		return Interval{}, fmt.Errorf("structure: interval %q is empty (lo > hi)", s)
+	}
+	return Interval{Lo: l, Hi: h}, nil
+}
+
+// ParseRange parses a comma-separated list of "lo:hi" intervals into a box,
+// one interval per axis: "0:1023,512:767" is the 2-D box
+// [0,1023]×[512,767].
+func ParseRange(s string) (Range, error) {
+	parts := strings.Split(s, ",")
+	r := make(Range, 0, len(parts))
+	for _, part := range parts {
+		iv, err := ParseInterval(part)
+		if err != nil {
+			return nil, err
+		}
+		r = append(r, iv)
+	}
+	return r, nil
+}
+
+// String renders the interval in the parseable "lo:hi" form.
+func (iv Interval) String() string {
+	return strconv.FormatUint(iv.Lo, 10) + ":" + strconv.FormatUint(iv.Hi, 10)
+}
+
+// String renders the box in the parseable comma-joined form.
+func (r Range) String() string {
+	parts := make([]string, len(r))
+	for d, iv := range r {
+		parts[d] = iv.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Check validates the box against an axis description: one interval per
+// axis, each non-empty and inside the axis domain. Serving layers call this
+// before querying so malformed client input fails loudly instead of
+// silently selecting nothing.
+func (r Range) Check(axes []Axis) error {
+	if len(r) != len(axes) {
+		return fmt.Errorf("structure: range has %d intervals for %d axes", len(r), len(axes))
+	}
+	for d, iv := range r {
+		if iv.Lo > iv.Hi {
+			return fmt.Errorf("structure: axis %d interval %s is empty (lo > hi)", d, iv)
+		}
+		if dom := axes[d].DomainSize(); iv.Hi >= dom {
+			return fmt.Errorf("structure: axis %d interval %s exceeds domain [0,%d]", d, iv, dom-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package structure
+
+import "testing"
+
+func TestParseInterval(t *testing.T) {
+	iv, err := ParseInterval("10:20")
+	if err != nil || iv != (Interval{Lo: 10, Hi: 20}) {
+		t.Fatalf("got %v, %v", iv, err)
+	}
+	if _, err := ParseInterval("10"); err == nil {
+		t.Fatal("missing colon accepted")
+	}
+	if _, err := ParseInterval("a:b"); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+	if _, err := ParseInterval("-1:5"); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if _, err := ParseInterval("20:10"); err == nil {
+		t.Fatal("inverted accepted")
+	}
+}
+
+func TestParseRangeRoundTrip(t *testing.T) {
+	for _, text := range []string{"0:1023", "0:1023,512:767", "1:2,3:4,5:6"} {
+		r, err := ParseRange(text)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if r.String() != text {
+			t.Fatalf("%q round-trips to %q", text, r.String())
+		}
+	}
+	if _, err := ParseRange(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := ParseRange("1:2,,3:4"); err == nil {
+		t.Fatal("empty component accepted")
+	}
+}
+
+func TestRangeCheck(t *testing.T) {
+	axes := []Axis{OrderedAxis(10), OrderedAxis(10)}
+	ok := Range{{Lo: 0, Hi: 1023}, {Lo: 5, Hi: 5}}
+	if err := ok.Check(axes); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Range{
+		{{Lo: 0, Hi: 10}},                    // wrong dims
+		{{Lo: 0, Hi: 1024}, {Lo: 0, Hi: 10}}, // out of domain
+		{{Lo: 7, Hi: 3}, {Lo: 0, Hi: 10}},    // empty interval
+		{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}, {}}, // too many dims
+	}
+	for i, r := range cases {
+		if err := r.Check(axes); err == nil {
+			t.Fatalf("case %d: %v accepted", i, r)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke test for the serving pipeline: generate a dataset, sample it, dump
+# the serialized summary, serve it with sasserve, and query one estimate
+# over HTTP. Run from the repository root (CI runs it as a required step;
+# `make smoke-serve` runs it locally).
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-8347}"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fetch() {
+    if command -v curl >/dev/null; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+echo "== build fixture dataset and summary"
+go run ./cmd/sasgen -data network -pairs 5000 -bits 12 -seed 1 -o "$TMP/net.csv"
+go run ./cmd/sassample -in "$TMP/net.csv" -bits 12 -s 500 -seed 1 -dump "$TMP/net.sas"
+
+echo "== start sasserve"
+go build -o "$TMP/sasserve" ./cmd/sasserve
+"$TMP/sasserve" -addr "127.0.0.1:$PORT" "net=$TMP/net.sas" &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+    if fetch "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "sasserve exited before becoming healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== query"
+META="$(fetch "http://127.0.0.1:$PORT/v1/summaries/net")"
+echo "$META"
+echo "$META" | grep -q '"size":500' || { echo "metadata missing size" >&2; exit 1; }
+
+EST="$(fetch "http://127.0.0.1:$PORT/v1/summaries/net/estimate?range=0:2047,0:2047")"
+echo "$EST"
+echo "$EST" | grep -q '"estimates":\[' || { echo "estimate response malformed" >&2; exit 1; }
+
+# The full-domain estimate equals the total estimate exactly.
+TOTAL="$(fetch "http://127.0.0.1:$PORT/v1/summaries/net/total")"
+echo "$TOTAL"
+FULL="$(fetch "http://127.0.0.1:$PORT/v1/summaries/net/estimate?range=0:4095,0:4095")"
+EST_VAL="$(echo "$FULL" | sed -n 's/.*"estimates":\[\([^]]*\)\].*/\1/p')"
+TOTAL_VAL="$(echo "$TOTAL" | sed -n 's/.*"estimate":\([0-9.e+-]*\).*/\1/p')"
+if [ "$EST_VAL" != "$TOTAL_VAL" ]; then
+    echo "full-domain estimate $EST_VAL != total $TOTAL_VAL" >&2
+    exit 1
+fi
+
+echo "== smoke OK"

@@ -21,14 +21,21 @@
 //	sum, err := structaware.Build(ds, structaware.Config{Size: 1000})
 //	estimate := sum.EstimateRange(structaware.Range{{Lo: a, Hi: b}, {Lo: c, Hi: d}})
 //
+// For query-heavy serving, compile the summary once with Summary.Index: the
+// resulting IndexedSummary answers the same queries bit-for-bit in
+// O(log s + answer + s/64) instead of O(s), and is immutable, so goroutines share
+// it without locks. cmd/sasserve builds an HTTP daemon on exactly this:
+// load serialized summaries, index them, serve JSON estimates.
+//
 // See examples/ for runnable scenarios (network flows, trouble tickets,
 // out-of-core two-pass construction) and DESIGN.md for the system inventory.
 //
 // The facade re-exports the library's public surface; the implementation
 // lives under internal/ (internal/core orchestrates, internal/aware,
-// internal/kd, internal/twopass implement the paper's algorithms, and
-// internal/wavelet, internal/qdigest, internal/sketch provide the baseline
-// summaries used by the experiment harness).
+// internal/kd, internal/twopass implement the paper's algorithms,
+// internal/queryidx compiles the serving index, and internal/wavelet,
+// internal/qdigest, internal/sketch provide the baseline summaries used by
+// the experiment harness).
 package structaware
 
 import (
@@ -62,8 +69,17 @@ type HierarchyBuilder = hierarchy.Builder
 
 // Summary is a queryable sample-based summary. It is self-contained: it can
 // outlive the data, be serialized (MarshalBinary/WriteTo), shipped, and
-// merged with summaries of disjoint populations (MergeSummaries).
+// merged with summaries of disjoint populations (MergeSummaries). For
+// query-heavy serving, compile it once with Summary.Index.
 type Summary = core.Summary
+
+// IndexedSummary is a Summary compiled for serving (Summary.Index): an
+// immutable index over the sampled keys that answers EstimateRange,
+// EstimateQuery, EstimateTotal, and RepresentativeKeys in
+// O(log s + answer + s/64) instead of the linear scan's O(s), returning bit-for-bit
+// the same values. Safe for concurrent use across goroutines; cmd/sasserve
+// serves HTTP traffic from one shared IndexedSummary per loaded summary.
+type IndexedSummary = core.IndexedSummary
 
 // Builder is the streaming construction API: Push weighted keys one at a
 // time and Finalize into a Summary, with working memory bounded by
