@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race bench bench-smoke smoke-serve
+# bench-json pipes go test into benchjson; pipefail makes a benchmark
+# failure fail the recipe instead of being masked by the parser's exit 0.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+# Iterations for the recorded benchmark run; CI uses 1x for a smoke-grade
+# artifact, local runs should use >= 3x for stable numbers.
+BENCHTIME ?= 3x
+
+.PHONY: all build test vet fmt-check race bench bench-smoke bench-json smoke-serve
 
 all: build vet fmt-check test
 
@@ -25,6 +34,23 @@ bench:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Time budget for the µs-scale query benchmark (iteration counts like 3x are
+# far too noisy there; the build benchmarks use BENCHTIME iterations because
+# one iteration is ~0.5s).
+QUERYBENCHTIME ?= 1s
+
+# Record the benchmark trajectory: run the key build/query benchmarks and
+# emit BENCH_PR4.json (before = recorded pre-PR numbers, after = this run).
+bench-json:
+	( $(GO) test -run '^$$' \
+		-bench '^BenchmarkBuilderPush$$|^BenchmarkBuilderPushBatch$$|^BenchmarkSerialSample$$|^BenchmarkParallelSample$$/workers=4' \
+		-benchmem -benchtime $(BENCHTIME) . && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkIndexedEstimateRange$$' \
+		-benchmem -benchtime $(QUERYBENCHTIME) . ) \
+	| $(GO) run ./scripts/benchjson -pr 4 \
+		-before scripts/bench_baseline_pr4.json -out BENCH_PR4.json
+	@echo wrote BENCH_PR4.json
 
 smoke-serve:
 	./scripts/smoke_sasserve.sh

@@ -162,6 +162,33 @@ func BenchmarkBuilderPush(b *testing.B) {
 	b.ReportMetric(float64(ds.Len())*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
 }
 
+// BenchmarkBuilderPushBatch is the columnar counterpart of
+// BenchmarkBuilderPush: the same 1M keys ingested as whole columns via
+// PushBatch (no per-key point materialization), producing byte-identical
+// summaries.
+func BenchmarkBuilderPushBatch(b *testing.B) {
+	ds := bigFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld, err := structaware.NewBuilder(ds.Axes,
+			structaware.Config{Size: 4096, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bld.PushBatch(ds.Coords, ds.Weights); err != nil {
+			b.Fatal(err)
+		}
+		sum, err := bld.Finalize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Size() != 4096 {
+			b.Fatalf("size %d", sum.Size())
+		}
+	}
+	b.ReportMetric(float64(ds.Len())*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
 func BenchmarkParallelSample(b *testing.B) {
 	for _, w := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchSample1M(b, w) })

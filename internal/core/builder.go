@@ -111,6 +111,35 @@ func (b *Builder) Push(pt []uint64, w float64) error {
 	return b.ing.Push(pt, w)
 }
 
+// PushBatch consumes a columnar batch of weighted keys: coords[d][i] is key
+// i's coordinate on axis d and weights[i] its weight. It is exactly
+// equivalent to len(weights) Push calls — same reservoir decisions, same
+// final Summary bytes — but skips the per-key point materialization, which
+// is how dataset-backed callers feed the builder at full column bandwidth
+// (e.g. PushBatch(ds.Coords, ds.Weights)). Domains are validated before any
+// key is ingested; a weight error mid-batch leaves the earlier rows
+// ingested, exactly as per-key pushes would.
+func (b *Builder) PushBatch(coords [][]uint64, weights []float64) error {
+	if b.done {
+		return ingest.ErrFinalized
+	}
+	if len(coords) != len(b.axes) {
+		return fmt.Errorf("core: batch has %d columns, want %d", len(coords), len(b.axes))
+	}
+	for d := range coords {
+		if len(coords[d]) != len(weights) {
+			return fmt.Errorf("core: column %d has %d rows for %d weights", d, len(coords[d]), len(weights))
+		}
+		dom := b.axes[d].DomainSize()
+		for i, x := range coords[d] {
+			if x >= dom {
+				return fmt.Errorf("core: coordinate %d out of domain on axis %d (row %d)", x, d, i)
+			}
+		}
+	}
+	return b.ing.PushBatch(coords, weights)
+}
+
 // Pushed returns the number of keys pushed so far (including zero-weight
 // ones).
 func (b *Builder) Pushed() int { return b.ing.Rows() }
@@ -135,7 +164,7 @@ func (b *Builder) Finalize() (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.MergeClose(lds, []varopt.Shard{shard}, b.cfg.Size, closeMode(b.cfg.Method), b.r)
+	res, err := engine.MergeClose(lds, []varopt.Shard{shard}, b.cfg.Size, closeMode(b.cfg.Method), b.r, engine.NewArena())
 	if err != nil {
 		return nil, mapErr(err)
 	}
@@ -231,7 +260,7 @@ func MergeSummaries(size int, seed uint64, summaries ...*Summary) (*Summary, err
 	if seedr == 0 {
 		seedr = 1
 	}
-	res, err := engine.MergeClose(lds, shards, size, mode, xmath.NewRand(seedr))
+	res, err := engine.MergeClose(lds, shards, size, mode, xmath.NewRand(seedr), engine.NewArena())
 	if err != nil {
 		return nil, mapErr(err)
 	}

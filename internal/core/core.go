@@ -136,7 +136,7 @@ func Build(ds *structure.Dataset, cfg Config) (*Summary, error) {
 		}
 		return fromIndices(ds, res.Indices, res.Tau, cfg.Method), nil
 	case Aware, Oblivious, Systematic:
-		kept, tau, err := engine.Close(ds, nil, make([]float64, ds.Len()), cfg.Size, closeMode(cfg.Method), r)
+		kept, tau, err := engine.Close(ds, nil, make([]float64, ds.Len()), cfg.Size, closeMode(cfg.Method), r, engine.NewArena())
 		if err != nil {
 			return nil, mapErr(err)
 		}

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"structaware/internal/aware"
 	"structaware/internal/ipps"
@@ -11,6 +10,7 @@ import (
 	"structaware/internal/structure"
 	"structaware/internal/varopt"
 	"structaware/internal/xmath"
+	"structaware/internal/xsort"
 )
 
 // CloseMode selects how the closing pass drives candidate probabilities to
@@ -42,16 +42,26 @@ const (
 // the sampled indices ascending, and tau is the IPPS threshold (0 when the
 // population fit, i.e. the sample is exact). kept may be empty without error
 // when the items carry no positive weight; callers decide whether that is
-// fatal.
-func Close(ds *structure.Dataset, items []int, p []float64, size int, mode CloseMode, r xmath.Rand) (kept []int, tau float64, err error) {
+// fatal. a supplies the build's scratch (one arena per worker); nil uses a
+// call-local arena.
+func Close(ds *structure.Dataset, items []int, p []float64, size int, mode CloseMode, r xmath.Rand, a *Arena) (kept []int, tau float64, err error) {
 	if size <= 0 {
 		return nil, 0, ipps.ErrBadSize
 	}
+	if a == nil {
+		a = NewArena()
+	}
 	ws := ds.Weights
 	if items != nil {
-		ws = make([]float64, len(items))
-		for k, i := range items {
-			ws[k] = ds.Weights[i]
+		if lo, ok := contiguous(items); ok {
+			// Columnar fast path: a contiguous shard's candidate weights are
+			// a sub-column of the dataset — no gather copy needed.
+			ws = ds.Weights[lo : lo+len(items)]
+		} else {
+			ws = a.weights(len(items))
+			for k, i := range items {
+				ws[k] = ds.Weights[i]
+			}
 		}
 	}
 	tau, err = ipps.Threshold(ws, size)
@@ -73,20 +83,36 @@ func Close(ds *structure.Dataset, items []int, p []float64, size int, mode Close
 			normalizeCandidates(p, items)
 		}
 	}
-	if err := closePass(ds, items, p, mode, r); err != nil {
+	if err := closePass(ds, items, p, mode, r, a); err != nil {
 		return nil, 0, err
 	}
 	if items == nil {
 		kept = paggr.SampleIndices(p)
 	} else {
+		kept = make([]int, 0, size)
 		for _, i := range items {
 			if p[i] == 1 {
 				kept = append(kept, i)
 			}
 		}
-		sort.Ints(kept)
+		xsort.Ints(kept, &a.Sort)
 	}
 	return kept, tau, nil
+}
+
+// contiguous reports whether items is exactly [lo, lo+len) ascending, the
+// layout of a shard's candidate list.
+func contiguous(items []int) (lo int, ok bool) {
+	if len(items) == 0 {
+		return 0, false
+	}
+	lo = items[0]
+	for k, i := range items {
+		if i != lo+k {
+			return 0, false
+		}
+	}
+	return lo, true
 }
 
 // ippsProbability is min(1, w/τ) with the zero-weight and exact-sample
@@ -104,7 +130,7 @@ func ippsProbability(w, tau float64) float64 {
 
 // closePass drives the fractional entries of p among items to 0/1 according
 // to mode.
-func closePass(ds *structure.Dataset, items []int, p []float64, mode CloseMode, r xmath.Rand) error {
+func closePass(ds *structure.Dataset, items []int, p []float64, mode CloseMode, r xmath.Rand, a *Arena) error {
 	switch mode {
 	case CloseOblivious:
 		var shuffled []int
@@ -121,10 +147,10 @@ func closePass(ds *structure.Dataset, items []int, p []float64, mode CloseMode, 
 		paggr.ResolveLeftover(p, left, r)
 		return nil
 	case CloseSystematic:
-		aware.Systematic(p, CoordOrder(ds, 0, items), r.Float64())
+		aware.Systematic(p, CoordOrder(ds, 0, items, a), r.Float64())
 		return nil
 	default:
-		return Summarize(ds, items, p, r)
+		return Summarize(ds, items, p, r, a)
 	}
 }
 
@@ -135,15 +161,19 @@ func closePass(ds *structure.Dataset, items []int, p []float64, mode CloseMode, 
 // shared by the parallel engine, the streaming Builder (one reservoir
 // shard), and summary merging (one shard per summary); the shard thresholds
 // must obey the dominance precondition of varopt.MergeAll (each positive-
-// threshold shard drawn with target size >= size).
-func MergeClose(ds *structure.Dataset, shards []varopt.Shard, size int, mode CloseMode, r xmath.Rand) (*Result, error) {
-	return mergeShards(ds, make([]float64, ds.Len()), shards, size, mode, r)
+// threshold shard drawn with target size >= size). a supplies the build's
+// scratch; nil uses a call-local arena.
+func MergeClose(ds *structure.Dataset, shards []varopt.Shard, size int, mode CloseMode, r xmath.Rand, a *Arena) (*Result, error) {
+	return mergeShards(ds, make([]float64, ds.Len()), shards, size, mode, r, a)
 }
 
 // mergeShards is MergeClose over caller-provided scratch p, which must be
 // all zero on entry (the parallel engine reuses its shard probability
 // vector).
-func mergeShards(ds *structure.Dataset, p []float64, shards []varopt.Shard, size int, mode CloseMode, r xmath.Rand) (*Result, error) {
+func mergeShards(ds *structure.Dataset, p []float64, shards []varopt.Shard, size int, mode CloseMode, r xmath.Rand, a *Arena) (*Result, error) {
+	if a == nil {
+		a = NewArena()
+	}
 	if mode == CloseOblivious {
 		sm, _, err := varopt.MergeAll(shards, size, r)
 		if err != nil {
@@ -162,27 +192,27 @@ func mergeShards(ds *structure.Dataset, p []float64, shards []varopt.Shard, size
 		}
 	}
 	if keepAll {
-		sort.Ints(cand)
+		xsort.Ints(cand, &a.Sort)
 		return &Result{Indices: cand, Tau: tau}, nil
 	}
 	for k, i := range cand {
-		if a := adj[k]; a >= tau {
+		if aw := adj[k]; aw >= tau {
 			p[i] = 1
 		} else {
-			p[i] = a / tau
+			p[i] = aw / tau
 		}
 	}
 	normalizeCandidates(p, cand)
-	if err := closePass(ds, cand, p, mode, r); err != nil {
+	if err := closePass(ds, cand, p, mode, r, a); err != nil {
 		return nil, err
 	}
-	out := &Result{Tau: tau}
+	out := &Result{Tau: tau, Indices: make([]int, 0, size)}
 	for _, i := range cand {
 		if p[i] == 1 {
 			out.Indices = append(out.Indices, i)
 		}
 	}
-	sort.Ints(out.Indices)
+	xsort.Ints(out.Indices, &a.Sort)
 	return out, nil
 }
 

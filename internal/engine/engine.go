@@ -25,7 +25,6 @@ package engine
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"structaware/internal/aware"
@@ -35,7 +34,46 @@ import (
 	"structaware/internal/structure"
 	"structaware/internal/varopt"
 	"structaware/internal/xmath"
+	"structaware/internal/xsort"
 )
+
+// Arena is the per-build scratch pool threaded through the closing passes:
+// radix-sort buffers, the kd node allocator, and reusable index/weight
+// gather buffers. One build allocates one arena (per worker, for the
+// sharded pipeline — arenas are not safe for concurrent use) and every
+// sort, kd construction, and candidate gather inside the build then reuses
+// its memory. Ownership rule (DESIGN.md §7): buffers obtained from an arena
+// are valid only until the next call that takes the same arena; anything
+// that outlives the build step is copied out.
+type Arena struct {
+	// Sort is the radix-sort scratch shared by every sort in the build.
+	Sort xsort.Scratch
+	// KD is the node allocator for the closing pass's kd-hierarchies; it is
+	// Reset before each tree construction.
+	KD kd.NodeArena
+
+	order []int     // coordinate-order / fractional-item buffer
+	ws    []float64 // candidate-weight gather buffer
+}
+
+// NewArena returns an empty arena; buffers grow on first use.
+func NewArena() *Arena { return &Arena{} }
+
+// ints returns the index buffer with capacity >= n and length 0.
+func (a *Arena) ints(n int) []int {
+	if cap(a.order) < n {
+		a.order = make([]int, 0, n)
+	}
+	return a.order[:0]
+}
+
+// weights returns the weight buffer with length n.
+func (a *Arena) weights(n int) []float64 {
+	if cap(a.ws) < n {
+		a.ws = make([]float64, n)
+	}
+	return a.ws[:n]
+}
 
 // Config configures a parallel sampling run.
 type Config struct {
@@ -99,7 +137,7 @@ func Run(ds *structure.Dataset, cfg Config) (*Result, error) {
 		go func(j int) {
 			defer wg.Done()
 			r := xmath.NewRand(shardSeed(seed, j))
-			shards[j], errs[j] = sampleShard(ds, p, bounds[j][0], bounds[j][1], cfg, r)
+			shards[j], errs[j] = sampleShard(ds, p, bounds[j][0], bounds[j][1], cfg, r, NewArena())
 		}(j)
 	}
 	wg.Wait()
@@ -118,7 +156,7 @@ func Run(ds *structure.Dataset, cfg Config) (*Result, error) {
 	if total == 0 {
 		return nil, varopt.ErrEmpty
 	}
-	return mergeShards(ds, p, shards, cfg.Size, cfg.mode(), xmath.NewRand(shardSeed(seed, len(bounds))))
+	return mergeShards(ds, p, shards, cfg.Size, cfg.mode(), xmath.NewRand(shardSeed(seed, len(bounds))), NewArena())
 }
 
 // mode maps the Oblivious flag to the closing pass selector.
@@ -150,16 +188,16 @@ func shardBounds(n, w int) [][2]int {
 // in [lo, hi) through the shared closing pass, writing only p[lo:hi]. A
 // shard with at most cfg.Size positive items keeps them all (threshold 0),
 // which the merge step then thresholds globally.
-func sampleShard(ds *structure.Dataset, p []float64, lo, hi int, cfg Config, r xmath.Rand) (varopt.Shard, error) {
+func sampleShard(ds *structure.Dataset, p []float64, lo, hi int, cfg Config, r xmath.Rand, a *Arena) (varopt.Shard, error) {
 	items := make([]int, hi-lo)
 	for k := range items {
 		items[k] = lo + k
 	}
-	kept, tau, err := Close(ds, items, p, cfg.Size, cfg.mode(), r)
+	kept, tau, err := Close(ds, items, p, cfg.Size, cfg.mode(), r, a)
 	if err != nil {
 		return varopt.Shard{}, err
 	}
-	sh := varopt.Shard{Tau: tau}
+	sh := varopt.Shard{Tau: tau, Items: make([]varopt.StreamItem, 0, len(kept))}
 	for _, i := range kept {
 		sh.Items = append(sh.Items, varopt.StreamItem{Index: i, Weight: ds.Weights[i]})
 	}
@@ -173,20 +211,26 @@ func sampleShard(ds *structure.Dataset, p []float64, lo, hi int, cfg Config, r x
 // kind — hierarchy axes get the ∆ < 1 scheme, ordered axes the ∆ < 2 order
 // scheme — and multi-dimensional datasets use KD-HIERARCHY (§4). It is
 // shared by the serial builder (internal/core, over all items) and the
-// parallel merge (over the shard candidates).
-func Summarize(ds *structure.Dataset, items []int, p []float64, r xmath.Rand) error {
+// parallel merge (over the shard candidates). a supplies the build's
+// scratch; nil uses a call-local arena.
+func Summarize(ds *structure.Dataset, items []int, p []float64, r xmath.Rand, a *Arena) error {
+	if a == nil {
+		a = NewArena()
+	}
 	if ds.Dims() == 1 {
-		summarize1D(ds, 0, items, p, r)
+		summarize1D(ds, 0, items, p, r, a)
 		return nil
 	}
 	var fractional []int
 	if items == nil {
+		fractional = a.ints(len(p))
 		for i, pi := range p {
 			if pi > 0 && pi < 1 {
 				fractional = append(fractional, i)
 			}
 		}
 	} else {
+		fractional = a.ints(len(items))
 		for _, i := range items {
 			if pi := p[i]; pi > 0 && pi < 1 {
 				fractional = append(fractional, i)
@@ -195,7 +239,8 @@ func Summarize(ds *structure.Dataset, items []int, p []float64, r xmath.Rand) er
 	}
 	switch {
 	case len(fractional) > 1:
-		tree, err := kd.Build(ds, fractional, p, kd.Config{})
+		a.KD.Reset()
+		tree, err := kd.Build(ds, fractional, p, kd.Config{Sort: &a.Sort, Arena: &a.KD})
 		if err != nil {
 			return err
 		}
@@ -207,11 +252,11 @@ func Summarize(ds *structure.Dataset, items []int, p []float64, r xmath.Rand) er
 }
 
 // summarize1D dispatches the one-dimensional closing pass on the axis kind.
-func summarize1D(ds *structure.Dataset, axis int, items []int, p []float64, r xmath.Rand) {
+func summarize1D(ds *structure.Dataset, axis int, items []int, p []float64, r xmath.Rand, a *Arena) {
 	ax := ds.Axes[axis]
 	switch ax.Kind {
 	case structure.BitTrie:
-		order := CoordOrder(ds, axis, items)
+		order := CoordOrder(ds, axis, items, a)
 		aware.BitTrie(p, order, ds.Coords[axis], ax.Bits, r)
 	case structure.Explicit:
 		itemsAtLeaf := make([][]int, ax.Tree.NumLeaves())
@@ -227,7 +272,7 @@ func summarize1D(ds *structure.Dataset, axis int, items []int, p []float64, r xm
 		}
 		aware.Hierarchy(ax.Tree, itemsAtLeaf, p, r)
 	default:
-		order := CoordOrder(ds, axis, items)
+		order := CoordOrder(ds, axis, items, a)
 		aware.Order(p, order, r)
 	}
 }
@@ -235,18 +280,23 @@ func summarize1D(ds *structure.Dataset, axis int, items []int, p []float64, r xm
 // CoordOrder returns the items sorted ascending by their coordinate on the
 // axis — the visit order of the one-dimensional summarizers, shared with
 // internal/core's systematic path. A nil items slice means every item of
-// the dataset; the input slice is never reordered.
-func CoordOrder(ds *structure.Dataset, axis int, items []int) []int {
+// the dataset; the input slice is never reordered. The returned slice is
+// arena-owned scratch (valid until the arena's next use); equal coordinates
+// keep their order in items (stable radix), so the visit order is a
+// deterministic function of the inputs.
+func CoordOrder(ds *structure.Dataset, axis int, items []int, a *Arena) []int {
+	if a == nil {
+		a = NewArena()
+	}
 	var order []int
 	if items == nil {
-		order = make([]int, ds.Len())
-		for i := range order {
-			order[i] = i
+		order = a.ints(ds.Len())
+		for i := 0; i < ds.Len(); i++ {
+			order = append(order, i)
 		}
 	} else {
-		order = append([]int(nil), items...)
+		order = append(a.ints(len(items)), items...)
 	}
-	coords := ds.Coords[axis]
-	sort.Slice(order, func(a, b int) bool { return coords[order[a]] < coords[order[b]] })
+	xsort.SortBy(order, ds.Coords[axis], &a.Sort)
 	return order
 }

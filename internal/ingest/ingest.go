@@ -8,12 +8,18 @@
 //   - a stream VarOpt reservoir (internal/varopt) of fixed capacity that
 //     retains a mergeable sample of everything pushed so far, with its own
 //     IPPS threshold τ₀ (0 until the reservoir overflows);
-//   - optionally, the retained items' coordinates, compacted in lockstep
-//     with the reservoir so memory stays O(capacity) regardless of stream
-//     length; and
+//   - optionally, the retained items' coordinates, kept in a flat columnar
+//     slot arena that is compacted in lockstep with the reservoir so memory
+//     stays O(capacity) regardless of stream length; and
 //   - optionally, the streaming IPPS threshold τ_s for a separate target
 //     size (the paper's Algorithm 4), which the two-pass construction of §5
 //     needs alongside its guide sample.
+//
+// The per-key path is allocation-free in steady state: coordinate slots are
+// recycled through a free list, compaction reuses persistent radix-sort
+// scratch, and weight validation is scalar. Columnar batches (PushBatch,
+// PushWeights) avoid even the per-key point materialization, which is how
+// the dataset-backed and batch-file paths feed the pipeline.
 //
 // Consumers: core.Builder (streaming public API), the two-pass constructions
 // (guide-sample pass), and — via the dataset-backed fast path in
@@ -23,15 +29,20 @@ package ingest
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"structaware/internal/ipps"
 	"structaware/internal/varopt"
 	"structaware/internal/xmath"
+	"structaware/internal/xsort"
 )
 
 // ErrFinalized is returned when pushing into a result-extracted Ingester
 // whose reservoir has been handed off.
 var ErrFinalized = errors.New("ingest: ingester already finalized")
+
+// errNoCoords rejects weight-only batches on a coordinate-tracking Ingester.
+var errNoCoords = errors.New("ingest: coordinate-tracking ingester needs coordinates (use PushBatch)")
 
 // Config configures an Ingester.
 type Config struct {
@@ -53,11 +64,30 @@ type Config struct {
 type Ingester struct {
 	stream *varopt.Stream
 	thr    *ipps.StreamThreshold
-	points map[int][]uint64
 	cap    int
 	dims   int
 	rows   int
 	done   bool
+
+	// Columnar coordinate retention (dims > 0 only). Slot s holds the
+	// coordinates of one pushed key at coords[s*dims : (s+1)*dims] and its
+	// row index in slotRows[s] (-1 when free). Slots are recycled through
+	// freeSlots; when live slots reach maxSlots the non-reservoir ones are
+	// swept back to the free list.
+	slotRows  []int
+	coords    []uint64
+	freeSlots []int32
+	live      int
+
+	// Persistent compaction scratch: the reservoir snapshot and the sorted
+	// kept-row list, plus the radix scratch both sorts share.
+	itemsBuf []varopt.StreamItem
+	keepBuf  []int
+	sortScr  xsort.Scratch
+
+	// Row directory over live slots, built by Guide for Point lookups.
+	dirRows  []uint64
+	dirSlots []int32
 }
 
 // New creates an Ingester. r drives the reservoir's sampling decisions.
@@ -76,16 +106,25 @@ func New(cfg Config, r xmath.Rand) (*Ingester, error) {
 		}
 	}
 	if cfg.Dims > 0 {
-		g.points = make(map[int][]uint64, 2*cfg.Capacity)
+		slots := g.maxSlots()
+		g.slotRows = make([]int, 0, slots)
+		g.coords = make([]uint64, 0, slots*cfg.Dims)
+		g.freeSlots = make([]int32, 0, slots)
 	}
 	return g, nil
 }
+
+// maxSlots is the coordinate-arena size at which compaction runs: with a
+// reservoir of cap keys live, a 4× arena leaves 3×cap pushes between
+// sweeps, amortizing each sweep to O(1) work per key.
+func (g *Ingester) maxSlots() int { return 4 * g.cap }
 
 // Push consumes one weighted key. The row index assigned to the key is the
 // number of prior Push calls, so dataset-backed callers pushing rows in
 // order can use dataset positions as reservoir indices. pt is copied when
 // coordinates are tracked and may be nil otherwise; zero-weight keys advance
-// the row index but never enter the reservoir.
+// the row index but never enter the reservoir. Steady-state pushes do not
+// allocate.
 func (g *Ingester) Push(pt []uint64, w float64) error {
 	if g.done {
 		return ErrFinalized
@@ -93,40 +132,132 @@ func (g *Ingester) Push(pt []uint64, w float64) error {
 	if g.dims > 0 && len(pt) != g.dims {
 		return fmt.Errorf("ingest: point has %d dims, want %d", len(pt), g.dims)
 	}
+	if err := g.pushWeight(w); err != nil {
+		return err
+	}
+	if w != 0 && g.dims > 0 {
+		slot := g.takeSlot()
+		copy(g.coords[slot*g.dims:(slot+1)*g.dims], pt)
+	}
+	return nil
+}
+
+// PushBatch consumes a columnar batch: cols[d][i] is key i's coordinate on
+// axis d and weights[i] its weight, exactly as len(weights) Push calls but
+// without materializing a point per key — the batch fast path of the
+// dataset-backed and streaming builders.
+func (g *Ingester) PushBatch(cols [][]uint64, weights []float64) error {
+	if g.done {
+		return ErrFinalized
+	}
+	if g.dims > 0 && len(cols) != g.dims {
+		return fmt.Errorf("ingest: batch has %d columns, want %d", len(cols), g.dims)
+	}
+	for d := range cols {
+		if len(cols[d]) != len(weights) {
+			return fmt.Errorf("ingest: column %d has %d rows for %d weights", d, len(cols[d]), len(weights))
+		}
+	}
+	for i, w := range weights {
+		if err := g.pushWeight(w); err != nil {
+			return err
+		}
+		if w != 0 && g.dims > 0 {
+			slot := g.takeSlot()
+			base := slot * g.dims
+			for d := range cols {
+				g.coords[base+d] = cols[d][i]
+			}
+		}
+	}
+	return nil
+}
+
+// PushWeights consumes a batch of weight-only keys. It is only valid on an
+// Ingester that does not track coordinates (Config.Dims == 0), e.g. the
+// dataset-backed two-pass guide scan, where keys are recovered by row index.
+func (g *Ingester) PushWeights(weights []float64) error {
+	if g.done {
+		return ErrFinalized
+	}
+	if g.dims > 0 {
+		return errNoCoords
+	}
+	for _, w := range weights {
+		if err := g.pushWeight(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushWeight runs the weight through the threshold tracker and reservoir,
+// assigning the next row index.
+func (g *Ingester) pushWeight(w float64) error {
 	index := g.rows
 	g.rows++
 	if g.thr != nil {
 		if err := g.thr.Process(w); err != nil {
 			return err
 		}
-	} else if err := ipps.ValidateWeights([]float64{w}); err != nil {
+	} else if err := ipps.ValidateWeight(w); err != nil {
 		return err
 	}
 	if w == 0 {
 		return nil
 	}
-	if err := g.stream.Process(index, w); err != nil {
-		return err
-	}
-	if g.points != nil {
-		g.points[index] = append([]uint64(nil), pt...)
-		if len(g.points) >= 4*g.cap {
-			g.compact()
-		}
-	}
-	return nil
+	return g.stream.Process(index, w)
 }
 
-// compact drops coordinates of rows no longer held by the reservoir.
-func (g *Ingester) compact() {
-	_, items := g.stream.Result()
-	keep := make(map[int][]uint64, len(items))
-	for _, it := range items {
-		if pt, ok := g.points[it.Index]; ok {
-			keep[it.Index] = pt
+// takeSlot claims a coordinate slot for the row just pushed (g.rows-1),
+// sweeping stale slots first when the arena is full.
+func (g *Ingester) takeSlot() int {
+	if g.live >= g.maxSlots() {
+		g.compact()
+	}
+	var slot int
+	if n := len(g.freeSlots); n > 0 {
+		slot = int(g.freeSlots[n-1])
+		g.freeSlots = g.freeSlots[:n-1]
+	} else {
+		slot = len(g.slotRows)
+		g.slotRows = append(g.slotRows, 0)
+		if need := (slot + 1) * g.dims; cap(g.coords) >= need {
+			g.coords = g.coords[:need] // pre-sized by New: no allocation
+		} else {
+			g.coords = append(g.coords, make([]uint64, g.dims)...)
 		}
 	}
-	g.points = keep
+	g.slotRows[slot] = g.rows - 1
+	g.live++
+	return slot
+}
+
+// compact frees the slots of rows no longer held by the reservoir. All
+// scratch is persistent, so steady-state compaction does not allocate.
+func (g *Ingester) compact() {
+	items := g.stream.AppendItems(g.itemsBuf[:0])
+	g.itemsBuf = items[:0]
+	keep := g.keepBuf[:0]
+	for _, it := range items {
+		keep = append(keep, it.Index)
+	}
+	xsort.Ints(keep, &g.sortScr)
+	g.keepBuf = keep[:0]
+	for s, row := range g.slotRows {
+		if row < 0 || sortedContains(keep, row) {
+			continue
+		}
+		g.slotRows[s] = -1
+		g.freeSlots = append(g.freeSlots, int32(s))
+		g.live--
+	}
+}
+
+// sortedContains reports whether x occurs in the ascending slice a.
+func sortedContains(a []int, x int) bool {
+	i := sort.SearchInts(a, x)
+	return i < len(a) && a[i] == x
 }
 
 // Rows returns the number of keys pushed (including zero-weight ones).
@@ -151,17 +282,41 @@ func (g *Ingester) Tau() (float64, bool) {
 // pushes are rejected once Guide has been called.
 func (g *Ingester) Guide() (items []varopt.StreamItem, tau0 float64) {
 	g.done = true
-	if g.points != nil {
+	if g.dims > 0 {
 		g.compact()
+		g.buildDirectory()
 	}
 	sm, items := g.stream.Result()
 	return items, sm.Tau
 }
 
+// buildDirectory indexes the live slots by row for Point lookups.
+func (g *Ingester) buildDirectory() {
+	n := g.live
+	rows := make([]uint64, 0, n)
+	slots := make([]int32, 0, n)
+	for s, row := range g.slotRows {
+		if row >= 0 {
+			rows = append(rows, uint64(row))
+			slots = append(slots, int32(s))
+		}
+	}
+	tmpRows := make([]uint64, len(rows))
+	tmpSlots := make([]int32, len(slots))
+	var counts [256]int
+	xsort.SortPairs(rows, slots, tmpRows, tmpSlots, &counts)
+	g.dirRows, g.dirSlots = rows, slots
+}
+
 // Point returns the retained coordinates of the reservoir item with the
 // given row index. It is only valid for indices of items returned by Guide
-// on a coordinate-tracking Ingester.
+// on a coordinate-tracking Ingester. The returned slice aliases the
+// Ingester's coordinate arena and must not be mutated.
 func (g *Ingester) Point(index int) ([]uint64, bool) {
-	pt, ok := g.points[index]
-	return pt, ok
+	i := sort.Search(len(g.dirRows), func(k int) bool { return g.dirRows[k] >= uint64(index) })
+	if i == len(g.dirRows) || g.dirRows[i] != uint64(index) {
+		return nil, false
+	}
+	slot := int(g.dirSlots[i])
+	return g.coords[slot*g.dims : (slot+1)*g.dims], true
 }

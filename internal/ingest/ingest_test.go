@@ -52,8 +52,8 @@ func TestOverflowBoundsMemoryAndThreshold(t *testing.T) {
 		if err := g.Push([]uint64{uint64(i)}, ws[i]); err != nil {
 			t.Fatal(err)
 		}
-		if len(g.points) >= 4*capacity {
-			t.Fatalf("row %d: %d retained points, compaction failed", i, len(g.points))
+		if g.live > g.maxSlots() {
+			t.Fatalf("row %d: %d live coordinate slots, compaction failed", i, g.live)
 		}
 	}
 	items, tau0 := g.Guide()
@@ -63,8 +63,8 @@ func TestOverflowBoundsMemoryAndThreshold(t *testing.T) {
 	if tau0 <= 0 {
 		t.Fatalf("tau0 %v want > 0 after overflow", tau0)
 	}
-	if len(g.points) != capacity {
-		t.Fatalf("%d points retained after Guide, want %d", len(g.points), capacity)
+	if g.live != capacity {
+		t.Fatalf("%d coordinate slots live after Guide, want %d", g.live, capacity)
 	}
 	for _, it := range items {
 		if pt, ok := g.Point(it.Index); !ok || pt[0] != uint64(it.Index) {

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"structaware/internal/xmath"
@@ -40,11 +41,25 @@ func ValidateWeights(weights []float64) error {
 	return nil
 }
 
+// ValidateWeight is the scalar form of ValidateWeights: the streaming hot
+// paths call it per item without materializing a one-element slice.
+func ValidateWeight(w float64) error {
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("%w: %v", ErrBadWeight, w)
+	}
+	return nil
+}
+
 // Threshold computes τ_s for the given weights and target expected sample
-// size s by sorting a copy of the weights. It returns 0 when the number of
-// items with positive weight is at most s (all such items get p = 1).
+// size s. It returns 0 when the number of items with positive weight is at
+// most s (all such items get p = 1).
 //
 // The returned τ satisfies Σ min(1, w_i/τ) = s exactly in real arithmetic.
+// Only the top-(s+1) region of the weights needs to be ordered to find τ, so
+// the implementation quickselects the s largest weights (expected O(n)) and
+// sorts just those, instead of reverse-sorting all n weights; for the usual
+// s ≪ n this removes the dominant O(n log n) term from every per-shard
+// threshold computation.
 func Threshold(weights []float64, s int) (float64, error) {
 	if s <= 0 {
 		return 0, ErrBadSize
@@ -61,11 +76,22 @@ func Threshold(weights []float64, s int) (float64, error) {
 	if len(ws) <= s {
 		return 0, nil
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(ws)))
-	// Suffix sums: rest[k] = Σ_{i >= k} ws[i] (0-indexed, ws sorted desc).
+	// Partition so ws[:s] holds the s largest weights, sort only that region
+	// descending, and fold the tail into rest[s] with compensated summation.
+	// The tail is summed in selectTopK's output order; that order (and hence
+	// the low bits of τ) is deterministic because the pivots are — do not
+	// randomize or parallelize the partition without updating the golden
+	// SAS2 hashes.
 	n := len(ws)
-	rest := make([]float64, n+1)
-	for i := n - 1; i >= 0; i-- {
+	selectTopK(ws, s)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ws[:s])))
+	rest := make([]float64, s+1)
+	var tail xmath.KahanSum
+	for _, w := range ws[s:] {
+		tail.Add(w)
+	}
+	rest[s] = tail.Sum()
+	for i := s - 1; i >= 0; i-- {
 		rest[i] = rest[i+1] + ws[i]
 	}
 	// With k items at p=1 the threshold is τ_k = rest[k]/(s-k); it is the
@@ -98,6 +124,89 @@ func Threshold(weights []float64, s int) (float64, error) {
 		return 0, fmt.Errorf("ipps: no threshold for s=%d over %d weights (residual %v)", s, n, bestErr)
 	}
 	return bestTau, nil
+}
+
+// selectTopK partitions ws in place so that ws[:k] holds its k largest
+// elements (in unspecified order) and ws[k:] the rest: quickselect on the
+// descending order with deterministic ninther pivots, expected O(n). The
+// recursion depth is capped; ranges that exceed it (pathological pivot luck)
+// are finished by a full sort, keeping the worst case O(n log n).
+// 0 < k < len(ws) is the caller's responsibility.
+func selectTopK(ws []float64, k int) {
+	lo, hi := 0, len(ws) // active range [lo, hi); we want the split at k
+	for depth := 2 * bits.Len(uint(len(ws))); hi-lo > 12; depth-- {
+		if depth == 0 {
+			sort.Sort(sort.Reverse(sort.Float64Slice(ws[lo:hi])))
+			return
+		}
+		p := pivotDesc(ws, lo, hi)
+		// Three-way partition descending around the pivot value: [lo, gt)
+		// greater, [gt, eq) equal, [eq, hi) less.
+		gt, i, eq := lo, lo, hi
+		for i < eq {
+			switch {
+			case ws[i] > p:
+				ws[i], ws[gt] = ws[gt], ws[i]
+				gt++
+				i++
+			case ws[i] < p:
+				eq--
+				ws[i], ws[eq] = ws[eq], ws[i]
+			default:
+				i++
+			}
+		}
+		switch {
+		case k < gt:
+			hi = gt
+		case k >= eq:
+			lo = eq
+		default:
+			return // split lands inside the equal run: done
+		}
+	}
+	// Tiny range: selection sort the remainder descending up to position k.
+	for i := lo; i < hi-1 && i <= k; i++ {
+		best := i
+		for j := i + 1; j < hi; j++ {
+			if ws[j] > ws[best] {
+				best = j
+			}
+		}
+		ws[i], ws[best] = ws[best], ws[i]
+	}
+}
+
+// pivotDesc picks a deterministic pivot value for [lo, hi): median of three
+// for small ranges, ninther (median of medians of three) for large ones.
+func pivotDesc(ws []float64, lo, hi int) float64 {
+	n := hi - lo
+	m := lo + n/2
+	if n > 256 {
+		eighth := n / 8
+		a := median3(ws, lo, lo+eighth, lo+2*eighth)
+		b := median3(ws, m-eighth, m, m+eighth)
+		c := median3(ws, hi-1-2*eighth, hi-1-eighth, hi-1)
+		return median3v(a, b, c)
+	}
+	return median3v(ws[lo], ws[m], ws[hi-1])
+}
+
+// median3 returns the median of ws at three positions.
+func median3(ws []float64, a, b, c int) float64 { return median3v(ws[a], ws[b], ws[c]) }
+
+// median3v returns the median of three values.
+func median3v(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
 }
 
 // expectedSize returns Σ min(1, w/τ) for positive weights ws.

@@ -1,0 +1,195 @@
+package ipps
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"structaware/internal/xmath"
+)
+
+// thresholdBySort is the pre-quickselect reference implementation of
+// Threshold (PR 0–3): reverse-sort all weights, suffix sums, same scan. The
+// property tests pin the quickselect implementation against it.
+func thresholdBySort(weights []float64, s int) (float64, error) {
+	if s <= 0 {
+		return 0, ErrBadSize
+	}
+	if err := ValidateWeights(weights); err != nil {
+		return 0, err
+	}
+	ws := make([]float64, 0, len(weights))
+	for _, w := range weights {
+		if w > 0 {
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) <= s {
+		return 0, nil
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ws)))
+	n := len(ws)
+	rest := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		rest[i] = rest[i+1] + ws[i]
+	}
+	for k := 0; k < s; k++ {
+		tau := rest[k] / float64(s-k)
+		if tau <= 0 {
+			continue
+		}
+		if (k == 0 || ws[k-1] >= tau) && ws[k] < tau {
+			return tau, nil
+		}
+	}
+	bestTau, bestErr := 0.0, math.Inf(1)
+	for k := 0; k < s; k++ {
+		tau := rest[k] / float64(s-k)
+		if tau <= 0 {
+			continue
+		}
+		size := expectedSize(ws, tau)
+		if d := math.Abs(size - float64(s)); d < bestErr {
+			bestErr, bestTau = d, tau
+		}
+	}
+	return bestTau, nil
+}
+
+// weight distributions exercising the top-k region in different ways.
+var thresholdGens = map[string]func(r *xmath.SplitMix, n int) []float64{
+	"uniform": func(r *xmath.SplitMix, n int) []float64 {
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = r.Float64()
+		}
+		return ws
+	},
+	"heavyTail": func(r *xmath.SplitMix, n int) []float64 {
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = math.Pow(1-r.Float64(), -0.7)
+		}
+		return ws
+	},
+	"manyTies": func(r *xmath.SplitMix, n int) []float64 {
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = float64(1 + r.Uint64()%5)
+		}
+		return ws
+	},
+	"fewHeavy": func(r *xmath.SplitMix, n int) []float64 {
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = 0.001 + 0.001*r.Float64()
+			if i%97 == 0 {
+				ws[i] = 1000 + r.Float64()
+			}
+		}
+		return ws
+	},
+	"withZeros": func(r *xmath.SplitMix, n int) []float64 {
+		ws := make([]float64, n)
+		for i := range ws {
+			if i%3 == 0 {
+				ws[i] = 0
+			} else {
+				ws[i] = 1 + 10*r.Float64()
+			}
+		}
+		return ws
+	},
+	"sortedAsc": func(r *xmath.SplitMix, n int) []float64 {
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = float64(i + 1)
+		}
+		return ws
+	},
+	"sortedDesc": func(r *xmath.SplitMix, n int) []float64 {
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = float64(n - i)
+		}
+		return ws
+	},
+}
+
+// TestThresholdMatchesSortReference: the quickselect Threshold must agree
+// with the old full-sort implementation. The two differ only in how the
+// below-top-s tail is summed (compensated vs sequential), so agreement is up
+// to a tiny relative rounding tolerance, and both must solve the defining
+// equation Σ min(1, w/τ) = s.
+func TestThresholdMatchesSortReference(t *testing.T) {
+	for name, gen := range thresholdGens {
+		r := xmath.NewRand(123)
+		for _, n := range []int{5, 50, 1000, 20000} {
+			for _, s := range []int{1, 2, n / 100, n / 10, n / 2, n - 1} {
+				if s <= 0 || s >= n {
+					continue
+				}
+				ws := gen(r, n)
+				got, err := Threshold(ws, s)
+				if err != nil {
+					t.Fatalf("%s n=%d s=%d: %v", name, n, s, err)
+				}
+				want, err := thresholdBySort(ws, s)
+				if err != nil {
+					t.Fatalf("%s n=%d s=%d (reference): %v", name, n, s, err)
+				}
+				if !xmath.AlmostEqual(got, want, 1e-9) {
+					t.Fatalf("%s n=%d s=%d: quickselect tau %v, sort tau %v", name, n, s, got, want)
+				}
+				if got > 0 {
+					positive := ws[:0:0]
+					for _, w := range ws {
+						if w > 0 {
+							positive = append(positive, w)
+						}
+					}
+					if size := expectedSize(positive, got); !xmath.AlmostEqual(size, float64(s), 1e-6) {
+						t.Fatalf("%s n=%d s=%d: expected size %v for tau %v", name, n, s, size, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSelectTopK pins the partition invariant directly.
+func TestSelectTopK(t *testing.T) {
+	r := xmath.NewRand(5)
+	for _, n := range []int{2, 13, 14, 100, 4096} {
+		for _, k := range []int{1, n / 3, n / 2, n - 1} {
+			if k <= 0 || k >= n {
+				continue
+			}
+			ws := make([]float64, n)
+			for i := range ws {
+				ws[i] = math.Floor(16 * r.Float64()) // duplicate heavy
+			}
+			sorted := append([]float64(nil), ws...)
+			sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+			selectTopK(ws, k)
+			// Every element of ws[:k] must be >= every element of ws[k:].
+			minTop := math.Inf(1)
+			for _, w := range ws[:k] {
+				minTop = math.Min(minTop, w)
+			}
+			for i, w := range ws[k:] {
+				if w > minTop {
+					t.Fatalf("n=%d k=%d: tail[%d]=%v exceeds min of top %v", n, k, i, w, minTop)
+				}
+			}
+			// And the multiset of the top k must equal the sorted top k.
+			top := append([]float64(nil), ws[:k]...)
+			sort.Sort(sort.Reverse(sort.Float64Slice(top)))
+			for i := range top {
+				if top[i] != sorted[i] {
+					t.Fatalf("n=%d k=%d: top-%d multiset differs at %d: %v vs %v", n, k, k, i, top[i], sorted[i])
+				}
+			}
+		}
+	}
+}

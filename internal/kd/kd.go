@@ -19,11 +19,11 @@ package kd
 
 import (
 	"fmt"
-	"sort"
 
 	"structaware/internal/paggr"
 	"structaware/internal/structure"
 	"structaware/internal/xmath"
+	"structaware/internal/xsort"
 )
 
 // Node is a kd-hierarchy node. Leaves carry item indices; internal nodes
@@ -55,6 +55,49 @@ type Config struct {
 	// probability mass under a node is at most this value (the "s-leaf"
 	// truncation of Appendix E). Zero disables mass-based stopping.
 	MaxLeafMass float64
+	// Sort, when non-nil, supplies reusable radix-sort scratch so repeated
+	// builds (one per shard close) do no sorting allocation. Nil uses a
+	// build-local scratch.
+	Sort *xsort.Scratch
+	// Arena, when non-nil, supplies the node allocator; Reset it between
+	// builds to reuse the memory. Nil allocates a build-local arena. Trees
+	// built from an arena are invalidated by its Reset.
+	Arena *NodeArena
+}
+
+// NodeArena block-allocates Nodes so that building a tree of m nodes costs
+// O(m / arenaBlock) allocations instead of m, and a Reset arena rebuilds
+// for free. Node pointers handed out stay valid until Reset (blocks are
+// never moved or shrunk).
+type NodeArena struct {
+	blocks [][]Node
+	cur    int // block currently being filled
+	used   int // nodes used in blocks[cur]
+}
+
+// arenaBlock is the node-allocation granularity.
+const arenaBlock = 1024
+
+// Reset recycles every node for the next build. Trees previously built from
+// this arena must no longer be used.
+func (a *NodeArena) Reset() { a.cur, a.used = 0, 0 }
+
+// alloc returns a zeroed node.
+func (a *NodeArena) alloc() *Node {
+	if a.cur >= len(a.blocks) {
+		a.blocks = append(a.blocks, make([]Node, arenaBlock))
+	}
+	if a.used == arenaBlock {
+		a.cur++
+		a.used = 0
+		if a.cur == len(a.blocks) {
+			a.blocks = append(a.blocks, make([]Node, arenaBlock))
+		}
+	}
+	n := &a.blocks[a.cur][a.used]
+	*n = Node{}
+	a.used++
+	return n
 }
 
 // Tree is the built kd-hierarchy.
@@ -80,7 +123,13 @@ func (t *Tree) MaxDepth() int { return t.maxDepth }
 // paper prescribes), while the query index of internal/queryidx partitions
 // by Horvitz–Thompson adjusted weight instead. Only ds.Axes and ds.Coords
 // are consulted, so a columnar view over sampled keys works as well as a
-// full dataset. The items slice is reordered in place during construction.
+// full dataset.
+//
+// The items slice is reordered in place during construction and RETAINED:
+// leaves alias sub-slices of it rather than copying, so the caller must not
+// mutate it while the tree is in use. Node splits use a stable radix sort,
+// so the built tree is a deterministic function of (ds, items order, p) —
+// part of the determinism contract of DESIGN.md §7.
 func Build(ds *structure.Dataset, items []int, p []float64, cfg Config) (*Tree, error) {
 	if ds.Dims() == 0 {
 		return nil, fmt.Errorf("kd: dataset has no axes")
@@ -90,6 +139,12 @@ func Build(ds *structure.Dataset, items []int, p []float64, cfg Config) (*Tree, 
 	}
 	if cfg.MaxLeafItems <= 0 {
 		cfg.MaxLeafItems = 1
+	}
+	if cfg.Sort == nil {
+		cfg.Sort = new(xsort.Scratch)
+	}
+	if cfg.Arena == nil {
+		cfg.Arena = new(NodeArena)
 	}
 	t := &Tree{dims: ds.Dims()}
 	t.Root = t.build(ds, items, p, cfg, 0)
@@ -105,39 +160,45 @@ func (t *Tree) build(ds *structure.Dataset, items []int, p []float64, cfg Config
 		mass += p[i]
 	}
 	if len(items) <= cfg.MaxLeafItems || (cfg.MaxLeafMass > 0 && mass <= cfg.MaxLeafMass) {
-		return t.newLeaf(items, mass)
+		return t.newLeaf(items, mass, cfg.Arena)
 	}
 	// Try axes starting at depth mod d until one admits a split (identical
 	// coordinates on an axis make it unsplittable there).
 	for attempt := 0; attempt < t.dims; attempt++ {
 		axis := (depth + attempt) % t.dims
-		k, split, ok := weightedMedianSplit(ds.Coords[axis], items, p)
+		k, split, ok := weightedMedianSplit(ds.Coords[axis], items, p, cfg.Sort)
 		if !ok {
 			continue
 		}
-		n := &Node{Axis: axis, Split: split, Mass: mass, LeafID: -1}
+		n := cfg.Arena.alloc()
+		n.Axis, n.Split, n.Mass, n.LeafID = axis, split, mass, -1
 		n.Left = t.build(ds, items[:k], p, cfg, depth+1)
 		n.Right = t.build(ds, items[k:], p, cfg, depth+1)
 		return n
 	}
 	// All axes degenerate: co-located keys (deduplication upstream makes
 	// this unreachable for distinct keys, but stay robust).
-	return t.newLeaf(items, mass)
+	return t.newLeaf(items, mass, cfg.Arena)
 }
 
-func (t *Tree) newLeaf(items []int, mass float64) *Node {
-	leaf := &Node{Items: append([]int(nil), items...), Mass: mass, LeafID: len(t.leaves)}
+// newLeaf makes a leaf aliasing the (already recursively ordered) items
+// sub-slice. Sibling recursions only touch their own disjoint sub-slices, so
+// the aliased region is stable once the leaf is created.
+func (t *Tree) newLeaf(items []int, mass float64, a *NodeArena) *Node {
+	leaf := a.alloc()
+	leaf.Items, leaf.Mass, leaf.LeafID = items[:len(items):len(items)], mass, len(t.leaves)
 	t.leaves = append(t.leaves, leaf)
 	return leaf
 }
 
-// weightedMedianSplit sorts items by their coordinate on the given axis and
-// returns the split position k (items[:k] left, items[k:] right) and the
-// inclusive left-side coordinate bound, choosing the coordinate boundary
-// that best balances probability mass. ok is false when every item shares
-// one coordinate.
-func weightedMedianSplit(coords []uint64, items []int, p []float64) (k int, split uint64, ok bool) {
-	sort.Slice(items, func(a, b int) bool { return coords[items[a]] < coords[items[b]] })
+// weightedMedianSplit sorts items by their coordinate on the given axis
+// (stable radix: equal coordinates keep their current order) and returns the
+// split position k (items[:k] left, items[k:] right) and the inclusive
+// left-side coordinate bound, choosing the coordinate boundary that best
+// balances probability mass. ok is false when every item shares one
+// coordinate.
+func weightedMedianSplit(coords []uint64, items []int, p []float64, s *xsort.Scratch) (k int, split uint64, ok bool) {
+	xsort.SortBy(items, coords, s)
 	total := 0.0
 	for _, i := range items {
 		total += p[i]

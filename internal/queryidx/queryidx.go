@@ -46,6 +46,7 @@ import (
 	"structaware/internal/kd"
 	"structaware/internal/structure"
 	"structaware/internal/xmath"
+	"structaware/internal/xsort"
 )
 
 // maxLeafItems caps kd leaf size: small enough that boundary-leaf filtering
@@ -130,8 +131,14 @@ func New(axes []structure.Axis, coords [][]uint64, weights []float64, tau float6
 		totalSum.Add(ix.adj[k])
 	}
 	ix.total = totalSum.Sum()
+	// Sort scratch shared across the per-axis compilations, pre-sized from
+	// the sample size.
+	keys := make([]uint64, size)
+	tmpKeys := make([]uint64, size)
+	tmpOrder := make([]int32, size)
+	var counts [256]int
 	for d := range axes {
-		ix.byAxis[d] = buildAxis(coords[d], ix.adj)
+		ix.byAxis[d] = buildAxis(coords[d], ix.adj, keys, tmpKeys, tmpOrder, &counts)
 	}
 	if len(axes) > 1 && size > 0 {
 		if err := ix.buildKD(); err != nil {
@@ -147,27 +154,25 @@ func New(axes []structure.Axis, coords [][]uint64, weights []float64, tau float6
 }
 
 // buildAxis sorts one axis by (coordinate, key id) and accumulates the
-// prefix sums of adjusted weights in that order.
-func buildAxis(coords []uint64, adj []float64) axisIndex {
+// prefix sums of adjusted weights in that order. The sort is a stable radix
+// over an id-ascending start order, which yields exactly the (coordinate,
+// id) order without a comparison sort; keys and the ping-pong buffers come
+// from the caller so one compilation reuses them across axes.
+func buildAxis(coords []uint64, adj []float64, keys, tmpKeys []uint64, tmpOrder []int32, counts *[256]int) axisIndex {
 	n := len(coords)
 	order := make([]int32, n)
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ca, cb := coords[order[a]], coords[order[b]]
-		if ca != cb {
-			return ca < cb
-		}
-		return order[a] < order[b]
-	})
+	copy(keys, coords)
+	xsort.SortPairs(keys[:n], order, tmpKeys, tmpOrder, counts)
 	ax := axisIndex{
 		sorted: make([]uint64, n),
 		order:  order,
 		prefix: make([]float64, n+1),
 	}
+	copy(ax.sorted, keys[:n])
 	for i, k := range order {
-		ax.sorted[i] = coords[k]
 		ax.prefix[i+1] = ax.prefix[i] + adj[k]
 	}
 	return ax
@@ -187,6 +192,9 @@ func (ix *Index) buildKD() error {
 	if err != nil {
 		return fmt.Errorf("queryidx: %w", err)
 	}
+	// A binary partition with L leaves has exactly 2L-1 nodes; pre-size both
+	// flattened arrays so compilation appends never regrow them.
+	ix.nodes = make([]node, 0, 2*tree.NumLeaves()-1)
 	ix.items = make([]int32, 0, ix.size)
 	ix.flatten(tree.Root)
 	return nil
@@ -279,7 +287,11 @@ func (ix *Index) Keys(r structure.Range) []int32 {
 	if !ix.mark(r, sc) {
 		return nil
 	}
-	var ids []int32
+	count := 0
+	for _, word := range sc.bits {
+		count += bits.OnesCount64(word)
+	}
+	ids := make([]int32, 0, count)
 	for w, word := range sc.bits {
 		for ; word != 0; word &= word - 1 {
 			ids = append(ids, int32(w*64+bits.TrailingZeros64(word)))

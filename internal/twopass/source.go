@@ -167,7 +167,23 @@ func (s *ReaderSource) Next() ([]uint64, float64, bool, error) {
 	return s.rs.next()
 }
 
-// DatasetSource adapts a columnar Dataset to a Source without copying.
+// ColumnSource is an optional Source upgrade for columnar backends: the
+// stream is yielded as column batches (coords[d][i], weights[i]), letting
+// scan loops skip the per-key point materialization entirely. Batches
+// concatenate to exactly the row stream Next would yield. Consumers that
+// receive a Source should type-assert for it, as ProductStream's pass 1
+// does.
+type ColumnSource interface {
+	Source
+	// NextColumns returns the next columnar batch; a nil weights slice
+	// signals end of stream. The returned slices may alias the backing store
+	// and are valid until the next NextColumns or Reset call.
+	NextColumns() (coords [][]uint64, weights []float64, err error)
+}
+
+// DatasetSource adapts a columnar Dataset to a Source without copying. It
+// also implements ColumnSource — the dataset-backed column iterator: one
+// batch exposing the dataset's columns directly, no per-key Point copy.
 type DatasetSource struct {
 	DS  *structure.Dataset
 	pos int
@@ -188,4 +204,19 @@ func (d *DatasetSource) Next() ([]uint64, float64, bool, error) {
 	i := d.pos
 	d.pos++
 	return d.DS.Point(i, d.buf), d.DS.Weights[i], true, nil
+}
+
+// NextColumns implements ColumnSource: the remaining rows as one zero-copy
+// batch of the dataset's columns.
+func (d *DatasetSource) NextColumns() ([][]uint64, []float64, error) {
+	if d.pos >= d.DS.Len() {
+		return nil, nil, nil
+	}
+	lo := d.pos
+	d.pos = d.DS.Len()
+	cols := make([][]uint64, d.DS.Dims())
+	for dim := range cols {
+		cols[dim] = d.DS.Coords[dim][lo:]
+	}
+	return cols, d.DS.Weights[lo:], nil
 }

@@ -54,16 +54,33 @@ func ProductStream(src Source, axes []structure.Axis, s int, cfg Config, r xmath
 	if err != nil {
 		return nil, err
 	}
-	for {
-		pt, w, ok, err := src.Next()
-		if err != nil {
-			return nil, err
+	if cs, ok := src.(ColumnSource); ok {
+		// Columnar fast path: batch the whole pass through the ingester
+		// without materializing a point per key.
+		for {
+			cols, ws, err := cs.NextColumns()
+			if err != nil {
+				return nil, err
+			}
+			if ws == nil {
+				break
+			}
+			if err := ing.PushBatch(cols, ws); err != nil {
+				return nil, err
+			}
 		}
-		if !ok {
-			break
-		}
-		if err := ing.Push(pt, w); err != nil {
-			return nil, err
+	} else {
+		for {
+			pt, w, ok, err := src.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if err := ing.Push(pt, w); err != nil {
+				return nil, err
+			}
 		}
 	}
 	guideItems, _ := ing.Guide()

@@ -131,16 +131,15 @@ func run(ds *structure.Dataset, s int, cfg Config, r xmath.Rand, mkLocator func(
 	sPrime := cfg.oversample() * s
 
 	// ---- Pass 1: guide sample S′ + streaming τ_s through the shared
-	// ingestion pipeline, one sequential scan. Coordinates are not tracked:
-	// the dataset is resident, so guide keys are looked up by row index.
+	// ingestion pipeline, one sequential columnar scan of the weight column
+	// (coordinates are not tracked: the dataset is resident, so guide keys
+	// are looked up by row index).
 	ing, err := ingest.New(ingest.Config{Capacity: sPrime, ThresholdSize: s}, r)
 	if err != nil {
 		return nil, err
 	}
-	for _, w := range ds.Weights {
-		if err := ing.Push(nil, w); err != nil {
-			return nil, err
-		}
+	if err := ing.PushWeights(ds.Weights); err != nil {
+		return nil, err
 	}
 	guideItems, _ := ing.Guide()
 	tau, _ := ing.Tau()

@@ -15,11 +15,11 @@ package varopt
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"structaware/internal/ipps"
 	"structaware/internal/paggr"
 	"structaware/internal/xmath"
+	"structaware/internal/xsort"
 )
 
 // ErrEmpty is returned when sampling from an empty (or all-zero) population.
@@ -120,20 +120,29 @@ type StreamItem struct {
 // Σ min(1, w/τ') = k over the k+1 candidates, and exactly one candidate is
 // dropped with probability 1 - min(1, w/τ').
 type Stream struct {
-	k     int
-	r     xmath.Rand
-	heavy itemHeap
-	light []StreamItem // adjusted weight τ each; original weights retained
-	tau   float64
-	seen  int
+	k       int
+	r       xmath.Rand
+	heavy   itemHeap
+	light   []StreamItem // adjusted weight τ each; original weights retained
+	scratch []StreamItem // reusable demotion buffer (≤ k+1)
+	tau     float64
+	seen    int
 }
 
-// NewStream creates a stream VarOpt reservoir with capacity k.
+// NewStream creates a stream VarOpt reservoir with capacity k. All internal
+// buffers are pre-sized to the reservoir capacity, so steady-state Process
+// calls never allocate.
 func NewStream(k int, r xmath.Rand) (*Stream, error) {
 	if k <= 0 {
 		return nil, ipps.ErrBadSize
 	}
-	return &Stream{k: k, r: r}, nil
+	return &Stream{
+		k:       k,
+		r:       r,
+		heavy:   make(itemHeap, 0, k+1),
+		light:   make([]StreamItem, 0, k),
+		scratch: make([]StreamItem, 0, k+1),
+	}, nil
 }
 
 // Seen returns the number of positive-weight items processed so far.
@@ -143,25 +152,41 @@ func (st *Stream) Seen() int { return st.seen }
 func (st *Stream) Tau() float64 { return st.tau }
 
 // Process consumes one item. Zero-weight items are ignored; negative or
-// non-finite weights are rejected.
+// non-finite weights are rejected. Steady-state calls are allocation-free:
+// the demotion buffer is reused and the heap and light pools are bounded by
+// the capacity.
 func (st *Stream) Process(index int, w float64) error {
-	if err := ipps.ValidateWeights([]float64{w}); err != nil {
+	if err := ipps.ValidateWeight(w); err != nil {
 		return err
 	}
 	if w == 0 {
 		return nil
 	}
 	st.seen++
-	st.heavy.push(StreamItem{Index: index, Weight: w})
-	if len(st.heavy)+len(st.light) <= st.k {
-		return nil
+	demoted := st.scratch[:0]
+	if w < st.tau && len(st.heavy)+len(st.light) == st.k {
+		// Small-item fast path: once the reservoir has overflowed (τ > 0 and
+		// full), an arrival below τ can never be heavy — it is immediately a
+		// small candidate. Skipping the heap round trip produces the exact
+		// demotion sequence the heap path would (the new item is strictly
+		// lighter than every heavy item, so it would be popped first) at O(1)
+		// instead of O(log k).
+		demoted = append(demoted, StreamItem{Index: index, Weight: w})
+	} else {
+		st.heavy.push(StreamItem{Index: index, Weight: w})
+		if len(st.heavy)+len(st.light) <= st.k {
+			return nil
+		}
 	}
 
 	// Raise the threshold: demote heap minima into the small-candidate pool
 	// until the heap minimum exceeds τ' = L/(t-1).
 	t := len(st.light)
 	L := float64(t) * st.tau
-	var demoted []StreamItem
+	for _, d := range demoted {
+		L += d.Weight
+		t++
+	}
 	for len(st.heavy) > 0 {
 		top := st.heavy[0]
 		if t >= 2 && top.Weight > L/float64(t-1) {
@@ -205,11 +230,24 @@ func (st *Stream) Process(index int, w float64) error {
 		demoted = demoted[:len(demoted)-1]
 	}
 	st.light = append(st.light, demoted...)
+	st.scratch = demoted[:0] // keep the (possibly grown) buffer for reuse
 	st.tau = tauNew
 	if len(st.heavy)+len(st.light) != st.k {
 		return fmt.Errorf("varopt: reservoir size %d want %d", len(st.heavy)+len(st.light), st.k)
 	}
 	return nil
+}
+
+// Len returns the number of items currently held by the reservoir.
+func (st *Stream) Len() int { return len(st.heavy) + len(st.light) }
+
+// AppendItems appends the reservoir contents to dst (in internal, unsorted
+// order) and returns it — the allocation-free counterpart of Result for
+// callers that only need the retained items, e.g. the ingestion pipeline's
+// coordinate compaction.
+func (st *Stream) AppendItems(dst []StreamItem) []StreamItem {
+	dst = append(dst, st.heavy...)
+	return append(dst, st.light...)
 }
 
 // Result returns the reservoir contents as a Sample plus the items' original
@@ -268,7 +306,16 @@ func (h *itemHeap) pop() StreamItem {
 	return top
 }
 
-// sortByIndex sorts items ascending by Index.
+// sortByIndex sorts items ascending by Index (LSD radix; indices are
+// distinct, so stability is moot, but the order is deterministic).
 func sortByIndex(items []StreamItem) {
-	sort.Slice(items, func(i, j int) bool { return items[i].Index < items[j].Index })
+	n := len(items)
+	keys := make([]uint64, n)
+	for i, it := range items {
+		keys[i] = uint64(it.Index)
+	}
+	tmpKeys := make([]uint64, n)
+	tmpVals := make([]StreamItem, n)
+	var counts [256]int
+	xsort.SortPairs(keys, items, tmpKeys, tmpVals, &counts)
 }

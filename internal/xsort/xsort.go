@@ -1,0 +1,175 @@
+// Package xsort provides the stable, allocation-free sorts used on the
+// build pipeline's hot paths: LSD (least-significant-digit) radix sorts over
+// uint64 keys and non-negative ints, with reusable scratch buffers so that
+// steady-state construction does no sorting-related allocation.
+//
+// Every sort here is stable and comparison-free. Stability is not a luxury:
+// the summarization passes visit items in sorted coordinate order and feed a
+// deterministic PRNG, so the sample a seed produces depends on how equal
+// coordinates are ordered. A stable sort makes that order a pure function of
+// the input sequence — the determinism contract of DESIGN.md §7 — whereas
+// sort.Slice (pdqsort) leaves the order of equal keys to pivot luck. Radix
+// is also the reason the build path beats closure-based comparison sorts:
+// sorting n items costs O(n) per significant key byte with no per-comparison
+// function calls, and the passes over empty high bytes are skipped entirely.
+package xsort
+
+// insertionCutoff is the size at or below which a binary-insertion sort is
+// used instead of radix passes: for tiny slices the O(n²) moves are cheaper
+// than two counting passes over 256 buckets.
+const insertionCutoff = 48
+
+// Scratch holds the reusable buffers of the radix sorts. The zero value is
+// ready to use; buffers grow to the largest sort seen and are then reused,
+// so a Scratch owned by a build arena makes every subsequent sort
+// allocation-free. A Scratch must not be used concurrently.
+type Scratch struct {
+	keys    []uint64 // materialized sort keys
+	tmpKeys []uint64 // ping-pong buffer for keys
+	tmpInts []int    // ping-pong buffer for []int values
+	counts  [256]int
+}
+
+// grow returns s.keys and s.tmpKeys with length n.
+func (s *Scratch) grow(n int) (keys, tmp []uint64) {
+	if cap(s.keys) < n {
+		s.keys = make([]uint64, n)
+		s.tmpKeys = make([]uint64, n)
+	}
+	return s.keys[:n], s.tmpKeys[:n]
+}
+
+// growInts returns s.tmpInts with length n.
+func (s *Scratch) growInts(n int) []int {
+	if cap(s.tmpInts) < n {
+		s.tmpInts = make([]int, n)
+	}
+	return s.tmpInts[:n]
+}
+
+// bytesFor returns the number of significant low bytes in the maximum of
+// keys (0 when all keys are zero, i.e. already sorted).
+func bytesFor(keys []uint64) int {
+	var maxKey uint64
+	for _, k := range keys {
+		maxKey |= k
+	}
+	b := 0
+	for maxKey != 0 {
+		b++
+		maxKey >>= 8
+	}
+	return b
+}
+
+// SortBy stably sorts idx so that keyOf(idx[i]) is ascending, where keyOf is
+// the coords table: the canonical "order items by coordinate" operation of
+// the summarization passes. Equal coordinates keep their input order, so the
+// result is a deterministic function of (coords, idx). s supplies scratch; it
+// must be non-nil.
+func SortBy(idx []int, coords []uint64, s *Scratch) {
+	n := len(idx)
+	if n < 2 {
+		return
+	}
+	keys, tmpKeys := s.grow(n)
+	for i, v := range idx {
+		keys[i] = coords[v]
+	}
+	if n <= insertionCutoff {
+		insertionPairs(keys, idx)
+		return
+	}
+	radixPairs(keys, idx, tmpKeys, s.growInts(n), &s.counts)
+}
+
+// Ints stably sorts a slice of non-negative ints ascending. s supplies
+// scratch; it must be non-nil. Negative values are not supported (the
+// callers sort dataset indices and row numbers).
+func Ints(a []int, s *Scratch) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	keys, tmpKeys := s.grow(n)
+	for i, v := range a {
+		keys[i] = uint64(v)
+	}
+	if n <= insertionCutoff {
+		insertionPairs(keys, a)
+		return
+	}
+	radixPairs(keys, a, tmpKeys, s.growInts(n), &s.counts)
+}
+
+// SortPairs stably sorts the parallel slices (keys, vals) by keys ascending,
+// using caller-provided ping-pong buffers tmpKeys and tmpVals (each at least
+// len(keys) long). It is the generic core used when the values are not ints
+// (e.g. varopt.StreamItem); counts is scratch for the per-byte histograms.
+func SortPairs[V any](keys []uint64, vals []V, tmpKeys []uint64, tmpVals []V, counts *[256]int) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	if n <= insertionCutoff {
+		insertionPairs(keys, vals)
+		return
+	}
+	radixPairs(keys, vals, tmpKeys[:n], tmpVals[:n], counts)
+}
+
+// insertionPairs is a stable binary-insertion sort of (keys, vals) by key.
+func insertionPairs[V any](keys []uint64, vals []V) {
+	for i := 1; i < len(keys); i++ {
+		k, v := keys[i], vals[i]
+		// Binary search for the insertion point keeps the comparison count
+		// low; the memmove-style shifts dominate and are cache-friendly.
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if keys[mid] <= k { // <=: stable, equal keys keep input order
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(keys[lo+1:i+1], keys[lo:i])
+		copy(vals[lo+1:i+1], vals[lo:i])
+		keys[lo], vals[lo] = k, v
+	}
+}
+
+// radixPairs is a stable LSD radix sort of (keys, vals) by key, one counting
+// pass per significant key byte. Passes whose byte is constant across all
+// keys are skipped. The final result always lands back in (keys, vals).
+func radixPairs[V any](keys []uint64, vals []V, tmpKeys []uint64, tmpVals []V, counts *[256]int) {
+	n := len(keys)
+	passes := bytesFor(keys)
+	srcK, srcV, dstK, dstV := keys, vals, tmpKeys, tmpVals
+	for shift := 0; shift < passes*8; shift += 8 {
+		c := counts
+		*c = [256]int{}
+		for _, k := range srcK {
+			c[(k>>uint(shift))&0xff]++
+		}
+		if c[srcK[0]>>uint(shift)&0xff] == n {
+			continue // constant byte: nothing to move this pass
+		}
+		sum := 0
+		for b := range c {
+			sum, c[b] = sum+c[b], sum
+		}
+		for i, k := range srcK {
+			pos := c[(k>>uint(shift))&0xff]
+			c[(k>>uint(shift))&0xff]++
+			dstK[pos] = k
+			dstV[pos] = srcV[i]
+		}
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}

@@ -1,0 +1,157 @@
+// Command benchjson turns `go test -bench -benchmem` output into the
+// repository's recorded benchmark-trajectory JSON (BENCH_PR<n>.json): one
+// entry per benchmark with ns/op, keys/s, B/op and allocs/op, optionally
+// paired with a recorded "before" baseline so a PR carries its own
+// before/after evidence. Every future PR extends the trajectory by checking
+// in the next file; `make bench-json` is the one entry point.
+//
+// Usage:
+//
+//	go test -run '^$' -bench <pattern> -benchmem . | benchjson -pr 4 \
+//	    -before scripts/bench_baseline_pr4.json -out BENCH_PR4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measurements.
+type Metrics struct {
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	KeysPerS    float64 `json:"keys_per_s,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the emitted trajectory document.
+type Report struct {
+	PR     int                `json:"pr,omitempty"`
+	GOOS   string             `json:"goos,omitempty"`
+	GOARCH string             `json:"goarch,omitempty"`
+	CPU    string             `json:"cpu,omitempty"`
+	Note   string             `json:"note,omitempty"`
+	Before map[string]Metrics `json:"before,omitempty"`
+	After  map[string]Metrics `json:"after"`
+}
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number recorded in the report")
+	before := flag.String("before", "", "baseline JSON (flat name->metrics map, or a prior report whose 'after' is used)")
+	out := flag.String("out", "", "output path (default stdout)")
+	note := flag.String("note", "", "free-form provenance note")
+	flag.Parse()
+
+	rep := Report{PR: *pr, Note: *note, After: map[string]Metrics{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, m, ok := parseBench(line)
+			if ok {
+				rep.After[name] = m
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rep.After) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	if *before != "" {
+		base, err := loadBaseline(*before)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Before = base
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBench decodes one result line, e.g.
+//
+//	BenchmarkBuilderPush  3  508313497 ns/op  2062856 keys/s  210700288 B/op  2203730 allocs/op
+func parseBench(line string) (string, Metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Metrics{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix go test appends when procs > 1.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Metrics{}, false
+	}
+	m := Metrics{Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+		case "keys/s":
+			m.KeysPerS = v
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		}
+	}
+	return name, m, true
+}
+
+// loadBaseline reads either a flat {name: metrics} map or a full Report
+// (using its "after" section), so any prior trajectory file can serve as
+// the next PR's baseline.
+func loadBaseline(path string) (map[string]Metrics, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err == nil && len(rep.After) > 0 {
+		return rep.After, nil
+	}
+	var flat map[string]Metrics
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		return nil, fmt.Errorf("%s: neither a trajectory report nor a flat metrics map: %w", path, err)
+	}
+	return flat, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -152,6 +152,11 @@ func SampleParallel(ds *Dataset, cfg Config, workers int) (*Summary, error) {
 // same structure-aware closing pass as Build, so the resulting Summary has
 // the same guarantees over the retained candidates. Only the Aware and
 // Oblivious methods stream.
+//
+// Push is allocation-free in steady state; columnar callers should prefer
+// Builder.PushBatch(coords, weights), which ingests whole columns (e.g. a
+// Dataset's Coords/Weights) without materializing a point per key and emits
+// byte-identical summaries.
 func NewBuilder(axes []Axis, cfg Config) (*Builder, error) {
 	return core.NewBuilder(axes, cfg)
 }
