@@ -41,16 +41,17 @@ bench-smoke:
 QUERYBENCHTIME ?= 1s
 
 # Record the benchmark trajectory: run the key build/query benchmarks and
-# emit BENCH_PR4.json (before = recorded pre-PR numbers, after = this run).
+# emit BENCH_PR5.json (before = the previous PR's recorded numbers, after =
+# this run; BenchmarkBuilderSnapshot is new in PR 5, so it has no before).
 bench-json:
 	( $(GO) test -run '^$$' \
-		-bench '^BenchmarkBuilderPush$$|^BenchmarkBuilderPushBatch$$|^BenchmarkSerialSample$$|^BenchmarkParallelSample$$/workers=4' \
+		-bench '^BenchmarkBuilderPush$$|^BenchmarkBuilderPushBatch$$|^BenchmarkBuilderSnapshot$$|^BenchmarkSerialSample$$|^BenchmarkParallelSample$$/workers=4' \
 		-benchmem -benchtime $(BENCHTIME) . && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkIndexedEstimateRange$$' \
 		-benchmem -benchtime $(QUERYBENCHTIME) . ) \
-	| $(GO) run ./scripts/benchjson -pr 4 \
-		-before scripts/bench_baseline_pr4.json -out BENCH_PR4.json
-	@echo wrote BENCH_PR4.json
+	| $(GO) run ./scripts/benchjson -pr 5 \
+		-before BENCH_PR4.json -out BENCH_PR5.json
+	@echo wrote BENCH_PR5.json
 
 smoke-serve:
 	./scripts/smoke_sasserve.sh

@@ -189,6 +189,33 @@ func BenchmarkBuilderPushBatch(b *testing.B) {
 	b.ReportMetric(float64(ds.Len())*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
 }
 
+// BenchmarkBuilderSnapshot measures publishing one snapshot from a Builder
+// warmed with the full 1M-key input: the deep copy of the bounded reservoir
+// state plus the closing pass, i.e. the per-epoch cost of sasserve's live
+// snapshot rotation. The Builder is not consumed — cost depends on the
+// buffer (here the default 5×4096 keys), not on stream length.
+func BenchmarkBuilderSnapshot(b *testing.B) {
+	ds := bigFixture(b)
+	bld, err := structaware.NewBuilder(ds.Axes, structaware.Config{Size: 4096, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bld.PushBatch(ds.Coords, ds.Weights); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := bld.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Size() != 4096 {
+			b.Fatalf("size %d", sum.Size())
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "snapshots/s")
+}
+
 func BenchmarkParallelSample(b *testing.B) {
 	for _, w := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchSample1M(b, w) })

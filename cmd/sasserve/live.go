@@ -1,0 +1,543 @@
+package main
+
+// live.go is the write side of sasserve: named live summaries accept
+// weighted keys over HTTP into a long-lived core.Builder — the paper's
+// bounded-memory mergeable stream sample — and periodically publish
+// immutable snapshots (Builder.Snapshot → Summary.Index) into the same
+// serving map the file-backed summaries use. The read path never changes:
+// a snapshot rotation compiles a fully-formed index off to the side and
+// swaps the whole entry under the store lock, exactly like a SIGHUP
+// reload, so concurrent queries see either the previous epoch or the new
+// one, never a partial index.
+//
+// With -snapshot-dir set, every published snapshot is also persisted as a
+// numbered SAS2 file (written to a temp name, then renamed, so a crash
+// never leaves a torn file) and the newest one is recovered on startup.
+// The recovered summary covers the pre-restart stream and the restarted
+// Builder covers the post-restart stream — disjoint populations — so each
+// rotation merges the two with core.MergeSummaries, keeping estimates
+// unbiased across restarts.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"mime"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"structaware/internal/cliutil"
+	"structaware/internal/core"
+	"structaware/internal/ipps"
+	"structaware/internal/structure"
+)
+
+// liveConfig is the configuration shared by every live summary.
+type liveConfig struct {
+	size     int           // target sample size of each published snapshot
+	buffer   int           // builder reservoir capacity in keys (0 = 5×size)
+	seed     uint64        // construction seed
+	dir      string        // snapshot persistence directory ("" = in-memory only)
+	interval time.Duration // automatic rotation period (0 = manual snapshots only)
+}
+
+// keepSnapshots is how many persisted snapshot files are retained per live
+// summary; older ones are pruned (best effort) after each successful write.
+const keepSnapshots = 3
+
+// errNoLiveData reports a snapshot request before any positive-weight key
+// has been pushed (and with no recovered snapshot to fall back on).
+var errNoLiveData = errors.New("live summary has no data yet")
+
+// liveSummary is one writable summary. mu guards the builder and the
+// ingestion counters; rotMu serializes rotations (ticker, forced, and the
+// shutdown flush) so concurrent rotations cannot publish out of order.
+// The builder is only ever held under mu for O(buffer)-bounded operations
+// (PushBatch, Snapshot), so ingestion stalls are bounded regardless of how
+// long indexing or persistence of a rotation takes.
+type liveSummary struct {
+	name string
+	axes []structure.Axis
+	cfg  core.Config
+
+	rotMu sync.Mutex
+
+	mu     sync.Mutex
+	b      *core.Builder
+	base   *core.Summary // newest persisted snapshot of a previous process
+	pushed int64         // keys accepted over HTTP by this process
+	seq    uint64        // sequence number of the last published snapshot
+	dirty  bool          // keys pushed since the last published snapshot
+}
+
+// initLive creates the live summaries (after loadAll: recovery installs
+// serving entries into the loaded map). Specs pair each name with a textual
+// axis description, e.g. net=bittrie:32,bittrie:32.
+func (st *store) initLive(specs []cliutil.Assignment, lc liveConfig) error {
+	if lc.dir != "" {
+		if err := os.MkdirAll(lc.dir, 0o755); err != nil {
+			return err
+		}
+	}
+	st.liveCfg = lc
+	st.lives = make(map[string]*liveSummary, len(specs))
+	for _, sp := range specs {
+		axes, err := structure.ParseAxisSpec(sp.Value)
+		if err != nil {
+			return fmt.Errorf("live summary %q: %w", sp.Name, err)
+		}
+		cfg := core.Config{Size: lc.size, Seed: lc.seed, Buffer: lc.buffer}
+		b, err := core.NewBuilder(axes, cfg)
+		if err != nil {
+			return fmt.Errorf("live summary %q: %w", sp.Name, err)
+		}
+		ls := &liveSummary{name: sp.Name, axes: axes, cfg: cfg, b: b}
+		if lc.dir != "" {
+			if err := st.recoverLive(ls); err != nil {
+				return err
+			}
+		}
+		st.lives[sp.Name] = ls
+		st.liveOrder = append(st.liveOrder, sp.Name)
+	}
+	return nil
+}
+
+// recoverLive loads the newest loadable persisted snapshot of ls, if any:
+// it becomes both the initial serving entry (queries work immediately
+// after a restart) and the merge base covering the pre-restart stream. A
+// snapshot that fails to load (e.g. torn by power loss mid-write) is
+// logged and skipped in favor of the next-newest retained one — a single
+// bad file must not wedge startup while valid history sits beside it. Only
+// a dir full of snapshots with none loadable is fatal. New snapshots
+// always number above every file found, loadable or not.
+func (st *store) recoverLive(ls *liveSummary) error {
+	snaps, err := listSnapshots(st.liveCfg.dir, ls.name)
+	if err != nil || len(snaps) == 0 {
+		return err
+	}
+	ls.seq = snaps[0].seq
+	var lastErr error
+	for _, sn := range snaps {
+		e, err := loadEntry(ls.name, sn.path, time.Now())
+		if err == nil {
+			err = sameDomain(ls.axes, e.sum.Axes)
+		}
+		if err != nil {
+			lastErr = err
+			st.logf("recover live %q: skipping snapshot %s: %v", ls.name, sn.path, err)
+			continue
+		}
+		e.live, e.seq = true, sn.seq
+		ls.base = e.sum
+		st.mu.Lock()
+		st.entries[ls.name] = e
+		st.mu.Unlock()
+		st.logf("recovered live %q from %s (snapshot %d, %d keys)", ls.name, sn.path, sn.seq, e.sum.Size())
+		return nil
+	}
+	return fmt.Errorf("recover live summary %q: no loadable snapshot among %d files: %w", ls.name, len(snaps), lastErr)
+}
+
+// sameDomain checks that a recovered snapshot describes the key domain the
+// -live flag declares (kind and coordinate space per axis).
+func sameDomain(want, got []structure.Axis) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("domain has %d axes, -live declares %d", len(got), len(want))
+	}
+	for d := range want {
+		if got[d].Kind != want[d].Kind || got[d].DomainSize() != want[d].DomainSize() {
+			return fmt.Errorf("axis %d is %s/%d, -live declares %s/%d",
+				d, got[d].Kind, got[d].DomainSize(), want[d].Kind, want[d].DomainSize())
+		}
+	}
+	return nil
+}
+
+// rotate publishes a new snapshot of ls: snapshot the builder, merge with
+// the recovered base when one exists, compile the index, persist when
+// configured, and swap the serving entry. When force is false a summary
+// with no new keys since its last snapshot is skipped (the rotation loop's
+// idle case) and rotate returns (nil, nil).
+func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
+	ls.rotMu.Lock()
+	defer ls.rotMu.Unlock()
+	now := time.Now()
+
+	ls.mu.Lock()
+	if !ls.dirty && !force {
+		ls.mu.Unlock()
+		return nil, nil
+	}
+	snap, err := ls.b.Snapshot()
+	if err != nil && !errors.Is(err, core.ErrNoData) {
+		ls.mu.Unlock()
+		return nil, err
+	}
+	base := ls.base
+	pushed := ls.pushed
+	seq := ls.seq + 1
+	// The snapshot covers every key pushed so far; later pushes re-dirty.
+	ls.dirty = false
+	ls.mu.Unlock()
+
+	sum := snap
+	switch {
+	case snap == nil && base == nil:
+		return nil, errNoLiveData
+	case snap == nil:
+		// Nothing pushed yet this process: republish the recovered base.
+		sum = base
+	case base != nil:
+		// Base and builder cover disjoint parts of the stream (before and
+		// after the restart), which is exactly the precondition of the HT
+		// merge. The seed varies per epoch but stays deterministic.
+		sum, err = core.MergeSummaries(ls.cfg.Size, ls.cfg.Seed+seq, base, snap)
+		if err != nil {
+			st.redirty(ls)
+			return nil, err
+		}
+	}
+	idx, err := sum.Index()
+	if err != nil {
+		st.redirty(ls)
+		return nil, err
+	}
+	path := "(live)"
+	if st.liveCfg.dir != "" {
+		path, err = writeSnapshotFile(st.liveCfg.dir, ls.name, seq, sum)
+		if err != nil {
+			st.redirty(ls)
+			return nil, err
+		}
+		pruneSnapshots(st.liveCfg.dir, ls.name, keepSnapshots)
+	}
+
+	e := &entry{
+		name: ls.name, path: path, sum: sum, idx: idx, loadedAt: now,
+		live: true, seq: seq, pushed: pushed,
+	}
+	ls.mu.Lock()
+	ls.seq = seq
+	ls.mu.Unlock()
+	st.mu.Lock()
+	st.entries[ls.name] = e
+	st.mu.Unlock()
+	st.logf("snapshot %d of live %q: %d keys from %d pushed (%s)", seq, ls.name, sum.Size(), pushed, path)
+	return e, nil
+}
+
+// redirty restores the pending-keys mark after a failed rotation so the
+// next tick retries instead of silently dropping the epoch.
+func (st *store) redirty(ls *liveSummary) {
+	ls.mu.Lock()
+	ls.dirty = true
+	ls.mu.Unlock()
+}
+
+// rotateAll rotates every live summary (skipping clean ones unless force),
+// logging failures; it is the body of the rotation tick and the shutdown
+// flush.
+func (st *store) rotateAll(force bool) {
+	for _, name := range st.liveOrder {
+		if _, err := st.rotate(st.lives[name], force); err != nil && !errors.Is(err, errNoLiveData) {
+			st.logf("snapshot of live %q failed: %v", name, err)
+		}
+	}
+}
+
+// rotationLoop publishes snapshots of dirty live summaries every interval
+// until ctx is cancelled.
+func (st *store) rotationLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			st.rotateAll(false)
+		}
+	}
+}
+
+// ---- Ingestion endpoint -----------------------------------------------------
+
+// maxIngestBody bounds the POST /keys body. NDJSON runs ~40 bytes per 2-D
+// key, so one request carries on the order of 100k keys; heavier traffic
+// should batch across requests.
+const maxIngestBody = 8 << 20
+
+// maxKeysPerPush bounds the rows of one ingest batch, mirroring
+// maxRangesPerRequest on the query side: each row costs a reservoir update,
+// so an unbounded batch would let one request monopolize the builder lock.
+const maxKeysPerPush = 1 << 17
+
+// pushRequest is the columnar JSON ingest body: coords[d][i] is key i's
+// coordinate on axis d and weights[i] its weight — Builder.PushBatch over
+// the wire. Coordinates decode into uint64 directly (no float64 round
+// trip), so the full 64-bit domain survives.
+type pushRequest struct {
+	Coords  [][]uint64 `json:"coords"`
+	Weights []float64  `json:"weights"`
+}
+
+// pushKey is one NDJSON ingest row: {"point":[x,y],"weight":w}.
+type pushKey struct {
+	Point  []uint64 `json:"point"`
+	Weight float64  `json:"weight"`
+}
+
+type pushResponse struct {
+	Summary string `json:"summary"`
+	// Pushed counts this request's keys; TotalPushed every key accepted
+	// since this process started.
+	Pushed      int   `json:"pushed"`
+	TotalPushed int64 `json:"total_pushed"`
+	// Snapshot is the sequence number of the last published snapshot; keys
+	// become queryable when a later snapshot publishes.
+	Snapshot uint64 `json:"snapshot"`
+}
+
+// withLive resolves {name} to a live summary. Pushing into a file-backed
+// summary is a conflict (it exists, but is read-only), not a 404.
+func (st *store) withLive(h func(http.ResponseWriter, *http.Request, *liveSummary)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		ls := st.lives[name]
+		if ls == nil {
+			if _, ok := st.get(name); ok {
+				writeError(w, http.StatusConflict,
+					"summary %q is file-backed and read-only (declare it with -live to ingest)", name)
+				return
+			}
+			writeError(w, http.StatusNotFound, "no live summary named %q", name)
+			return
+		}
+		h(w, r, ls)
+	}
+}
+
+// handlePushKeys ingests one batch of weighted keys into the live builder.
+// The batch is atomic: every coordinate and weight is validated before the
+// first key enters the reservoir, so a 4xx means nothing was ingested.
+func (st *store) handlePushKeys(w http.ResponseWriter, r *http.Request, ls *liveSummary) {
+	coords, weights, ok := decodePushBody(w, r, len(ls.axes))
+	if !ok {
+		return
+	}
+	if len(weights) == 0 {
+		writeError(w, http.StatusBadRequest, "at least one key is required")
+		return
+	}
+	if len(weights) > maxKeysPerPush {
+		writeError(w, http.StatusBadRequest, "%d keys exceed the per-request limit of %d", len(weights), maxKeysPerPush)
+		return
+	}
+	for i, wt := range weights {
+		if err := ipps.ValidateWeight(wt); err != nil {
+			writeError(w, http.StatusBadRequest, "key %d: %v", i, err)
+			return
+		}
+	}
+	ls.mu.Lock()
+	err := ls.b.PushBatch(coords, weights)
+	if err == nil {
+		ls.pushed += int64(len(weights))
+		ls.dirty = true
+	}
+	total, seq := ls.pushed, ls.seq
+	ls.mu.Unlock()
+	if err != nil {
+		// PushBatch validates every coordinate before ingesting any key, so
+		// domain errors arrive here with the reservoir untouched.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pushResponse{
+		Summary: ls.name, Pushed: len(weights), TotalPushed: total, Snapshot: seq,
+	})
+}
+
+// decodePushBody decodes the ingest body as columnar JSON (default) or
+// NDJSON rows (Content-Type application/x-ndjson), returning columns ready
+// for Builder.PushBatch. Responses for malformed input are written here.
+func decodePushBody(w http.ResponseWriter, r *http.Request, dims int) ([][]uint64, []float64, bool) {
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ctype == "" {
+		ctype = "JSON"
+	}
+	fail := func(err error) bool {
+		writeDecodeError(w, ctype, err)
+		return false
+	}
+	if strings.HasSuffix(ctype, "ndjson") {
+		coords := make([][]uint64, dims)
+		var weights []float64
+		dec := json.NewDecoder(body)
+		for dec.More() {
+			var k pushKey
+			if err := dec.Decode(&k); err != nil {
+				return nil, nil, fail(err)
+			}
+			if len(k.Point) != dims {
+				writeError(w, http.StatusBadRequest, "key %d has %d coordinates, want %d", len(weights), len(k.Point), dims)
+				return nil, nil, false
+			}
+			if len(weights) >= maxKeysPerPush {
+				writeError(w, http.StatusBadRequest, "more than %d keys in one request", maxKeysPerPush)
+				return nil, nil, false
+			}
+			for d := range coords {
+				coords[d] = append(coords[d], k.Point[d])
+			}
+			weights = append(weights, k.Weight)
+		}
+		return coords, weights, true
+	}
+	var req pushRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return nil, nil, fail(err)
+	}
+	if len(req.Coords) != dims {
+		writeError(w, http.StatusBadRequest, "coords has %d columns, want %d (one per axis)", len(req.Coords), dims)
+		return nil, nil, false
+	}
+	for d := range req.Coords {
+		if len(req.Coords[d]) != len(req.Weights) {
+			writeError(w, http.StatusBadRequest, "coords[%d] has %d rows for %d weights", d, len(req.Coords[d]), len(req.Weights))
+			return nil, nil, false
+		}
+	}
+	return req.Coords, req.Weights, true
+}
+
+// handleForceSnapshot publishes a snapshot immediately (bypassing the
+// rotation interval) and reports the new serving epoch.
+func (st *store) handleForceSnapshot(w http.ResponseWriter, _ *http.Request, ls *liveSummary) {
+	e, err := st.rotate(ls, true)
+	if errors.Is(err, errNoLiveData) {
+		writeError(w, http.StatusConflict, "live summary %q has no data to snapshot (POST keys first)", ls.name)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"summary":        e.name,
+		"snapshot":       e.seq,
+		"size":           e.sum.Size(),
+		"pushed":         e.pushed,
+		"total_estimate": e.idx.EstimateTotal(),
+		"path":           e.path,
+	})
+}
+
+// ---- Snapshot persistence ---------------------------------------------------
+
+// snapshotPath names snapshot seq of a live summary: <dir>/<name>-<seq>.sas
+// with a fixed-width sequence number, so lexicographic and numeric order
+// agree for the first 10^8 snapshots.
+func snapshotPath(dir, name string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%08d.sas", name, seq))
+}
+
+// parseSnapshotSeq extracts the sequence number from a snapshot file name
+// produced by snapshotPath for this summary name.
+func parseSnapshotSeq(filename, name string) (uint64, bool) {
+	mid, found := strings.CutPrefix(filename, name+"-")
+	if !found {
+		return 0, false
+	}
+	mid, found = strings.CutSuffix(mid, ".sas")
+	if !found {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	return seq, err == nil
+}
+
+// snapshotFile is one persisted snapshot of a live summary.
+type snapshotFile struct {
+	seq  uint64
+	path string
+}
+
+// listSnapshots returns a live summary's snapshot files, newest first. A
+// missing directory simply means no snapshots.
+func listSnapshots(dir, name string) ([]snapshotFile, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var snaps []snapshotFile
+	for _, de := range ents {
+		if de.IsDir() {
+			continue
+		}
+		if v, match := parseSnapshotSeq(de.Name(), name); match {
+			snaps = append(snaps, snapshotFile{v, filepath.Join(dir, de.Name())})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
+	return snaps, nil
+}
+
+// writeSnapshotFile persists one snapshot atomically: serialize to a temp
+// file in the same directory, fsync it, then rename over the final name,
+// so neither a process crash mid-write nor an OS crash right after the
+// rename leaves a torn .sas file under a recoverable name. (Recovery
+// tolerates torn files anyway — see recoverLive — this keeps them off the
+// common path.)
+func writeSnapshotFile(dir, name string, seq uint64, sum *core.Summary) (string, error) {
+	path := snapshotPath(dir, name, seq)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	if _, err := sum.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return path, nil
+}
+
+// pruneSnapshots removes all but the newest keep snapshot files of one live
+// summary, best effort (a failed removal is retried on the next rotation).
+func pruneSnapshots(dir, name string, keep int) {
+	snaps, err := listSnapshots(dir, name)
+	if err != nil || len(snaps) <= keep {
+		return
+	}
+	for _, s := range snaps[keep:] {
+		os.Remove(s.path)
+	}
+}

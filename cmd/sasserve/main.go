@@ -1,20 +1,37 @@
-// Command sasserve is the summary-serving daemon: it loads one or more
-// serialized summaries (the SAS2 files written by sassample -dump or
-// Summary.WriteTo), compiles each into an immutable in-memory query index
-// (Summary.Index), and answers estimate, representative-key, and metadata
-// queries over HTTP as JSON. This is the read side of the summary
-// lifecycle: build and merge summaries anywhere, ship the compact files to
-// a serving node, and let sasserve answer arbitrary range queries from the
-// samples alone — the original data is no longer needed.
+// Command sasserve is the summary-serving daemon: a read/write node for
+// sample-based summaries. On the read side it loads serialized summaries
+// (the SAS2 files written by sassample -dump or Summary.WriteTo), compiles
+// each into an immutable in-memory query index (Summary.Index), and answers
+// estimate, representative-key, and metadata queries over HTTP as JSON. On
+// the write side, live summaries (-live) accept weighted keys over HTTP
+// into a bounded-memory streaming Builder and publish immutable snapshots
+// of the accumulated stream — on a rotation interval, on demand, and as a
+// final flush on shutdown — so the full lifecycle (ingest → snapshot →
+// query) runs in one process: build and merge summaries anywhere, or
+// stream the keys straight at the serving node.
 //
 // Usage:
 //
-//	sasserve [-addr :8337] name=path.sas [name2=path2.sas ...]
+//	sasserve [-addr :8337] [flags] [name=path.sas ...]
+//
+//	-live name=axes        writable summary over the given key domain
+//	                       (axes like "bittrie:32,bittrie:32"; repeatable)
+//	-live-size n           sample size of each live snapshot (default 1000)
+//	-live-buffer n         live builder reservoir in keys (0 = 5×size)
+//	-live-seed n           construction seed for live summaries
+//	-snapshot-interval d   publish dirty live summaries every d (0 = manual)
+//	-snapshot-dir dir      persist snapshots as SAS2 files; the newest one
+//	                       is recovered on startup and merged with
+//	                       post-restart keys, so estimates stay unbiased
+//	                       across restarts
 //
 // A bare path names its summary after the file ("data/net.sas" → "net").
 // SIGHUP re-reads every file in place (hot reload): each summary swaps
 // atomically to its new version, and a file that fails to load keeps
-// serving its previous version.
+// serving its previous version. Live snapshots swap the same way, so every
+// estimate comes from a fully-formed index. SIGTERM/SIGINT shut down
+// gracefully: in-flight requests drain, live summaries flush a final
+// snapshot when -snapshot-dir is set, and the process exits 0.
 //
 // Endpoints (all JSON; ranges use the "lo:hi,lo:hi" box syntax, one
 // inclusive interval per axis):
@@ -26,16 +43,23 @@
 //	GET  /v1/summaries/{name}/estimate?range=0:1023,0:1023[&range=...]
 //	POST /v1/summaries/{name}/estimate   {"ranges": ["0:1023,0:1023", ...]}
 //	GET  /v1/summaries/{name}/representatives?range=...&limit=10
+//	POST /v1/summaries/{name}/keys       {"coords": [[...],...], "weights": [...]}
+//	                                     (or NDJSON {"point":[...],"weight":w} rows)
+//	POST /v1/summaries/{name}/snapshot
 //
-// The indexes are immutable and shared: every request goroutine queries the
-// same compiled structure with no locks on the hot path, so throughput
-// scales with cores. Estimates are bit-for-bit identical to the in-process
-// linear Summary methods.
+// The serving indexes are immutable and shared: every request goroutine
+// queries the same compiled structure with no locks on the hot path, so
+// read throughput scales with cores; writes contend only on the one live
+// builder they target. Estimates are bit-for-bit identical to the
+// in-process linear Summary methods.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,30 +67,82 @@ import (
 	"time"
 
 	"structaware/internal/cliutil"
+	"structaware/internal/structure"
 )
 
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests before giving up and closing their connections.
+const shutdownGrace = 10 * time.Second
+
 func main() {
+	var liveSpecs []string
 	var (
-		addr = flag.String("addr", ":8337", "HTTP listen address")
+		addr         = flag.String("addr", ":8337", "HTTP listen address")
+		liveSize     = flag.Int("live-size", 1000, "target sample size of live-summary snapshots")
+		liveBuffer   = flag.Int("live-buffer", 0, "live builder reservoir in keys (0 = 5×live-size)")
+		liveSeed     = flag.Uint64("live-seed", 1, "construction seed for live summaries")
+		snapInterval = flag.Duration("snapshot-interval", 0, "automatic live snapshot period (0 = manual POST .../snapshot only)")
+		snapDir      = flag.String("snapshot-dir", "", "directory persisting live snapshots (newest recovered on startup)")
 	)
+	flag.Func("live", "live summary as name=axes (axes like bittrie:32,bittrie:32; repeatable)", func(v string) error {
+		liveSpecs = append(liveSpecs, v)
+		return nil
+	})
 	flag.Parse()
 	tool := cliutil.New("sasserve")
-	tool.CheckUsage(cliutil.Required("-addr", *addr))
-	if flag.NArg() == 0 {
-		tool.Usagef("at least one summary is required: sasserve [flags] name=path.sas ...")
+	tool.CheckUsage(cliutil.FirstError(
+		cliutil.Required("-addr", *addr),
+		cliutil.Positive("-live-size", *liveSize),
+		cliutil.NonNegative("-live-buffer", *liveBuffer),
+		cliutil.NonNegativeDuration("-snapshot-interval", *snapInterval),
+	))
+	if flag.NArg() == 0 && len(liveSpecs) == 0 {
+		tool.Usagef("at least one summary is required: sasserve [flags] name=path.sas ... or -live name=axes")
+	}
+	if len(liveSpecs) == 0 && (*snapDir != "" || *snapInterval != 0) {
+		tool.Usagef("-snapshot-dir and -snapshot-interval require at least one -live summary")
 	}
 	sources, err := cliutil.ParseAssignments(flag.Args())
 	tool.CheckUsage(err)
+	lives, err := cliutil.ParseAssignments(liveSpecs)
+	tool.CheckUsage(err)
+	for _, lv := range lives {
+		// A malformed axis spec is a flag mistake (usage, exit 2), not a
+		// runtime failure; initLive re-parses the validated spec.
+		if _, err := structure.ParseAxisSpec(lv.Value); err != nil {
+			tool.Usagef("-live %s=%s: %v", lv.Name, lv.Value, err)
+		}
+	}
+	for _, src := range sources {
+		for _, lv := range lives {
+			if src.Name == lv.Name {
+				tool.Usagef("summary %q is both file-backed and -live", src.Name)
+			}
+		}
+	}
 
 	logger := log.New(os.Stderr, "sasserve: ", log.LstdFlags)
 	st := newStore(sources, logger.Printf)
 	tool.Check(st.loadAll())
+	tool.Check(st.initLive(lives, liveConfig{
+		size:     *liveSize,
+		buffer:   *liveBuffer,
+		seed:     *liveSeed,
+		dir:      *snapDir,
+		interval: *snapInterval,
+	}))
 	for _, src := range sources {
 		e, _ := st.get(src.Name)
 		logger.Printf("serving %q from %s (%d keys, %d dims, method %s)",
 			src.Name, src.Value, e.sum.Size(), len(e.sum.Axes), e.sum.Method)
 	}
+	for _, lv := range lives {
+		logger.Printf("serving live %q over %s (snapshot size %d)", lv.Name, lv.Value, *liveSize)
+	}
 
+	// SIGTERM/SIGINT start a graceful shutdown; SIGHUP hot-reloads files.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
@@ -75,10 +151,14 @@ func main() {
 			st.reload()
 		}
 	}()
+	if *snapInterval > 0 {
+		go st.rotationLoop(ctx, *snapInterval)
+	}
 
-	logger.Printf("listening on %s", *addr)
+	ln, err := net.Listen("tcp", *addr)
+	tool.Check(err)
+	logger.Printf("listening on %s", ln.Addr())
 	srv := &http.Server{
-		Addr:    *addr,
 		Handler: st.handler(),
 		// A long-running daemon must not let slow or idle clients pin
 		// goroutines forever.
@@ -87,5 +167,42 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	tool.Check(srv.ListenAndServe())
+	serveErr := serveUntilShutdown(ctx, srv, ln, logger.Printf)
+	if *snapDir != "" {
+		// Flush keys that arrived since the last rotation so a restart
+		// recovers them; clean summaries are skipped. This runs even when
+		// the drain timed out or the server failed — acknowledged keys
+		// must never be dropped on the way out.
+		st.rotateAll(false)
+	}
+	tool.Check(serveErr)
+	logger.Printf("shutdown complete")
+}
+
+// serveUntilShutdown serves on ln until ctx is cancelled (a shutdown
+// signal) or the server fails. On cancellation it drains in-flight
+// requests — up to shutdownGrace — and returns nil: a clean shutdown is
+// not an error, and in particular http.ErrServerClosed never escapes as
+// one (it is how net/http reports that Shutdown was requested).
+func serveUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, logf func(format string, args ...any)) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		logf("shutdown signal received, draining in-flight requests")
+		shctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -14,10 +15,11 @@ import (
 	"structaware/internal/structure"
 )
 
-// entry is one loaded summary: the deserialized Summary plus its compiled
-// immutable query index. Entries are never mutated after creation, so a
-// request goroutine can use one without locking; reloads swap whole entries
-// under the store lock.
+// entry is one serving summary: the Summary plus its compiled immutable
+// query index, loaded from a file or published by a live snapshot. Entries
+// are never mutated after creation, so a request goroutine can use one
+// without locking; reloads and snapshot rotations swap whole entries under
+// the store lock.
 type entry struct {
 	name     string
 	path     string
@@ -25,6 +27,12 @@ type entry struct {
 	idx      *core.IndexedSummary
 	loadedAt time.Time
 	bytes    int64
+	// Live-snapshot provenance (zero for file-backed entries): the snapshot
+	// sequence number and the keys the live builder had accepted when this
+	// snapshot was taken.
+	live   bool
+	seq    uint64
+	pushed int64
 }
 
 // loadEntry reads and indexes one serialized summary.
@@ -57,10 +65,18 @@ func loadEntry(name, path string, now time.Time) (*entry, error) {
 }
 
 // store holds the serving set. The read path takes the lock only to fetch
-// an *entry pointer; all query work happens on the immutable entry.
+// an *entry pointer; all query work happens on the immutable entry —
+// whether it came from a file load or a live snapshot, a swap publishes a
+// fully-formed index atomically.
 type store struct {
 	sources []cliutil.Assignment
 	logf    func(format string, args ...any)
+
+	// Live (writable) summaries; both maps are populated once at startup
+	// and immutable afterwards, so the read path needs no lock for them.
+	lives     map[string]*liveSummary
+	liveOrder []string
+	liveCfg   liveConfig
 
 	mu      sync.RWMutex
 	entries map[string]*entry
@@ -134,6 +150,10 @@ type summaryMeta struct {
 	Axes          []axisMeta `json:"axes"`
 	LoadedAt      time.Time  `json:"loaded_at"`
 	Bytes         int64      `json:"bytes"`
+	// Live-snapshot provenance, absent on file-backed summaries.
+	Live     bool   `json:"live,omitempty"`
+	Snapshot uint64 `json:"snapshot,omitempty"`
+	Pushed   int64  `json:"pushed,omitempty"`
 }
 
 func (e *entry) meta() summaryMeta {
@@ -158,6 +178,9 @@ func (e *entry) meta() summaryMeta {
 		Axes:          axes,
 		LoadedAt:      e.loadedAt,
 		Bytes:         e.bytes,
+		Live:          e.live,
+		Snapshot:      e.seq,
+		Pushed:        e.pushed,
 	}
 }
 
@@ -202,6 +225,8 @@ type errorResponse struct {
 //	GET  /v1/summaries/{name}/estimate?range=...   one estimate per range param
 //	POST /v1/summaries/{name}/estimate             batched {"ranges": [...]}
 //	GET  /v1/summaries/{name}/representatives?range=...&limit=n
+//	POST /v1/summaries/{name}/keys                 ingest keys (live summaries)
+//	POST /v1/summaries/{name}/snapshot             force a snapshot (live)
 func (st *store) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", st.handleHealth)
@@ -211,6 +236,8 @@ func (st *store) handler() http.Handler {
 	mux.HandleFunc("GET /v1/summaries/{name}/estimate", st.withEntry(st.handleEstimateGet))
 	mux.HandleFunc("POST /v1/summaries/{name}/estimate", st.withEntry(st.handleEstimatePost))
 	mux.HandleFunc("GET /v1/summaries/{name}/representatives", st.withEntry(st.handleRepresentatives))
+	mux.HandleFunc("POST /v1/summaries/{name}/keys", st.withLive(st.handlePushKeys))
+	mux.HandleFunc("POST /v1/summaries/{name}/snapshot", st.withLive(st.handleForceSnapshot))
 	return mux
 }
 
@@ -226,12 +253,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// withEntry resolves the {name} path component to a loaded summary.
+// withEntry resolves the {name} path component to a serving summary. A live
+// summary that has not published its first snapshot yet exists but has
+// nothing to query, which gets its own message.
 func (st *store) withEntry(h func(http.ResponseWriter, *http.Request, *entry)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		e, ok := st.get(name)
 		if !ok {
+			if st.lives[name] != nil {
+				writeError(w, http.StatusNotFound,
+					"live summary %q has no snapshot yet (POST keys, then POST .../snapshot or wait for -snapshot-interval)", name)
+				return
+			}
 			writeError(w, http.StatusNotFound, "no summary named %q", name)
 			return
 		}
@@ -243,7 +277,7 @@ func (st *store) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	st.mu.RLock()
 	n := len(st.entries)
 	st.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "summaries": n})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "summaries": n, "live": len(st.lives)})
 }
 
 func (st *store) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -251,6 +285,11 @@ func (st *store) handleList(w http.ResponseWriter, _ *http.Request) {
 	metas := make([]summaryMeta, 0, len(st.entries))
 	for _, src := range st.sources {
 		if e, ok := st.entries[src.Name]; ok {
+			metas = append(metas, e.meta())
+		}
+	}
+	for _, name := range st.liveOrder {
+		if e, ok := st.entries[name]; ok {
 			metas = append(metas, e.meta())
 		}
 	}
@@ -324,11 +363,33 @@ func (st *store) handleEstimateGet(w http.ResponseWriter, r *http.Request, e *en
 	writeJSON(w, http.StatusOK, estimate(e, texts, boxes))
 }
 
+// writeDecodeError answers a failed body decode: an exceeded size cap is
+// 413 with the limit in the message (not the misleading "bad JSON body"
+// 400 the raw decoder error reads as); anything else is a 400. The one
+// place encoding the policy, shared by the estimate and ingest endpoints.
+func writeDecodeError(w http.ResponseWriter, what string, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds the %d-byte limit", tooBig.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad %s body: %v", what, err)
+}
+
+// decodeBody decodes a JSON request body capped at limit bytes.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeDecodeError(w, "JSON", err)
+		return false
+	}
+	return true
+}
+
 func (st *store) handleEstimatePost(w http.ResponseWriter, r *http.Request, e *entry) {
 	var req estimateRequest
-	body := http.MaxBytesReader(w, r.Body, maxEstimateBody)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+	if !decodeBody(w, r, maxEstimateBody, &req) {
 		return
 	}
 	boxes, err := parseBoxes(req.Ranges, e)

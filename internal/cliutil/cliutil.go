@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 // Tool is one command's error-reporting context.
@@ -101,6 +102,15 @@ func NonNegative(flag string, v int) error {
 func InRange(flag string, v, lo, hi int) error {
 	if v < lo || v > hi {
 		return fmt.Errorf("%s must be in [%d,%d] (got %d)", flag, lo, hi, v)
+	}
+	return nil
+}
+
+// NonNegativeDuration validates a duration flag that must be >= 0 (0
+// conventionally meaning "disabled").
+func NonNegativeDuration(flag string, d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("%s must be >= 0 (got %v)", flag, d)
 	}
 	return nil
 }

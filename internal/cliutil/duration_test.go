@@ -1,0 +1,18 @@
+package cliutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNonNegativeDuration(t *testing.T) {
+	if err := NonNegativeDuration("-snapshot-interval", 0); err != nil {
+		t.Fatalf("zero (disabled) rejected: %v", err)
+	}
+	if err := NonNegativeDuration("-snapshot-interval", 30*time.Second); err != nil {
+		t.Fatalf("positive rejected: %v", err)
+	}
+	if err := NonNegativeDuration("-snapshot-interval", -time.Second); err == nil {
+		t.Fatal("negative accepted")
+	}
+}

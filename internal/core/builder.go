@@ -34,9 +34,11 @@ import (
 // memory bounded and keeps estimates unbiased (a key pushed twice simply
 // contributes both weights).
 //
-// A Builder is single-use and not safe for concurrent use; shard-parallel
-// callers run one Builder per shard and combine the results with
-// MergeSummaries.
+// A Builder is not safe for concurrent use; shard-parallel callers run one
+// Builder per shard and combine the results with MergeSummaries. Finalize
+// consumes the Builder; Snapshot publishes the Summary the stream has
+// accumulated so far without consuming it, which is how a long-lived
+// Builder serves as the write buffer of a live serving system.
 type Builder struct {
 	axes []structure.Axis
 	cfg  Config
@@ -151,7 +153,40 @@ func (b *Builder) Finalize() (*Summary, error) {
 		return nil, ingest.ErrFinalized
 	}
 	b.done = true
-	items, tau0 := b.ing.Guide()
+	return b.close(b.ing, b.r)
+}
+
+// Snapshot finalizes a copy of the current stream state without consuming
+// the Builder: it deep-copies the reservoir and coordinate arena (O(Buffer)
+// work and memory, independent of stream length) and runs the same closing
+// pass Finalize runs, so the result is bit-for-bit the Summary Finalize
+// would return if the stream ended now. The Builder is untouched — further
+// Push/PushBatch/Finalize calls proceed exactly as if Snapshot had never
+// been called, because the closing pass of the copy draws from a clone of
+// the Builder's generator state. This is the write side of a serving
+// system: keep one long-lived Builder per stream and periodically publish
+// Snapshot results (see cmd/sasserve's live summaries).
+//
+// Snapshot before any positive-weight key has been pushed returns ErrNoData
+// (a Summary cannot be empty); the Builder remains usable. Snapshot after
+// Finalize reports the Builder as finalized.
+func (b *Builder) Snapshot() (*Summary, error) {
+	if b.done {
+		return nil, ingest.ErrFinalized
+	}
+	r := b.r.Clone()
+	ing, err := b.ing.Snapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return b.close(ing, r)
+}
+
+// close finalizes one ingestion state (the Builder's own on Finalize, a
+// deep copy on Snapshot) into a Summary, drawing the closing pass's
+// randomness from r.
+func (b *Builder) close(ing *ingest.Ingester, r *xmath.SplitMix) (*Summary, error) {
+	items, tau0 := ing.Guide()
 	if len(items) == 0 {
 		return nil, ErrNoData
 	}
@@ -160,21 +195,21 @@ func (b *Builder) Finalize() (*Summary, error) {
 	// local dataset of the retained candidates. When the reservoir never
 	// overflowed (tau0 == 0) this degenerates to the exact main-memory
 	// construction.
-	lds, shard, err := b.reservoirDataset(items, tau0)
+	lds, shard, err := b.reservoirDataset(ing, items, tau0)
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.MergeClose(lds, []varopt.Shard{shard}, b.cfg.Size, closeMode(b.cfg.Method), b.r, engine.NewArena())
+	res, err := engine.MergeClose(lds, []varopt.Shard{shard}, b.cfg.Size, closeMode(b.cfg.Method), r, engine.NewArena())
 	if err != nil {
 		return nil, mapErr(err)
 	}
 	return fromIndices(lds, res.Indices, res.Tau, b.cfg.Method), nil
 }
 
-// reservoirDataset materializes the retained reservoir items as a columnar
-// dataset plus the matching mergeable shard (item indices are local dataset
-// positions).
-func (b *Builder) reservoirDataset(items []varopt.StreamItem, tau0 float64) (*structure.Dataset, varopt.Shard, error) {
+// reservoirDataset materializes the retained reservoir items of ing as a
+// columnar dataset plus the matching mergeable shard (item indices are
+// local dataset positions).
+func (b *Builder) reservoirDataset(ing *ingest.Ingester, items []varopt.StreamItem, tau0 float64) (*structure.Dataset, varopt.Shard, error) {
 	coords := make([][]uint64, len(b.axes))
 	for d := range coords {
 		coords[d] = make([]uint64, len(items))
@@ -182,7 +217,7 @@ func (b *Builder) reservoirDataset(items []varopt.StreamItem, tau0 float64) (*st
 	weights := make([]float64, len(items))
 	local := make([]varopt.StreamItem, len(items))
 	for k, it := range items {
-		pt, ok := b.ing.Point(it.Index)
+		pt, ok := ing.Point(it.Index)
 		if !ok {
 			return nil, varopt.Shard{}, fmt.Errorf("core: internal: lost coordinates for reservoir key %d", it.Index)
 		}

@@ -260,6 +260,35 @@ func sortedContains(a []int, x int) bool {
 	return i < len(a) && a[i] == x
 }
 
+// Snapshot returns a deep copy of the ingestion state — reservoir,
+// coordinate arena, and streaming threshold — that shares no mutable state
+// with g: the copy can be finalized with Guide while g keeps accepting
+// pushes. r drives the copy's future sampling decisions; snapshot consumers
+// finalize the copy immediately and never draw from it, but passing a clone
+// of the original's generator keeps the two ingesters byte-equivalent under
+// identical further pushes. Snapshotting a finalized Ingester is an error.
+func (g *Ingester) Snapshot(r xmath.Rand) (*Ingester, error) {
+	if g.done {
+		return nil, ErrFinalized
+	}
+	cl := &Ingester{
+		stream: g.stream.Clone(r),
+		cap:    g.cap,
+		dims:   g.dims,
+		rows:   g.rows,
+		live:   g.live,
+	}
+	if g.thr != nil {
+		cl.thr = g.thr.Clone()
+	}
+	if g.dims > 0 {
+		cl.slotRows = append(make([]int, 0, len(g.slotRows)), g.slotRows...)
+		cl.coords = append(make([]uint64, 0, len(g.coords)), g.coords...)
+		cl.freeSlots = append(make([]int32, 0, cap(g.freeSlots)), g.freeSlots...)
+	}
+	return cl, nil
+}
+
 // Rows returns the number of keys pushed (including zero-weight ones).
 func (g *Ingester) Rows() int { return g.rows }
 

@@ -60,6 +60,44 @@ func (r Range) String() string {
 	return strings.Join(parts, ",")
 }
 
+// ParseAxisSpec parses a textual key-domain description into axes: a
+// comma-separated list of "kind:bits" terms, e.g. "bittrie:32,bittrie:32"
+// for a 2-D domain of 32-bit binary hierarchies or "ordered:20" for one
+// linear 20-bit axis. This is how live summaries declare their domain on
+// the sasserve command line (a domain that, unlike a served file's, has no
+// serialized axis metadata to read). Explicit hierarchies have no textual
+// form — they need a whole tree — and are rejected with a hint.
+func ParseAxisSpec(s string) ([]Axis, error) {
+	parts := strings.Split(s, ",")
+	axes := make([]Axis, 0, len(parts))
+	for _, part := range parts {
+		kind, bits, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("structure: axis %q is not kind:bits (e.g. bittrie:32)", part)
+		}
+		b, err := strconv.Atoi(strings.TrimSpace(bits))
+		if err != nil {
+			return nil, fmt.Errorf("structure: axis %q: bad bit width: %v", part, err)
+		}
+		var ax Axis
+		switch kind {
+		case "bittrie":
+			ax = BitTrieAxis(b)
+		case "ordered":
+			ax = OrderedAxis(b)
+		case "explicit":
+			return nil, fmt.Errorf("structure: explicit hierarchies have no textual axis form; serve a serialized summary instead")
+		default:
+			return nil, fmt.Errorf("structure: unknown axis kind %q (want bittrie or ordered)", kind)
+		}
+		if err := ax.Validate(); err != nil {
+			return nil, err
+		}
+		axes = append(axes, ax)
+	}
+	return axes, nil
+}
+
 // Check validates the box against an axis description: one interval per
 // axis, each non-empty and inside the axis domain. Serving layers call this
 // before querying so malformed client input fails loudly instead of

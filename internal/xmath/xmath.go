@@ -34,6 +34,14 @@ func NewRand(seed uint64) *SplitMix {
 	return &SplitMix{state: seed}
 }
 
+// Clone returns an independent generator with the same state: both produce
+// the same future sequence, and advancing one does not affect the other.
+// Snapshot-style consumers (core.Builder.Snapshot) use this to finalize a
+// copy of a stream without perturbing the original's random decisions.
+func (s *SplitMix) Clone() *SplitMix {
+	return &SplitMix{state: s.state}
+}
+
 // Uint64 returns the next 64-bit output of the generator.
 func (s *SplitMix) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

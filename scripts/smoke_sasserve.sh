@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
-# Smoke test for the serving pipeline: generate a dataset, sample it, dump
-# the serialized summary, serve it with sasserve, and query one estimate
-# over HTTP. Run from the repository root (CI runs it as a required step;
+# Smoke test for the serving pipeline, both directions:
+#
+#   read side:  generate a dataset, sample it, dump the serialized summary,
+#               serve it with sasserve, query one estimate over HTTP;
+#   write side: start a live summary, push keys over HTTP, force a
+#               snapshot, query it, SIGTERM the server (must exit 0,
+#               flushing a final snapshot), restart from -snapshot-dir and
+#               re-query the recovered summary.
+#
+# Run from the repository root (CI runs it as a required step;
 # `make smoke-serve` runs it locally).
 set -euo pipefail
 
@@ -22,27 +29,42 @@ fetch() {
     fi
 }
 
+post() { # post <url> <body> (empty body allowed)
+    if command -v curl >/dev/null; then
+        curl -fsS -X POST -H 'Content-Type: application/json' -d "$2" "$1"
+    else
+        wget -qO- --header 'Content-Type: application/json' --post-data="$2" "$1"
+    fi
+}
+
+wait_healthy() {
+    for _ in $(seq 1 50); do
+        if fetch "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+            echo "sasserve exited before becoming healthy" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+    echo "sasserve never became healthy" >&2
+    exit 1
+}
+
 echo "== build fixture dataset and summary"
 go run ./cmd/sasgen -data network -pairs 5000 -bits 12 -seed 1 -o "$TMP/net.csv"
 go run ./cmd/sassample -in "$TMP/net.csv" -bits 12 -s 500 -seed 1 -dump "$TMP/net.sas"
 
-echo "== start sasserve"
+echo "== start sasserve (static file + live summary + snapshot dir)"
 go build -o "$TMP/sasserve" ./cmd/sasserve
-"$TMP/sasserve" -addr "127.0.0.1:$PORT" "net=$TMP/net.sas" &
+SERVE=("$TMP/sasserve" -addr "127.0.0.1:$PORT" -live 'flows=bittrie:12,bittrie:12' \
+    -live-size 200 -live-seed 1 -snapshot-dir "$TMP/snapshots")
+"${SERVE[@]}" "net=$TMP/net.sas" &
 SERVER_PID=$!
+wait_healthy
 
-for i in $(seq 1 50); do
-    if fetch "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-        echo "sasserve exited before becoming healthy" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
-
-echo "== query"
+echo "== query the file-backed summary"
 META="$(fetch "http://127.0.0.1:$PORT/v1/summaries/net")"
 echo "$META"
 echo "$META" | grep -q '"size":500' || { echo "metadata missing size" >&2; exit 1; }
@@ -61,5 +83,47 @@ if [ "$EST_VAL" != "$TOTAL_VAL" ]; then
     echo "full-domain estimate $EST_VAL != total $TOTAL_VAL" >&2
     exit 1
 fi
+
+echo "== push keys into the live summary"
+BODY='{"coords":[[5,17,99,1033,5,2040],[7,23,99,4000,7,100]],"weights":[2,3.5,1,10,4,0.5]}'
+PUSH="$(post "http://127.0.0.1:$PORT/v1/summaries/flows/keys" "$BODY")"
+echo "$PUSH"
+echo "$PUSH" | grep -q '"pushed":6' || { echo "push not acknowledged" >&2; exit 1; }
+
+echo "== force a snapshot and query it"
+SNAP="$(post "http://127.0.0.1:$PORT/v1/summaries/flows/snapshot" '')"
+echo "$SNAP"
+echo "$SNAP" | grep -q '"snapshot":1' || { echo "snapshot not published" >&2; exit 1; }
+
+LIVE_TOTAL="$(fetch "http://127.0.0.1:$PORT/v1/summaries/flows/total")"
+echo "$LIVE_TOTAL"
+# 6 keys fit entirely in the 200-key sample: the estimate is the exact sum.
+echo "$LIVE_TOTAL" | grep -q '"estimate":21' || { echo "live total wrong (want 21)" >&2; exit 1; }
+
+echo "== push more keys, then SIGTERM (graceful shutdown must flush + exit 0)"
+post "http://127.0.0.1:$PORT/v1/summaries/flows/keys" '{"coords":[[77],[88]],"weights":[9]}' >/dev/null
+
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "graceful shutdown exited $STATUS, want 0" >&2
+    exit 1
+fi
+ls -l "$TMP/snapshots"
+[ -f "$TMP/snapshots/flows-00000002.sas" ] || { echo "final flush missing" >&2; exit 1; }
+
+echo "== restart and query the recovered snapshot"
+"${SERVE[@]}" &
+SERVER_PID=$!
+wait_healthy
+RECOVERED="$(fetch "http://127.0.0.1:$PORT/v1/summaries/flows/total")"
+echo "$RECOVERED"
+# The flushed snapshot includes the post-snapshot push: 21 + 9 = 30.
+echo "$RECOVERED" | grep -q '"estimate":30' || { echo "recovered total wrong (want 30)" >&2; exit 1; }
+META="$(fetch "http://127.0.0.1:$PORT/v1/summaries/flows")"
+echo "$META"
+echo "$META" | grep -q '"live":true' || { echo "recovered summary not marked live" >&2; exit 1; }
 
 echo "== smoke OK"

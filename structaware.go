@@ -83,7 +83,10 @@ type IndexedSummary = core.IndexedSummary
 
 // Builder is the streaming construction API: Push weighted keys one at a
 // time and Finalize into a Summary, with working memory bounded by
-// Config.Buffer regardless of stream length. See NewBuilder.
+// Config.Buffer regardless of stream length. Snapshot publishes the
+// stream's current Summary without consuming the Builder — the write
+// buffer of a live serving system (cmd/sasserve's live summaries). See
+// NewBuilder.
 type Builder = core.Builder
 
 // Config configures Build, SampleParallel, and NewBuilder.
