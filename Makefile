@@ -9,7 +9,7 @@ SHELL := /bin/bash
 # artifact, local runs should use >= 3x for stable numbers.
 BENCHTIME ?= 3x
 
-.PHONY: all build test vet fmt-check race bench bench-smoke bench-json smoke-serve
+.PHONY: all build test vet fmt-check lint race bench bench-smoke bench-json smoke-serve
 
 all: build vet fmt-check test
 
@@ -26,6 +26,16 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# staticcheck is not vendored; lint runs it when installed (CI installs it
+# with `go install honnef.co/go/tools/cmd/staticcheck@latest`) and skips
+# gracefully otherwise so offline machines can still run `make all`.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
@@ -40,18 +50,27 @@ bench-smoke:
 # one iteration is ~0.5s).
 QUERYBENCHTIME ?= 1s
 
-# Record the benchmark trajectory: run the key build/query benchmarks and
-# emit BENCH_PR5.json (before = the previous PR's recorded numbers, after =
-# this run; BenchmarkBuilderSnapshot is new in PR 5, so it has no before).
+# Dataset scale and element budget for the recorded backends comparison;
+# 0.05 keeps the four builds (notably the wavelet transform) to seconds.
+BACKENDSCALE ?= 0.05
+BACKENDSIZE ?= 1000
+
+# Record the benchmark trajectory: run the key build/query benchmarks plus
+# the head-to-head backend comparison (sasbench -backends) and emit
+# BENCH_PR6.json (before = the previous PR's recorded numbers, after =
+# this run, backends = the embedded comparison document).
 bench-json:
+	$(GO) run ./cmd/sasbench -backends /tmp/sas_backends.json \
+		-scale $(BACKENDSCALE) -backend-size $(BACKENDSIZE)
 	( $(GO) test -run '^$$' \
 		-bench '^BenchmarkBuilderPush$$|^BenchmarkBuilderPushBatch$$|^BenchmarkBuilderSnapshot$$|^BenchmarkSerialSample$$|^BenchmarkParallelSample$$/workers=4' \
 		-benchmem -benchtime $(BENCHTIME) . && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkIndexedEstimateRange$$' \
 		-benchmem -benchtime $(QUERYBENCHTIME) . ) \
-	| $(GO) run ./scripts/benchjson -pr 5 \
-		-before BENCH_PR4.json -out BENCH_PR5.json
-	@echo wrote BENCH_PR5.json
+	| $(GO) run ./scripts/benchjson -pr 6 \
+		-before BENCH_PR5.json -backends /tmp/sas_backends.json \
+		-out BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
 
 smoke-serve:
 	./scripts/smoke_sasserve.sh

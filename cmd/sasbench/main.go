@@ -6,14 +6,24 @@
 //
 //	sasbench -exp fig2a [-scale 0.1] [-queries 50] [-seed 1] [-o out.tsv]
 //	sasbench -exp all -scale 0.05
+//	sasbench -backends backends.json [-backend-size 1000] [-scale 0.05]
 //	sasbench -list
 //
 // Scale 1.0 reproduces the paper's dataset cardinalities (196K network
 // pairs, 500K ticket records); smaller scales keep the comparison shapes at
 // a fraction of the runtime.
+//
+// -backends runs the head-to-head backend comparison instead of a figure:
+// every backend kind (sample, qdigest, wavelet, sketch) is built at the
+// same element budget (-backend-size) over the network and tickets
+// datasets and scored on uniform-area and uniform-weight batteries — mean
+// and max relative error against exact answers plus single-threaded query
+// throughput — written as JSON (see internal/expt.BackendsReport).
+// `make bench-json` embeds this document in the recorded trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,13 +36,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig2a..fig4c, v1..v5, par, or 'all')")
-		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper scale)")
-		queries = flag.Int("queries", 50, "queries per configuration")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("o", "", "output file (default stdout)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		workers = flag.Int("workers", 0, "worker cap for the 'par' experiment (0 = all CPUs)")
+		exp      = flag.String("exp", "", "experiment id (fig2a..fig4c, v1..v5, par, or 'all')")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper scale)")
+		queries  = flag.Int("queries", 50, "queries per configuration")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		workers  = flag.Int("workers", 0, "worker cap for the 'par' experiment (0 = all CPUs)")
+		backends = flag.String("backends", "", "write the head-to-head backend comparison as JSON to this file ('-' = stdout)")
+		beSize   = flag.Int("backend-size", 1000, "element budget per backend in the -backends comparison")
 	)
 	flag.Parse()
 	tool := cliutil.New("sasbench")
@@ -43,14 +55,30 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" {
-		tool.Usagef("-exp is required (use -list to see ids)")
-	}
 	tool.CheckUsage(cliutil.FirstError(
 		cliutil.PositiveFloat("-scale", *scale),
 		cliutil.Positive("-queries", *queries),
 		cliutil.NonNegative("-workers", *workers),
+		cliutil.Positive("-backend-size", *beSize),
 	))
+	if *backends != "" {
+		opts := expt.Options{Scale: *scale, Queries: *queries, Seed: *seed}
+		rep, err := expt.CompareBackends(opts, *beSize)
+		tool.Check(err)
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		tool.Check(err)
+		raw = append(raw, '\n')
+		if *backends == "-" {
+			_, err = os.Stdout.Write(raw)
+		} else {
+			err = os.WriteFile(*backends, raw, 0o644)
+		}
+		tool.Check(err)
+		return
+	}
+	if *exp == "" {
+		tool.Usagef("-exp is required (use -list to see ids, or -backends for the comparison)")
+	}
 
 	var w io.Writer = os.Stdout
 	var f *os.File

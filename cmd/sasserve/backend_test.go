@@ -1,0 +1,299 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structaware/internal/backend"
+	"structaware/internal/structure"
+	"structaware/internal/twopass"
+	"structaware/internal/xmath"
+)
+
+const backendAxesSpec = "bittrie:10,bittrie:10"
+
+// writeCSV writes n deterministic weighted 2-D keys as "x,y,w" rows and
+// returns the path plus the raw columns.
+func writeCSV(t *testing.T, dir string, n int, seed uint64) (string, [][]uint64, []float64) {
+	t.Helper()
+	r := xmath.NewRand(seed)
+	coords := [][]uint64{make([]uint64, n), make([]uint64, n)}
+	weights := make([]float64, n)
+	path := filepath.Join(dir, "keys.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		coords[0][i] = r.Uint64() % 1024
+		coords[1][i] = r.Uint64() % 1024
+		weights[i] = 1 + 10*r.Float64()
+		fmt.Fprintf(f, "%d,%d,%g\n", coords[0][i], coords[1][i], weights[i])
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, coords, weights
+}
+
+// backendServer serves the same CSV through all four backend kinds, one
+// summary per kind, named after the kind.
+func backendServer(t *testing.T) (*httptest.Server, string, [][]uint64, []float64) {
+	t.Helper()
+	dir := t.TempDir()
+	path, coords, weights := writeCSV(t, dir, 3000, 21)
+	axes, err := structure.ParseAxisSpec(backendAxesSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sources []serveSource
+	for _, kind := range backend.Kinds {
+		cfg := &backend.Config{Kind: kind, Size: 500, Seed: 5, Axes: axes}
+		sources = append(sources, serveSource{name: string(kind), path: path, cfg: cfg})
+	}
+	st := newStore(sources, t.Logf)
+	if err := st.loadAll(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(st.handler())
+	t.Cleanup(srv.Close)
+	return srv, path, coords, weights
+}
+
+// offlineBackend rebuilds the reference backend the server should be
+// serving: same CSV, same config, deterministic construction.
+func offlineBackend(t *testing.T, path string, kind backend.Kind) *backend.Backend {
+	t.Helper()
+	axes, err := structure.ParseAxisSpec(backendAxesSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := twopass.NewCSVSource(path, len(axes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	be, err := backend.Build(axes, cs, backend.Config{Kind: kind, Size: 500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be
+}
+
+// TestBackendServing drives the shared range-estimate API through every
+// backend kind: estimates match an offline build of the same recipe bit
+// for bit, metadata reports the kind, and only the sample carries
+// Method/Tau and confidence bounds.
+func TestBackendServing(t *testing.T) {
+	srv, path, _, _ := backendServer(t)
+	boxes := []structure.Range{
+		{{Lo: 0, Hi: 511}, {Lo: 0, Hi: 511}},
+		{{Lo: 256, Hi: 767}, {Lo: 0, Hi: 1023}},
+	}
+	for _, kind := range backend.Kinds {
+		want := offlineBackend(t, path, kind)
+
+		var meta summaryMeta
+		getJSON(t, srv.URL+"/v1/summaries/"+string(kind), http.StatusOK, &meta)
+		if meta.Backend != string(kind) || meta.Size != want.Size() {
+			t.Fatalf("%s: meta %+v", kind, meta)
+		}
+		if hasMethod := meta.Method != ""; hasMethod != (kind == backend.KindSample) {
+			t.Fatalf("%s: method %q", kind, meta.Method)
+		}
+		if math.Float64bits(meta.TotalEstimate) != math.Float64bits(want.EstimateTotal()) {
+			t.Fatalf("%s: meta total %v, want %v", kind, meta.TotalEstimate, want.EstimateTotal())
+		}
+
+		url := fmt.Sprintf("%s/v1/summaries/%s/estimate?range=%s&range=%s",
+			srv.URL, kind, boxes[0], boxes[1])
+		var got estimateResponse
+		getJSON(t, url, http.StatusOK, &got)
+		if got.Backend != string(kind) || len(got.Estimates) != 2 {
+			t.Fatalf("%s: response %+v", kind, got)
+		}
+		for i, b := range boxes {
+			if math.Float64bits(got.Estimates[i]) != math.Float64bits(want.EstimateRange(b)) {
+				t.Fatalf("%s: estimate %d = %v, want %v", kind, i, got.Estimates[i], want.EstimateRange(b))
+			}
+		}
+
+		wantBounds := kind == backend.KindSample
+		if (got.Confidence != 0) != wantBounds || (got.Bounds != nil) != wantBounds {
+			t.Fatalf("%s: confidence=%v bounds=%v, want present=%v", kind, got.Confidence, got.Bounds, wantBounds)
+		}
+		if wantBounds {
+			if got.Confidence != serveConfidence || len(got.Bounds) != 2 || got.TotalBound <= 0 {
+				t.Fatalf("%s: bound fields %+v", kind, got)
+			}
+			for i, b := range got.Bounds {
+				if b <= 0 {
+					t.Fatalf("%s: bound %d = %v", kind, i, b)
+				}
+			}
+		}
+
+		// /total mirrors the bound policy.
+		var total struct {
+			Estimate   float64 `json:"estimate"`
+			Bound      float64 `json:"bound"`
+			Confidence float64 `json:"confidence"`
+		}
+		getJSON(t, srv.URL+"/v1/summaries/"+string(kind)+"/total", http.StatusOK, &total)
+		if math.Float64bits(total.Estimate) != math.Float64bits(want.EstimateTotal()) {
+			t.Fatalf("%s: total %v, want %v", kind, total.Estimate, want.EstimateTotal())
+		}
+		if (total.Bound > 0) != wantBounds {
+			t.Fatalf("%s: total bound %v, want present=%v", kind, total.Bound, wantBounds)
+		}
+	}
+}
+
+// TestQuantileEndpoint checks the /quantile surface across backends: every
+// kind answers, the sample and qdigest land near the exact weighted
+// median, and parameter abuse is rejected.
+func TestQuantileEndpoint(t *testing.T) {
+	srv, _, coords, weights := backendServer(t)
+
+	// Exact weighted median along axis 0.
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	exact := uint64(0)
+	for acc, x := 0.0, uint64(0); x < 1024; x++ {
+		for i := range weights {
+			if coords[0][i] == x {
+				acc += weights[i]
+			}
+		}
+		if acc >= total/2 {
+			exact = x
+			break
+		}
+	}
+
+	for _, kind := range backend.Kinds {
+		var got quantileResponse
+		getJSON(t, srv.URL+"/v1/summaries/"+string(kind)+"/quantile?axis=0&phi=0.5", http.StatusOK, &got)
+		if got.Backend != string(kind) || got.Axis != 0 || got.Phi != 0.5 {
+			t.Fatalf("%s: response %+v", kind, got)
+		}
+		if kind == backend.KindSketch {
+			continue // noise-dominated at this budget; answering at all is the contract
+		}
+		if off := math.Abs(float64(got.Coordinate) - float64(exact)); off > 102 {
+			t.Fatalf("%s: median %d, exact %d", kind, got.Coordinate, exact)
+		}
+	}
+
+	// Restricted to a box, the response echoes the range.
+	var boxed quantileResponse
+	getJSON(t, srv.URL+"/v1/summaries/sample/quantile?axis=1&phi=0.9&range=0:1023,0:1023", http.StatusOK, &boxed)
+	if boxed.Range != "0:1023,0:1023" || boxed.Axis != 1 {
+		t.Fatalf("boxed response %+v", boxed)
+	}
+
+	for _, bad := range []string{
+		"/v1/summaries/sample/quantile",                                     // no phi
+		"/v1/summaries/sample/quantile?phi=2",                               // phi out of range
+		"/v1/summaries/sample/quantile?phi=0.5&axis=7",                      // bad axis
+		"/v1/summaries/sample/quantile?phi=0.5&range=abc",                   // bad range
+		"/v1/summaries/sample/quantile?phi=0.5&range=0:1",                   // wrong dims
+		"/v1/summaries/sample/quantile?phi=0.5&range=0:1,0:1&range=0:2,0:2", // two ranges
+	} {
+		getJSON(t, srv.URL+bad, http.StatusBadRequest, nil)
+	}
+
+	// An (exactly) empty region on the sample backend is a 409.
+	getJSON(t, srv.URL+"/v1/summaries/sample/quantile?phi=0.5&range=0:0,0:0", http.StatusConflict, nil)
+}
+
+// TestHeavyHittersEndpoint: sample-only ranking by adjusted weight;
+// deterministic backends answer 501 on the key-returning endpoints.
+func TestHeavyHittersEndpoint(t *testing.T) {
+	srv, path, _, _ := backendServer(t)
+	want := offlineBackend(t, path, backend.KindSample)
+
+	var got struct {
+		Backend         string     `json:"backend"`
+		K               int        `json:"k"`
+		Count           int        `json:"count"`
+		Keys            [][]uint64 `json:"keys"`
+		AdjustedWeights []float64  `json:"adjusted_weights"`
+	}
+	getJSON(t, srv.URL+"/v1/summaries/sample/heavyhitters?range=0:1023,0:1023&k=5", http.StatusOK, &got)
+	if got.Backend != "sample" || got.K != 5 || got.Count != 5 || len(got.Keys) != 5 {
+		t.Fatalf("response %+v", got)
+	}
+	wantKeys, wantWs := want.Estimator.(backend.HeavyHitter).HeavyHitters(structure.Range{{Lo: 0, Hi: 1023}, {Lo: 0, Hi: 1023}}, 5)
+	for i := range wantKeys {
+		if got.Keys[i][0] != wantKeys[i][0] || got.Keys[i][1] != wantKeys[i][1] ||
+			math.Float64bits(got.AdjustedWeights[i]) != math.Float64bits(wantWs[i]) {
+			t.Fatalf("hitter %d: %v/%v, want %v/%v", i, got.Keys[i], got.AdjustedWeights[i], wantKeys[i], wantWs[i])
+		}
+	}
+
+	getJSON(t, srv.URL+"/v1/summaries/sample/heavyhitters?range=0:1,0:1&k=0", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/v1/summaries/sample/heavyhitters", http.StatusBadRequest, nil)
+
+	// An empty selection returns [] not null.
+	var empty struct {
+		Count int        `json:"count"`
+		Keys  [][]uint64 `json:"keys"`
+	}
+	getJSON(t, srv.URL+"/v1/summaries/sample/heavyhitters?range=0:0,0:0", http.StatusOK, &empty)
+	if empty.Count != 0 || empty.Keys == nil {
+		t.Fatalf("empty %+v", empty)
+	}
+
+	for _, kind := range []backend.Kind{backend.KindQDigest, backend.KindWavelet, backend.KindSketch} {
+		getJSON(t, srv.URL+"/v1/summaries/"+string(kind)+"/heavyhitters?range=0:1023,0:1023", http.StatusNotImplemented, nil)
+		getJSON(t, srv.URL+"/v1/summaries/"+string(kind)+"/representatives?range=0:1023,0:1023", http.StatusNotImplemented, nil)
+	}
+}
+
+// TestBackendReload: SIGHUP rebuilds CSV-backed backends from the file in
+// place, and a vanished CSV keeps the previous epoch serving.
+func TestBackendReload(t *testing.T) {
+	dir := t.TempDir()
+	path, _, _ := writeCSV(t, dir, 1000, 31)
+	axes, err := structure.ParseAxisSpec(backendAxesSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newStore([]serveSource{{
+		name: "qd", path: path,
+		cfg: &backend.Config{Kind: backend.KindQDigest, Size: 300, Axes: axes},
+	}}, t.Logf)
+	if err := st.loadAll(); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := st.get("qd")
+	before := e1.be.EstimateTotal()
+
+	// Rewrite the CSV with different data; reload swaps the rebuilt digest.
+	if _, _, _ = writeCSV(t, dir, 500, 32); false {
+		t.Fatal("unreachable")
+	}
+	st.reload()
+	e2, _ := st.get("qd")
+	if e2 == e1 || e2.be.EstimateTotal() == before {
+		t.Fatalf("reload did not rebuild: total %v -> %v", before, e2.be.EstimateTotal())
+	}
+
+	// A missing CSV keeps the previous version.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	st.reload()
+	e3, _ := st.get("qd")
+	if e3 != e2 {
+		t.Fatal("reload of a missing CSV replaced the serving entry")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"structaware/internal/backend"
 	"structaware/internal/cliutil"
 	"structaware/internal/core"
 	"structaware/internal/ipps"
@@ -127,9 +128,9 @@ func (st *store) recoverLive(ls *liveSummary) error {
 	ls.seq = snaps[0].seq
 	var lastErr error
 	for _, sn := range snaps {
-		e, err := loadEntry(ls.name, sn.path, time.Now())
+		e, err := loadSummaryFile(ls.name, sn.path, time.Now())
 		if err == nil {
-			err = sameDomain(ls.axes, e.sum.Axes)
+			err = sameDomain(ls.axes, e.be.Axes)
 		}
 		if err != nil {
 			lastErr = err
@@ -137,11 +138,11 @@ func (st *store) recoverLive(ls *liveSummary) error {
 			continue
 		}
 		e.live, e.seq = true, sn.seq
-		ls.base = e.sum
+		ls.base = e.sample().Summary()
 		st.mu.Lock()
 		st.entries[ls.name] = e
 		st.mu.Unlock()
-		st.logf("recovered live %q from %s (snapshot %d, %d keys)", ls.name, sn.path, sn.seq, e.sum.Size())
+		st.logf("recovered live %q from %s (snapshot %d, %d keys)", ls.name, sn.path, sn.seq, e.be.Size())
 		return nil
 	}
 	return fmt.Errorf("recover live summary %q: no loadable snapshot among %d files: %w", ls.name, len(snaps), lastErr)
@@ -222,7 +223,7 @@ func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
 	}
 
 	e := &entry{
-		name: ls.name, path: path, sum: sum, idx: idx, loadedAt: now,
+		name: ls.name, path: path, be: backend.FromIndexedSummary(idx), loadedAt: now,
 		live: true, seq: seq, pushed: pushed,
 	}
 	ls.mu.Lock()
@@ -436,9 +437,9 @@ func (st *store) handleForceSnapshot(w http.ResponseWriter, _ *http.Request, ls 
 	writeJSON(w, http.StatusOK, map[string]any{
 		"summary":        e.name,
 		"snapshot":       e.seq,
-		"size":           e.sum.Size(),
+		"size":           e.be.Size(),
 		"pushed":         e.pushed,
-		"total_estimate": e.idx.EstimateTotal(),
+		"total_estimate": e.be.EstimateTotal(),
 		"path":           e.path,
 	})
 }

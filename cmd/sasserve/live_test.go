@@ -32,7 +32,7 @@ const liveAxesSpec = "bittrie:10,bittrie:10"
 
 // liveStore builds a store with one live summary "net" over a 2×10-bit
 // domain (no file-backed summaries unless sources are given).
-func liveStore(t *testing.T, dir string, sources ...cliutil.Assignment) *store {
+func liveStore(t *testing.T, dir string, sources ...serveSource) *store {
 	t.Helper()
 	st := newStore(sources, t.Logf)
 	if err := st.loadAll(); err != nil {
@@ -206,7 +206,7 @@ func TestLiveIngestErrors(t *testing.T) {
 	dir := t.TempDir()
 	staticPath := filepath.Join(dir, "files.sas")
 	writeSummary(t, staticPath, buildSummary(t, 9))
-	st := liveStore(t, "", cliutil.Assignment{Name: "files", Value: staticPath})
+	st := liveStore(t, "", serveSource{name: "files", path: staticPath})
 	srv := httptest.NewServer(st.handler())
 	defer srv.Close()
 
@@ -310,11 +310,11 @@ func TestLivePersistRecover(t *testing.T) {
 	if !ok {
 		t.Fatal("restart did not recover a serving entry")
 	}
-	if e2.seq != 1 || e2.sum.Size() != e1.sum.Size() {
-		t.Fatalf("recovered seq %d size %d, want %d/%d", e2.seq, e2.sum.Size(), e1.seq, e1.sum.Size())
+	if e2.seq != 1 || e2.be.Size() != e1.be.Size() {
+		t.Fatalf("recovered seq %d size %d, want %d/%d", e2.seq, e2.be.Size(), e1.seq, e1.be.Size())
 	}
 	full := structure.Range{{Lo: 0, Hi: 1023}, {Lo: 0, Hi: 1023}}
-	if math.Float64bits(e2.idx.EstimateRange(full)) != math.Float64bits(e1.idx.EstimateRange(full)) {
+	if math.Float64bits(e2.be.EstimateRange(full)) != math.Float64bits(e1.be.EstimateRange(full)) {
 		t.Fatal("recovered snapshot estimates differ from the persisted ones")
 	}
 
@@ -340,7 +340,7 @@ func TestLivePersistRecover(t *testing.T) {
 	for _, w := range weights2 {
 		exact += w
 	}
-	if got := e3.idx.EstimateTotal(); !xmath.AlmostEqual(got, exact, 1e-6) {
+	if got := e3.be.EstimateTotal(); !xmath.AlmostEqual(got, exact, 1e-6) {
 		t.Fatalf("merged total %v, want ~%v", got, exact)
 	}
 
@@ -445,7 +445,7 @@ func TestRotateSkipsClean(t *testing.T) {
 	// A forced republish of an unchanged stream reproduces the snapshot
 	// bit for bit (the Snapshot determinism contract).
 	full := structure.Range{{Lo: 0, Hi: 1023}, {Lo: 0, Hi: 1023}}
-	if math.Float64bits(e1.idx.EstimateRange(full)) != math.Float64bits(e2.idx.EstimateRange(full)) {
+	if math.Float64bits(e1.be.EstimateRange(full)) != math.Float64bits(e2.be.EstimateRange(full)) {
 		t.Fatal("republished snapshot differs from the previous epoch")
 	}
 }
@@ -460,7 +460,7 @@ func TestConcurrentLiveServing(t *testing.T) {
 	dir := t.TempDir()
 	staticPath := filepath.Join(dir, "files.sas")
 	writeSummary(t, staticPath, buildSummary(t, 10))
-	st := liveStore(t, "", cliutil.Assignment{Name: "files", Value: staticPath})
+	st := liveStore(t, "", serveSource{name: "files", path: staticPath})
 	srv := httptest.NewServer(st.handler())
 	defer srv.Close()
 

@@ -1,8 +1,12 @@
 // Command sasserve is the summary-serving daemon: a read/write node for
-// sample-based summaries. On the read side it loads serialized summaries
-// (the SAS2 files written by sassample -dump or Summary.WriteTo), compiles
-// each into an immutable in-memory query index (Summary.Index), and answers
-// estimate, representative-key, and metadata queries over HTTP as JSON. On
+// range-query summaries. On the read side it serves summaries of any
+// backend kind — structure-aware VarOpt samples, 2-D q-digests, Haar
+// wavelet synopses, or dyadic Count-Sketches — behind one Estimator
+// contract (internal/backend), answering estimate, quantile,
+// representative-key, heavy-hitter, and metadata queries over HTTP as
+// JSON. Sample summaries load from serialized SAS2 files (written by
+// sassample -dump or Summary.WriteTo); any backend kind can instead be
+// built at startup from a CSV of weighted keys via a -backend recipe. On
 // the write side, live summaries (-live) accept weighted keys over HTTP
 // into a bounded-memory streaming Builder and publish immutable snapshots
 // of the accumulated stream — on a rotation interval, on demand, and as a
@@ -12,8 +16,17 @@
 //
 // Usage:
 //
-//	sasserve [-addr :8337] [flags] [name=path.sas ...]
+//	sasserve [-addr :8337] [flags] [name=path ...]
 //
+//	-backend name=kind[:k=v;k=v...]
+//	                       build recipe for a named summary. kind is one of
+//	                       sample, qdigest, wavelet, sketch; parameters
+//	                       (';'-separated) are size, seed, rows, method,
+//	                       buffer, and axes (e.g. axes=bittrie:20,bittrie:20).
+//	                       With axes, the name's path is a CSV of
+//	                       "c0,c1,...,weight" rows and the summary is built
+//	                       from it at load time; a bare "sample" recipe (no
+//	                       axes) reads a serialized .sas file, the default.
 //	-live name=axes        writable summary over the given key domain
 //	                       (axes like "bittrie:32,bittrie:32"; repeatable)
 //	-live-size n           sample size of each live snapshot (default 1000)
@@ -26,12 +39,13 @@
 //	                       across restarts
 //
 // A bare path names its summary after the file ("data/net.sas" → "net").
-// SIGHUP re-reads every file in place (hot reload): each summary swaps
-// atomically to its new version, and a file that fails to load keeps
-// serving its previous version. Live snapshots swap the same way, so every
-// estimate comes from a fully-formed index. SIGTERM/SIGINT shut down
-// gracefully: in-flight requests drain, live summaries flush a final
-// snapshot when -snapshot-dir is set, and the process exits 0.
+// SIGHUP re-reads every source in place (hot reload): each summary swaps
+// atomically to its new version — CSV-built backends are rebuilt — and a
+// source that fails to load keeps serving its previous version. Live
+// snapshots swap the same way, so every estimate comes from a fully-formed
+// summary. SIGTERM/SIGINT shut down gracefully: in-flight requests drain,
+// live summaries flush a final snapshot when -snapshot-dir is set, and the
+// process exits 0.
 //
 // Endpoints (all JSON; ranges use the "lo:hi,lo:hi" box syntax, one
 // inclusive interval per axis):
@@ -42,15 +56,24 @@
 //	GET  /v1/summaries/{name}/total
 //	GET  /v1/summaries/{name}/estimate?range=0:1023,0:1023[&range=...]
 //	POST /v1/summaries/{name}/estimate   {"ranges": ["0:1023,0:1023", ...]}
+//	GET  /v1/summaries/{name}/quantile?axis=0&phi=0.5[&range=...]
 //	GET  /v1/summaries/{name}/representatives?range=...&limit=10
+//	GET  /v1/summaries/{name}/heavyhitters?range=...&k=10
 //	POST /v1/summaries/{name}/keys       {"coords": [[...],...], "weights": [...]}
 //	                                     (or NDJSON {"point":[...],"weight":w} rows)
 //	POST /v1/summaries/{name}/snapshot
 //
-// The serving indexes are immutable and shared: every request goroutine
+// Every backend answers estimate, total, and quantile; representatives and
+// heavy hitters need real keys behind the summary, so they are sample-only
+// (other backends answer 501). Sample-backed estimate and total responses
+// carry confidence-interval fields (the paper's exponential tail bounds at
+// 95%); deterministic backends have no comparable per-estimate guarantee
+// and omit them.
+//
+// The serving summaries are immutable and shared: every request goroutine
 // queries the same compiled structure with no locks on the hot path, so
 // read throughput scales with cores; writes contend only on the one live
-// builder they target. Estimates are bit-for-bit identical to the
+// builder they target. Sample estimates are bit-for-bit identical to the
 // in-process linear Summary methods.
 package main
 
@@ -66,6 +89,7 @@ import (
 	"syscall"
 	"time"
 
+	"structaware/internal/backend"
 	"structaware/internal/cliutil"
 	"structaware/internal/structure"
 )
@@ -75,7 +99,7 @@ import (
 const shutdownGrace = 10 * time.Second
 
 func main() {
-	var liveSpecs []string
+	var liveSpecs, backendSpecs []string
 	var (
 		addr         = flag.String("addr", ":8337", "HTTP listen address")
 		liveSize     = flag.Int("live-size", 1000, "target sample size of live-summary snapshots")
@@ -86,6 +110,10 @@ func main() {
 	)
 	flag.Func("live", "live summary as name=axes (axes like bittrie:32,bittrie:32; repeatable)", func(v string) error {
 		liveSpecs = append(liveSpecs, v)
+		return nil
+	})
+	flag.Func("backend", "build recipe as name=kind[:k=v;k=v...] (kinds: sample, qdigest, wavelet, sketch; repeatable)", func(v string) error {
+		backendSpecs = append(backendSpecs, v)
 		return nil
 	})
 	flag.Parse()
@@ -102,7 +130,7 @@ func main() {
 	if len(liveSpecs) == 0 && (*snapDir != "" || *snapInterval != 0) {
 		tool.Usagef("-snapshot-dir and -snapshot-interval require at least one -live summary")
 	}
-	sources, err := cliutil.ParseAssignments(flag.Args())
+	assigns, err := cliutil.ParseAssignments(flag.Args())
 	tool.CheckUsage(err)
 	lives, err := cliutil.ParseAssignments(liveSpecs)
 	tool.CheckUsage(err)
@@ -113,11 +141,42 @@ func main() {
 			tool.Usagef("-live %s=%s: %v", lv.Name, lv.Value, err)
 		}
 	}
-	for _, src := range sources {
+	for _, src := range assigns {
 		for _, lv := range lives {
 			if src.Name == lv.Name {
 				tool.Usagef("summary %q is both file-backed and -live", src.Name)
 			}
+		}
+	}
+	// Attach -backend recipes to the sources they name. A recipe must name
+	// a positional source (-live summaries always build samples), and a
+	// recipe for any kind but a .sas-loading sample needs axes to interpret
+	// the CSV.
+	recipes, err := cliutil.ParseAssignments(backendSpecs)
+	tool.CheckUsage(err)
+	cfgs := make(map[string]*backend.Config, len(recipes))
+	for _, rc := range recipes {
+		cfg, err := backend.ParseSpec(rc.Value)
+		if err != nil {
+			tool.Usagef("-backend %s=%s: %v", rc.Name, rc.Value, err)
+		}
+		if _, dup := cfgs[rc.Name]; dup {
+			tool.Usagef("-backend %q given twice", rc.Name)
+		}
+		if cfg.Kind != backend.KindSample && cfg.Axes == nil {
+			tool.Usagef("-backend %s=%s: kind %s needs axes=... to build from a CSV", rc.Name, rc.Value, cfg.Kind)
+		}
+		cfgs[rc.Name] = &cfg
+	}
+	sources := make([]serveSource, len(assigns))
+	named := make(map[string]bool, len(assigns))
+	for i, a := range assigns {
+		sources[i] = serveSource{name: a.Name, path: a.Value, cfg: cfgs[a.Name]}
+		named[a.Name] = true
+	}
+	for _, rc := range recipes {
+		if !named[rc.Name] {
+			tool.Usagef("-backend %q names no summary (give its data as %s=path)", rc.Name, rc.Name)
 		}
 	}
 
@@ -132,9 +191,9 @@ func main() {
 		interval: *snapInterval,
 	}))
 	for _, src := range sources {
-		e, _ := st.get(src.Name)
-		logger.Printf("serving %q from %s (%d keys, %d dims, method %s)",
-			src.Name, src.Value, e.sum.Size(), len(e.sum.Axes), e.sum.Method)
+		e, _ := st.get(src.name)
+		logger.Printf("serving %q from %s (%s, %d elements, %d dims)",
+			src.name, src.path, e.be.Kind, e.be.Size(), len(e.be.Axes))
 	}
 	for _, lv := range lives {
 		logger.Printf("serving live %q over %s (snapshot size %d)", lv.Name, lv.Value, *liveSize)

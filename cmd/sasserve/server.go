@@ -10,21 +10,46 @@ import (
 	"sync"
 	"time"
 
-	"structaware/internal/cliutil"
+	"structaware/internal/backend"
 	"structaware/internal/core"
 	"structaware/internal/structure"
+	"structaware/internal/twopass"
 )
 
-// entry is one serving summary: the Summary plus its compiled immutable
-// query index, loaded from a file or published by a live snapshot. Entries
-// are never mutated after creation, so a request goroutine can use one
-// without locking; reloads and snapshot rotations swap whole entries under
-// the store lock.
+// serveConfidence is the coverage level of the confidence-interval fields on
+// sample-backed responses: the true weight lies within estimate ± bound with
+// probability at least serveConfidence. The IPPS threshold tau behind the
+// bound is fixed per serving epoch (summaries are immutable once adapted),
+// so the bound is a pure function of the estimate.
+const serveConfidence = 0.95
+
+// serveSource describes one summary to serve: a name, a data path, and an
+// optional backend build recipe. With a nil cfg (or a bare sample recipe
+// without axes) the path is a serialized SAS2 sample summary; with a recipe
+// carrying axes the path is a CSV of weighted keys ("c0,c1,...,weight"
+// rows) and the summary is built from it at load time via backend.Build —
+// the same construction path for all four backend kinds.
+type serveSource struct {
+	name string
+	path string
+	cfg  *backend.Config
+}
+
+// loadsFile reports whether this source reads a serialized sample summary
+// (as opposed to building a backend from raw keys).
+func (src serveSource) loadsFile() bool {
+	return src.cfg == nil || (src.cfg.Kind == backend.KindSample && src.cfg.Axes == nil)
+}
+
+// entry is one serving summary: a backend (any kind) behind the Estimator
+// contract, loaded from a file, built from raw keys, or published by a live
+// snapshot. Entries are never mutated after creation, so a request
+// goroutine can use one without locking; reloads and snapshot rotations
+// swap whole entries under the store lock.
 type entry struct {
 	name     string
 	path     string
-	sum      *core.Summary
-	idx      *core.IndexedSummary
+	be       *backend.Backend
 	loadedAt time.Time
 	bytes    int64
 	// Live-snapshot provenance (zero for file-backed entries): the snapshot
@@ -35,8 +60,45 @@ type entry struct {
 	pushed int64
 }
 
-// loadEntry reads and indexes one serialized summary.
-func loadEntry(name, path string, now time.Time) (*entry, error) {
+// sample returns the sample adapter behind the entry, or nil for
+// deterministic backends — the capability gate for Method/Tau metadata and
+// the live-recovery merge base.
+func (e *entry) sample() *backend.Sample {
+	s, _ := e.be.Estimator.(*backend.Sample)
+	return s
+}
+
+// loadEntry materializes one serving entry from a source: a SAS2 read plus
+// index compile for sample files, or a backend.Build over the CSV stream
+// for -backend recipes.
+func loadEntry(src serveSource, now time.Time) (*entry, error) {
+	if src.loadsFile() {
+		return loadSummaryFile(src.name, src.path, now)
+	}
+	info, err := os.Stat(src.path)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := twopass.NewCSVSource(src.path, len(src.cfg.Axes))
+	if err != nil {
+		return nil, err
+	}
+	defer cs.Close()
+	be, err := backend.Build(src.cfg.Axes, cs, *src.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", src.path, err)
+	}
+	return &entry{
+		name:     src.name,
+		path:     src.path,
+		be:       be,
+		loadedAt: now,
+		bytes:    info.Size(),
+	}, nil
+}
+
+// loadSummaryFile reads and indexes one serialized sample summary.
+func loadSummaryFile(name, path string, now time.Time) (*entry, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -57,8 +119,7 @@ func loadEntry(name, path string, now time.Time) (*entry, error) {
 	return &entry{
 		name:     name,
 		path:     path,
-		sum:      sum,
-		idx:      idx,
+		be:       backend.FromIndexedSummary(idx),
 		loadedAt: now,
 		bytes:    info.Size(),
 	}, nil
@@ -66,10 +127,10 @@ func loadEntry(name, path string, now time.Time) (*entry, error) {
 
 // store holds the serving set. The read path takes the lock only to fetch
 // an *entry pointer; all query work happens on the immutable entry —
-// whether it came from a file load or a live snapshot, a swap publishes a
-// fully-formed index atomically.
+// whether it came from a file load, a backend build, or a live snapshot, a
+// swap publishes a fully-formed backend atomically.
 type store struct {
-	sources []cliutil.Assignment
+	sources []serveSource
 	logf    func(format string, args ...any)
 
 	// Live (writable) summaries; both maps are populated once at startup
@@ -82,7 +143,7 @@ type store struct {
 	entries map[string]*entry
 }
 
-func newStore(sources []cliutil.Assignment, logf func(format string, args ...any)) *store {
+func newStore(sources []serveSource, logf func(format string, args ...any)) *store {
 	return &store{sources: sources, logf: logf, entries: make(map[string]*entry)}
 }
 
@@ -91,11 +152,11 @@ func (st *store) loadAll() error {
 	now := time.Now()
 	fresh := make(map[string]*entry, len(st.sources))
 	for _, src := range st.sources {
-		e, err := loadEntry(src.Name, src.Value, now)
+		e, err := loadEntry(src, now)
 		if err != nil {
 			return err
 		}
-		fresh[src.Name] = e
+		fresh[src.name] = e
 	}
 	st.mu.Lock()
 	st.entries = fresh
@@ -103,22 +164,23 @@ func (st *store) loadAll() error {
 	return nil
 }
 
-// reload re-reads every configured summary (SIGHUP). A summary that fails
-// to load keeps serving its previous version; the failure is logged. The
-// swap is atomic per entry, so concurrent requests see either the old or
-// the new index, never a partial one.
+// reload re-reads every configured summary (SIGHUP) — re-building
+// backend-recipe sources from their CSVs. A summary that fails to load
+// keeps serving its previous version; the failure is logged. The swap is
+// atomic per entry, so concurrent requests see either the old or the new
+// backend, never a partial one.
 func (st *store) reload() {
 	now := time.Now()
 	for _, src := range st.sources {
-		e, err := loadEntry(src.Name, src.Value, now)
+		e, err := loadEntry(src, now)
 		if err != nil {
-			st.logf("reload %s: %v (keeping previous version)", src.Name, err)
+			st.logf("reload %s: %v (keeping previous version)", src.name, err)
 			continue
 		}
 		st.mu.Lock()
-		st.entries[src.Name] = e
+		st.entries[src.name] = e
 		st.mu.Unlock()
-		st.logf("reloaded %s from %s (%d keys)", src.Name, src.Value, e.sum.Size())
+		st.logf("reloaded %s from %s (%s, %d elements)", src.name, src.path, e.be.Kind, e.be.Size())
 	}
 }
 
@@ -140,12 +202,15 @@ type axisMeta struct {
 }
 
 type summaryMeta struct {
-	Name          string     `json:"name"`
-	Path          string     `json:"path"`
-	Method        string     `json:"method"`
+	Name    string `json:"name"`
+	Path    string `json:"path"`
+	Backend string `json:"backend"`
+	// Method and Tau describe the sample construction; absent on
+	// deterministic backends.
+	Method        string     `json:"method,omitempty"`
+	Tau           float64    `json:"tau,omitempty"`
 	Size          int        `json:"size"`
 	Dims          int        `json:"dims"`
-	Tau           float64    `json:"tau"`
 	TotalEstimate float64    `json:"total_estimate"`
 	Axes          []axisMeta `json:"axes"`
 	LoadedAt      time.Time  `json:"loaded_at"`
@@ -157,8 +222,8 @@ type summaryMeta struct {
 }
 
 func (e *entry) meta() summaryMeta {
-	axes := make([]axisMeta, len(e.sum.Axes))
-	for d, a := range e.sum.Axes {
+	axes := make([]axisMeta, len(e.be.Axes))
+	for d, a := range e.be.Axes {
 		am := axisMeta{Kind: a.Kind.String(), DomainSize: a.DomainSize()}
 		if a.Kind == structure.Explicit {
 			am.Leaves = a.Tree.NumLeaves()
@@ -167,14 +232,13 @@ func (e *entry) meta() summaryMeta {
 		}
 		axes[d] = am
 	}
-	return summaryMeta{
+	m := summaryMeta{
 		Name:          e.name,
 		Path:          e.path,
-		Method:        e.sum.Method.String(),
-		Size:          e.sum.Size(),
-		Dims:          len(e.sum.Axes),
-		Tau:           e.sum.Tau,
-		TotalEstimate: e.idx.EstimateTotal(),
+		Backend:       string(e.be.Kind),
+		Size:          e.be.Size(),
+		Dims:          len(e.be.Axes),
+		TotalEstimate: e.be.EstimateTotal(),
 		Axes:          axes,
 		LoadedAt:      e.loadedAt,
 		Bytes:         e.bytes,
@@ -182,6 +246,11 @@ func (e *entry) meta() summaryMeta {
 		Snapshot:      e.seq,
 		Pushed:        e.pushed,
 	}
+	if s := e.sample(); s != nil {
+		m.Method = s.Summary().Method.String()
+		m.Tau = s.Summary().Tau
+	}
+	return m
 }
 
 // estimateRequest is the batched POST body. Ranges use the textual
@@ -193,11 +262,28 @@ type estimateRequest struct {
 
 type estimateResponse struct {
 	Summary   string    `json:"summary"`
+	Backend   string    `json:"backend"`
 	Ranges    []string  `json:"ranges"`
 	Estimates []float64 `json:"estimates"`
 	// Total is the multi-range estimate over the union of the requested
-	// boxes (each sampled key counted once, as Summary.EstimateQuery).
+	// boxes (each retained key counted once, as Summary.EstimateQuery).
 	Total float64 `json:"total"`
+	// Confidence-interval fields, present on backends with per-estimate
+	// tail bounds (samples): the true weight lies within
+	// estimates[i] ± bounds[i] (and total ± total_bound) with probability
+	// at least confidence.
+	Confidence float64   `json:"confidence,omitempty"`
+	Bounds     []float64 `json:"bounds,omitempty"`
+	TotalBound float64   `json:"total_bound,omitempty"`
+}
+
+type quantileResponse struct {
+	Summary    string  `json:"summary"`
+	Backend    string  `json:"backend"`
+	Axis       int     `json:"axis"`
+	Phi        float64 `json:"phi"`
+	Coordinate uint64  `json:"coordinate"`
+	Range      string  `json:"range,omitempty"`
 }
 
 type representativesResponse struct {
@@ -224,7 +310,9 @@ type errorResponse struct {
 //	GET  /v1/summaries/{name}/total                total-weight estimate
 //	GET  /v1/summaries/{name}/estimate?range=...   one estimate per range param
 //	POST /v1/summaries/{name}/estimate             batched {"ranges": [...]}
+//	GET  /v1/summaries/{name}/quantile?axis=0&phi=0.5[&range=...]
 //	GET  /v1/summaries/{name}/representatives?range=...&limit=n
+//	GET  /v1/summaries/{name}/heavyhitters?range=...&k=10
 //	POST /v1/summaries/{name}/keys                 ingest keys (live summaries)
 //	POST /v1/summaries/{name}/snapshot             force a snapshot (live)
 func (st *store) handler() http.Handler {
@@ -235,7 +323,9 @@ func (st *store) handler() http.Handler {
 	mux.HandleFunc("GET /v1/summaries/{name}/total", st.withEntry(st.handleTotal))
 	mux.HandleFunc("GET /v1/summaries/{name}/estimate", st.withEntry(st.handleEstimateGet))
 	mux.HandleFunc("POST /v1/summaries/{name}/estimate", st.withEntry(st.handleEstimatePost))
+	mux.HandleFunc("GET /v1/summaries/{name}/quantile", st.withEntry(st.handleQuantile))
 	mux.HandleFunc("GET /v1/summaries/{name}/representatives", st.withEntry(st.handleRepresentatives))
+	mux.HandleFunc("GET /v1/summaries/{name}/heavyhitters", st.withEntry(st.handleHeavyHitters))
 	mux.HandleFunc("POST /v1/summaries/{name}/keys", st.withLive(st.handlePushKeys))
 	mux.HandleFunc("POST /v1/summaries/{name}/snapshot", st.withLive(st.handleForceSnapshot))
 	return mux
@@ -284,7 +374,7 @@ func (st *store) handleList(w http.ResponseWriter, _ *http.Request) {
 	st.mu.RLock()
 	metas := make([]summaryMeta, 0, len(st.entries))
 	for _, src := range st.sources {
-		if e, ok := st.entries[src.Name]; ok {
+		if e, ok := st.entries[src.name]; ok {
 			metas = append(metas, e.meta())
 		}
 	}
@@ -302,14 +392,20 @@ func (st *store) handleMeta(w http.ResponseWriter, _ *http.Request, e *entry) {
 }
 
 func (st *store) handleTotal(w http.ResponseWriter, _ *http.Request, e *entry) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"summary":  e.name,
-		"estimate": e.idx.EstimateTotal(),
-	})
+		"backend":  string(e.be.Kind),
+		"estimate": e.be.EstimateTotal(),
+	}
+	if b, ok := e.be.Estimator.(backend.Bounder); ok {
+		resp["confidence"] = serveConfidence
+		resp["bound"] = b.EstimateBound(e.be.EstimateTotal(), 1-serveConfidence)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// maxRangesPerRequest bounds batched estimate requests: each range costs an
-// index traversal, so an unbounded batch would let one request monopolize
+// maxRangesPerRequest bounds batched estimate requests: each range costs a
+// summary traversal, so an unbounded batch would let one request monopolize
 // the server.
 const maxRangesPerRequest = 1024
 
@@ -332,7 +428,7 @@ func parseBoxes(texts []string, e *entry) ([]structure.Range, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := box.Check(e.sum.Axes); err != nil {
+		if err := box.Check(e.be.Axes); err != nil {
 			return nil, err
 		}
 		boxes[i] = box
@@ -340,15 +436,34 @@ func parseBoxes(texts []string, e *entry) ([]structure.Range, error) {
 	return boxes, nil
 }
 
-// estimate answers one batched estimate request from the shared index.
+// estimate answers one batched estimate request through the Estimator
+// contract, taking the backend's batch fast path when it has one and
+// attaching confidence bounds when it can prove them.
 func estimate(e *entry, texts []string, boxes []structure.Range) estimateResponse {
-	resp := estimateResponse{Summary: e.name, Ranges: texts}
-	if len(boxes) == 1 {
+	resp := estimateResponse{Summary: e.name, Backend: string(e.be.Kind), Ranges: texts}
+	switch {
+	case len(boxes) == 1:
 		// The union of one box is that box; one traversal answers both.
-		resp.Estimates = []float64{e.idx.EstimateRange(boxes[0])}
+		resp.Estimates = []float64{e.be.EstimateRange(boxes[0])}
 		resp.Total = resp.Estimates[0]
-	} else {
-		resp.Estimates, resp.Total = e.idx.EstimateRanges(structure.Query(boxes))
+	default:
+		if batch, ok := e.be.Estimator.(backend.BatchEstimator); ok {
+			resp.Estimates, resp.Total = batch.EstimateRanges(structure.Query(boxes))
+		} else {
+			resp.Estimates = make([]float64, len(boxes))
+			for i, b := range boxes {
+				resp.Estimates[i] = e.be.EstimateRange(b)
+			}
+			resp.Total = e.be.EstimateQuery(structure.Query(boxes))
+		}
+	}
+	if b, ok := e.be.Estimator.(backend.Bounder); ok {
+		resp.Confidence = serveConfidence
+		resp.Bounds = make([]float64, len(resp.Estimates))
+		for i, est := range resp.Estimates {
+			resp.Bounds[i] = b.EstimateBound(est, 1-serveConfidence)
+		}
+		resp.TotalBound = b.EstimateBound(resp.Total, 1-serveConfidence)
 	}
 	return resp
 }
@@ -400,7 +515,66 @@ func (st *store) handleEstimatePost(w http.ResponseWriter, r *http.Request, e *e
 	writeJSON(w, http.StatusOK, estimate(e, req.Ranges, boxes))
 }
 
+// handleQuantile answers GET .../quantile?axis=0&phi=0.5[&range=...]: the
+// smallest coordinate on the axis holding at least phi of the (estimated)
+// weight, optionally restricted to one box. A region the backend estimates
+// as empty is a 409 (there is no quantile to report), not a 500.
+func (st *store) handleQuantile(w http.ResponseWriter, r *http.Request, e *entry) {
+	qt, ok := e.be.Estimator.(backend.Quantiler)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "backend %s does not support quantiles", e.be.Kind)
+		return
+	}
+	q := r.URL.Query()
+	phi, err := strconv.ParseFloat(q.Get("phi"), 64)
+	if err != nil || phi < 0 || phi > 1 {
+		writeError(w, http.StatusBadRequest, "phi must be a number in [0,1]")
+		return
+	}
+	axis := 0
+	if s := q.Get("axis"); s != "" {
+		axis, err = strconv.Atoi(s)
+		if err != nil || axis < 0 || axis >= len(e.be.Axes) {
+			writeError(w, http.StatusBadRequest, "axis must be an integer in [0,%d)", len(e.be.Axes))
+			return
+		}
+	}
+	resp := quantileResponse{Summary: e.name, Backend: string(e.be.Kind), Axis: axis, Phi: phi}
+	var coord uint64
+	if texts := q["range"]; len(texts) > 0 {
+		if len(texts) != 1 {
+			writeError(w, http.StatusBadRequest, "at most one range parameter is allowed")
+			return
+		}
+		boxes, perr := parseBoxes(texts, e)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, "%v", perr)
+			return
+		}
+		resp.Range = texts[0]
+		coord, err = qt.QuantileInRange(axis, phi, boxes[0])
+	} else {
+		coord, err = qt.Quantile(axis, phi)
+	}
+	if errors.Is(err, backend.ErrNoMass) {
+		writeError(w, http.StatusConflict, "the selected region holds no estimated weight")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp.Coordinate = coord
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (st *store) handleRepresentatives(w http.ResponseWriter, r *http.Request, e *entry) {
+	rep, ok := e.be.Estimator.(backend.RepresentativeKeyer)
+	if !ok {
+		writeError(w, http.StatusNotImplemented,
+			"backend %s retains no keys; representatives require a sample backend", e.be.Kind)
+		return
+	}
 	q := r.URL.Query()
 	texts := q["range"]
 	if len(texts) != 1 {
@@ -420,18 +594,72 @@ func (st *store) handleRepresentatives(w http.ResponseWriter, r *http.Request, e
 			return
 		}
 	}
-	keys, ws := e.idx.RepresentativeKeys(boxes[0], limit)
-	if keys == nil {
-		keys = [][]uint64{}
-	}
-	if ws == nil {
-		ws = []float64{}
-	}
+	keys, ws := rep.RepresentativeKeys(boxes[0], limit)
 	writeJSON(w, http.StatusOK, representativesResponse{
 		Summary:         e.name,
 		Range:           texts[0],
 		Count:           len(keys),
-		Keys:            keys,
-		AdjustedWeights: ws,
+		Keys:            emptyIfNilKeys(keys),
+		AdjustedWeights: emptyIfNilWeights(ws),
 	})
+}
+
+// defaultHeavyHitters is the k applied when the query omits one.
+const defaultHeavyHitters = 10
+
+// handleHeavyHitters answers GET .../heavyhitters?range=...&k=n: the k
+// retained keys of largest adjusted weight inside the box, heaviest first —
+// the representatives endpoint ranked by weight instead of key order.
+func (st *store) handleHeavyHitters(w http.ResponseWriter, r *http.Request, e *entry) {
+	hh, ok := e.be.Estimator.(backend.HeavyHitter)
+	if !ok {
+		writeError(w, http.StatusNotImplemented,
+			"backend %s retains no keys; heavy hitters require a sample backend", e.be.Kind)
+		return
+	}
+	q := r.URL.Query()
+	texts := q["range"]
+	if len(texts) != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one range parameter is required")
+		return
+	}
+	boxes, err := parseBoxes(texts, e)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := defaultHeavyHitters
+	if s := q.Get("k"); s != "" {
+		k, err = strconv.Atoi(s)
+		if err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+	}
+	keys, ws := hh.HeavyHitters(boxes[0], k)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"summary":          e.name,
+		"backend":          string(e.be.Kind),
+		"range":            texts[0],
+		"k":                k,
+		"count":            len(keys),
+		"keys":             emptyIfNilKeys(keys),
+		"adjusted_weights": emptyIfNilWeights(ws),
+	})
+}
+
+// emptyIfNilKeys and emptyIfNilWeights keep empty selections as [] in JSON
+// rather than null.
+func emptyIfNilKeys(keys [][]uint64) [][]uint64 {
+	if keys == nil {
+		return [][]uint64{}
+	}
+	return keys
+}
+
+func emptyIfNilWeights(ws []float64) []float64 {
+	if ws == nil {
+		return []float64{}
+	}
+	return ws
 }

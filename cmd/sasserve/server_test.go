@@ -12,7 +12,6 @@ import (
 	"sync"
 	"testing"
 
-	"structaware/internal/cliutil"
 	"structaware/internal/core"
 	"structaware/internal/structure"
 	"structaware/internal/xmath"
@@ -62,7 +61,7 @@ func testServer(t *testing.T, sum *core.Summary) (*httptest.Server, *store, stri
 	dir := t.TempDir()
 	path := filepath.Join(dir, "net.sas")
 	writeSummary(t, path, sum)
-	st := newStore([]cliutil.Assignment{{Name: "net", Value: path}}, t.Logf)
+	st := newStore([]serveSource{{name: "net", path: path}}, t.Logf)
 	if err := st.loadAll(); err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +331,7 @@ func TestMultipleSummaries(t *testing.T) {
 	pa, pb := filepath.Join(dir, "a.sas"), filepath.Join(dir, "b.sas")
 	writeSummary(t, pa, a)
 	writeSummary(t, pb, b)
-	st := newStore([]cliutil.Assignment{{Name: "a", Value: pa}, {Name: "b", Value: pb}}, t.Logf)
+	st := newStore([]serveSource{{name: "a", path: pa}, {name: "b", path: pb}}, t.Logf)
 	if err := st.loadAll(); err != nil {
 		t.Fatal(err)
 	}

@@ -147,6 +147,47 @@ func ExampleMergeSummaries() {
 	// population A estimate within 5%: true
 }
 
+// ExampleSummary_Quantile estimates order statistics straight from the
+// sample — no extra structure needed. With Size ≥ the number of keys the
+// sample retains everything at its original weight, so the quantiles here
+// are exact; smaller samples estimate them.
+func ExampleSummary_Quantile() {
+	axes := []structaware.Axis{structaware.OrderedAxis(10)} // keys 0..1023
+	b, err := structaware.NewBuilder(axes, structaware.Config{Size: 1000, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for key := uint64(0); key < 1000; key++ {
+		if err := b.Push([]uint64{key}, 1); err != nil {
+			panic(err)
+		}
+	}
+	sum, err := b.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	median, err := sum.Quantile(0, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	p90, err := sum.Quantile(0, 0.9)
+	if err != nil {
+		panic(err)
+	}
+	// Restrict to the top half of the domain: the conditional median.
+	upper, err := sum.QuantileInRange(0, 0.5, structaware.Range{{Lo: 500, Hi: 999}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("median: %d\n", median)
+	fmt.Printf("p90: %d\n", p90)
+	fmt.Printf("median of keys >= 500: %d\n", upper)
+	// Output:
+	// median: 499
+	// p90: 899
+	// median of keys >= 500: 749
+}
+
 // ExampleSummary_Index compiles a summary into an IndexedSummary — the
 // serving-side structure behind cmd/sasserve — whose estimates are
 // bit-for-bit identical to the linear scan but run in O(log s + answer).

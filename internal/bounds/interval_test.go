@@ -1,0 +1,84 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateIntervalBrackets(t *testing.T) {
+	const tau, delta = 10.0, 0.025
+	for _, est := range []float64{1, 5, 50, 1000, 1e6} {
+		lo, hi := EstimateInterval(est, tau, delta)
+		if !(lo <= est && est <= hi) {
+			t.Fatalf("est=%v: interval [%v, %v] does not contain the estimate", est, lo, hi)
+		}
+		if lo < 0 {
+			t.Fatalf("est=%v: negative lower endpoint %v", est, lo)
+		}
+		// Weights strictly inside the interval are not rejected: their tail
+		// probability of producing this estimate stays above delta.
+		for _, w := range []float64{lo + 0.25*(est-lo), est, est + 0.75*(hi-est)} {
+			if w <= 0 || w == est {
+				continue
+			}
+			if p := EstimateTail(w, est, tau); p < delta {
+				t.Fatalf("est=%v: interior weight %v rejected (tail %v < %v)", est, w, p, delta)
+			}
+		}
+		// Weights clearly outside are rejected on both sides.
+		if w := lo / 2; w > 0 {
+			if p := EstimateTail(w, est, tau); p >= delta {
+				t.Fatalf("est=%v: weight %v below lo=%v not rejected (tail %v)", est, w, lo, p)
+			}
+		}
+		if p := EstimateTail(2*hi, est, tau); p >= delta {
+			t.Fatalf("est=%v: weight %v above hi=%v not rejected (tail %v)", est, 2*hi, hi, p)
+		}
+	}
+}
+
+func TestEstimateIntervalZeroEstimate(t *testing.T) {
+	const tau, delta = 10.0, 0.05
+	lo, hi := EstimateInterval(0, tau, delta)
+	if lo != 0 {
+		t.Fatalf("lo = %v, want 0", lo)
+	}
+	want := tau * math.Log(1/delta)
+	if math.Abs(hi-want) > 1e-9 {
+		t.Fatalf("hi = %v, want %v", hi, want)
+	}
+}
+
+func TestEstimateIntervalExhaustiveSample(t *testing.T) {
+	// tau == 0 means nothing was dropped: the estimate is exact.
+	lo, hi := EstimateInterval(42, 0, 0.05)
+	if lo != 42 || hi != 42 {
+		t.Fatalf("interval [%v, %v], want degenerate [42, 42]", lo, hi)
+	}
+	if b := EstimateBound(42, 0, 0.05); b != 0 {
+		t.Fatalf("bound = %v, want 0", b)
+	}
+}
+
+func TestEstimateIntervalWidthShrinksWithTau(t *testing.T) {
+	// Smaller tau = bigger sample = tighter interval.
+	const est, delta = 1000.0, 0.05
+	prev := math.Inf(1)
+	for _, tau := range []float64{100, 10, 1} {
+		lo, hi := EstimateInterval(est, tau, delta)
+		width := hi - lo
+		if width <= 0 || width >= prev {
+			t.Fatalf("tau=%v: width %v not shrinking (prev %v)", tau, width, prev)
+		}
+		prev = width
+	}
+}
+
+func TestEstimateBoundCoversInterval(t *testing.T) {
+	const est, tau, delta = 500.0, 20.0, 0.05
+	b := EstimateBound(est, tau, delta)
+	lo, hi := EstimateInterval(est, tau, delta/2)
+	if b < hi-est || b < est-lo {
+		t.Fatalf("bound %v does not cover [%v, %v] around %v", b, lo, hi, est)
+	}
+}

@@ -316,13 +316,6 @@ func splitZ(zs []uint64, lo, hi, maxDepth, depth int) int {
 	return lo + sort.Search(hi-lo, func(k int) bool { return zs[lo+k]&bit != 0 })
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Size returns the number of stored nodes.
 func (d *Digest2D) Size() int { return len(d.Nodes) }
 

@@ -117,7 +117,7 @@ func (iv Interval) Overlaps(o Interval) bool { return iv.Lo <= o.Hi && o.Lo <= i
 
 // Intersect returns the intersection and whether it is non-empty.
 func (iv Interval) Intersect(o Interval) (Interval, bool) {
-	lo, hi := max64(iv.Lo, o.Lo), min64(iv.Hi, o.Hi)
+	lo, hi := max(iv.Lo, o.Lo), min(iv.Hi, o.Hi)
 	if lo > hi {
 		return Interval{}, false
 	}
@@ -295,18 +295,4 @@ func (d *Dataset) FullRange() Range {
 		r[dim] = Interval{0, a.DomainSize() - 1}
 	}
 	return r
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -115,27 +115,13 @@ func integral1D(lo, hi uint64, l int, k uint32, bits int) float64 {
 	start := uint64(k) * s
 	half := s >> 1
 	ov := func(a, b uint64) float64 { // overlap of [lo,hi] with [a,b)
-		x, y := maxU(lo, a), minU(hi, b-1)
+		x, y := max(lo, a), min(hi, b-1)
 		if x > y {
 			return 0
 		}
 		return float64(y - x + 1)
 	}
 	return (ov(start, start+half) - ov(start+half, start+s)) / math.Sqrt(float64(s))
-}
-
-func maxU(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minU(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Build2D computes the sparse 2-D Haar transform of the weighted keys and
@@ -322,13 +308,26 @@ func accumulateRange(xs, ys []uint64, ws []float64, bitsX, bitsY, lo, hi int) ma
 // Size returns the number of retained coefficients.
 func (s *Summary2D) Size() int { return len(s.Coeffs) }
 
+// sortedKeys returns the coefficient keys in ascending order. Estimates are
+// served concurrently and compared bit-for-bit across processes, so the
+// float summation order must not depend on Go's randomized map iteration.
+func (s *Summary2D) sortedKeys() []uint64 {
+	keys := make([]uint64, 0, len(s.Coeffs))
+	for key := range s.Coeffs {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
 // EstimateRange estimates the weight in the box via an O(Size) coefficient
 // scan with exact basis integrals.
 func (s *Summary2D) EstimateRange(r structure.Range) float64 {
 	x1, x2 := r[0].Lo, r[0].Hi
 	y1, y2 := r[1].Lo, r[1].Hi
 	var sum float64
-	for key, c := range s.Coeffs {
+	for _, key := range s.sortedKeys() {
+		c := s.Coeffs[key]
 		id := unpackCoeff(key)
 		ix := integral1D(x1, x2, int(id.LX), id.KX, s.BitsX)
 		if ix == 0 {
@@ -446,9 +445,14 @@ func Build1D(xs []uint64, ws []float64, bits, keep int) (*Summary1D, error) {
 
 // EstimateInterval estimates the weight in [lo, hi].
 func (s *Summary1D) EstimateInterval(lo, hi uint64) float64 {
+	ids := make([]CoeffID, 0, len(s.Coeffs))
+	for id := range s.Coeffs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a].pack() < ids[b].pack() })
 	var sum float64
-	for id, c := range s.Coeffs {
-		sum += c * integral1D(lo, hi, int(id.LX), id.KX, s.Bits)
+	for _, id := range ids {
+		sum += s.Coeffs[id] * integral1D(lo, hi, int(id.LX), id.KX, s.Bits)
 	}
 	return sum
 }

@@ -9,6 +9,10 @@
 //
 //	go test -run '^$' -bench <pattern> -benchmem . | benchjson -pr 4 \
 //	    -before scripts/bench_baseline_pr4.json -out BENCH_PR4.json
+//
+// -backends embeds a `sasbench -backends` comparison document under the
+// report's "backends" key, so one file carries both the micro-benchmark
+// trajectory and the cross-backend accuracy/throughput evidence.
 package main
 
 import (
@@ -39,6 +43,9 @@ type Report struct {
 	Note   string             `json:"note,omitempty"`
 	Before map[string]Metrics `json:"before,omitempty"`
 	After  map[string]Metrics `json:"after"`
+	// Backends embeds the head-to-head backend comparison written by
+	// `sasbench -backends` (an expt.BackendsReport), verbatim.
+	Backends json.RawMessage `json:"backends,omitempty"`
 }
 
 func main() {
@@ -46,6 +53,7 @@ func main() {
 	before := flag.String("before", "", "baseline JSON (flat name->metrics map, or a prior report whose 'after' is used)")
 	out := flag.String("out", "", "output path (default stdout)")
 	note := flag.String("note", "", "free-form provenance note")
+	backends := flag.String("backends", "", "sasbench -backends JSON to embed in the report")
 	flag.Parse()
 
 	rep := Report{PR: *pr, Note: *note, After: map[string]Metrics{}}
@@ -78,6 +86,16 @@ func main() {
 			fatal(err)
 		}
 		rep.Before = base
+	}
+	if *backends != "" {
+		raw, err := os.ReadFile(*backends)
+		if err != nil {
+			fatal(err)
+		}
+		if !json.Valid(raw) {
+			fatal(fmt.Errorf("%s: not valid JSON", *backends))
+		}
+		rep.Backends = json.RawMessage(raw)
 	}
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
