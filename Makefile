@@ -55,10 +55,15 @@ QUERYBENCHTIME ?= 1s
 BACKENDSCALE ?= 0.05
 BACKENDSIZE ?= 1000
 
-# Record the benchmark trajectory: run the key build/query benchmarks plus
-# the head-to-head backend comparison (sasbench -backends) and emit
-# BENCH_PR6.json (before = the previous PR's recorded numbers, after =
-# this run, backends = the embedded comparison document).
+# Time budget for the ingest-plane benchmarks (each iteration streams 2^18
+# keys through a socket or HTTP server; 2s gives stable keys/s).
+INGESTBENCHTIME ?= 2s
+
+# Record the benchmark trajectory: run the key build/query benchmarks, the
+# ingest-plane transport benchmarks, and the head-to-head backend comparison
+# (sasbench -backends), and emit BENCH_PR7.json (before = the previous PR's
+# recorded numbers, after = this run, backends = the embedded comparison
+# document).
 bench-json:
 	$(GO) run ./cmd/sasbench -backends /tmp/sas_backends.json \
 		-scale $(BACKENDSCALE) -backend-size $(BACKENDSIZE)
@@ -66,11 +71,13 @@ bench-json:
 		-bench '^BenchmarkBuilderPush$$|^BenchmarkBuilderPushBatch$$|^BenchmarkBuilderSnapshot$$|^BenchmarkSerialSample$$|^BenchmarkParallelSample$$/workers=4' \
 		-benchmem -benchtime $(BENCHTIME) . && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkIndexedEstimateRange$$' \
-		-benchmem -benchtime $(QUERYBENCHTIME) . ) \
-	| $(GO) run ./scripts/benchjson -pr 6 \
-		-before BENCH_PR5.json -backends /tmp/sas_backends.json \
-		-out BENCH_PR6.json
-	@echo wrote BENCH_PR6.json
+		-benchmem -benchtime $(QUERYBENCHTIME) . && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkIngest' \
+		-benchmem -benchtime $(INGESTBENCHTIME) ./cmd/sasserve ) \
+	| $(GO) run ./scripts/benchjson -pr 7 \
+		-before BENCH_PR6.json -backends /tmp/sas_backends.json \
+		-out BENCH_PR7.json
+	@echo wrote BENCH_PR7.json
 
 smoke-serve:
 	./scripts/smoke_sasserve.sh

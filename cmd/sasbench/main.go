@@ -7,6 +7,7 @@
 //	sasbench -exp fig2a [-scale 0.1] [-queries 50] [-seed 1] [-o out.tsv]
 //	sasbench -exp all -scale 0.05
 //	sasbench -backends backends.json [-backend-size 1000] [-scale 0.05]
+//	sasbench -ingest 127.0.0.1:9401 -ingest-name flows [-ingest-keys 1000000]
 //	sasbench -list
 //
 // Scale 1.0 reproduces the paper's dataset cardinalities (196K network
@@ -20,18 +21,30 @@
 // and max relative error against exact answers plus single-threaded query
 // throughput — written as JSON (see internal/expt.BackendsReport).
 // `make bench-json` embeds this document in the recorded trajectory.
+//
+// -ingest floods a sasserve -ingest-listen socket (host:port or
+// unix:/path) with binary frames of seeded synthetic keys and reports the
+// server-acknowledged throughput. It doubles as a load generator for the
+// smoke script's back-pressure probe.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"structaware/internal/cliutil"
 	"structaware/internal/expt"
+	"structaware/internal/wire"
+	"structaware/internal/xmath"
 )
 
 func main() {
@@ -45,6 +58,12 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker cap for the 'par' experiment (0 = all CPUs)")
 		backends = flag.String("backends", "", "write the head-to-head backend comparison as JSON to this file ('-' = stdout)")
 		beSize   = flag.Int("backend-size", 1000, "element budget per backend in the -backends comparison")
+		ingest   = flag.String("ingest", "", "flood a sasserve ingest socket (host:port or unix:/path) with binary frames")
+		ingName  = flag.String("ingest-name", "flows", "live summary name to push to in -ingest mode")
+		ingKeys  = flag.Int("ingest-keys", 1_000_000, "total keys to push in -ingest mode")
+		ingBatch = flag.Int("ingest-batch", 4096, "keys per frame in -ingest mode")
+		ingDims  = flag.Int("ingest-dims", 2, "coordinate dimensions in -ingest mode")
+		ingBits  = flag.Int("ingest-bits", 12, "bits per coordinate in -ingest mode")
 	)
 	flag.Parse()
 	tool := cliutil.New("sasbench")
@@ -60,7 +79,15 @@ func main() {
 		cliutil.Positive("-queries", *queries),
 		cliutil.NonNegative("-workers", *workers),
 		cliutil.Positive("-backend-size", *beSize),
+		cliutil.Positive("-ingest-keys", *ingKeys),
+		cliutil.Positive("-ingest-batch", *ingBatch),
+		cliutil.Positive("-ingest-dims", *ingDims),
+		cliutil.Positive("-ingest-bits", *ingBits),
 	))
+	if *ingest != "" {
+		tool.Check(runIngest(*ingest, *ingName, *ingKeys, *ingBatch, *ingDims, *ingBits, *seed))
+		return
+	}
 	if *backends != "" {
 		opts := expt.Options{Scale: *scale, Queries: *queries, Seed: *seed}
 		rep, err := expt.CompareBackends(opts, *beSize)
@@ -109,4 +136,124 @@ func main() {
 	if f != nil {
 		tool.Check(f.Close())
 	}
+}
+
+// runIngest pushes n seeded heavy-tailed keys to a sasserve ingest endpoint
+// in binary frames and prints the server-acknowledged rate. A host:port or
+// unix:/path address targets the raw -ingest-listen socket, whose
+// back-pressure means the reported keys/s is end-to-end ingest throughput;
+// an http:// base URL posts the same frames to /v1/summaries/{name}/keys,
+// honoring 429 + Retry-After by backing off and resending.
+func runIngest(addr, name string, n, batch, dims, bits int, seed uint64) error {
+	gen := newKeyGen(seed, dims, bits, batch)
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return runIngestHTTP(addr, name, n, gen)
+	}
+	c, err := wire.Dial(addr, name)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	start := time.Now()
+	for sent := 0; sent < n; sent += gen.batch {
+		cols, ws := gen.next(min(gen.batch, n-sent))
+		if err := c.Send(cols, ws); err != nil {
+			return err
+		}
+	}
+	stats, err := c.Close()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("ingest %s: %d keys in %d frames, weight %.6g, %v (%.0f keys/s)\n",
+		stats.Summary, stats.Keys, stats.Frames, gen.total,
+		elapsed.Round(time.Millisecond), float64(stats.Keys)/elapsed.Seconds())
+	return nil
+}
+
+// runIngestHTTP posts the generated stream as application/x-sas-frame
+// bodies, retrying each frame on 429 after the advertised Retry-After.
+func runIngestHTTP(base, name string, n int, gen *keyGen) error {
+	url := strings.TrimRight(base, "/") + "/v1/summaries/" + name + "/keys"
+	keys, frames, retries := 0, 0, 0
+	start := time.Now()
+	for sent := 0; sent < n; sent += gen.batch {
+		rows := min(gen.batch, n-sent)
+		cols, ws := gen.next(rows)
+		frame, err := wire.AppendFrame(nil, cols, ws)
+		if err != nil {
+			return err
+		}
+		for {
+			resp, err := http.Post(url, wire.ContentType, bytes.NewReader(frame))
+			if err != nil {
+				return err
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				retries++
+				wait := time.Second
+				if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+					wait = time.Duration(s) * time.Second
+				}
+				time.Sleep(wait)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+			}
+			break
+		}
+		keys += rows
+		frames++
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("ingest %s: %d keys in %d frames (%d retried), weight %.6g, %v (%.0f keys/s)\n",
+		name, keys, frames, retries, gen.total,
+		elapsed.Round(time.Millisecond), float64(keys)/elapsed.Seconds())
+	return nil
+}
+
+// keyGen produces seeded heavy-tailed batches over a [0, 2^bits)^dims
+// domain, reusing its column buffers across calls.
+type keyGen struct {
+	r      *xmath.SplitMix
+	domain uint64
+	batch  int
+	coords [][]uint64
+	cols   [][]uint64
+	ws     []float64
+	total  float64
+}
+
+func newKeyGen(seed uint64, dims, bits, batch int) *keyGen {
+	g := &keyGen{
+		r:      xmath.NewRand(seed),
+		domain: uint64(1) << bits,
+		batch:  batch,
+		coords: make([][]uint64, dims),
+		cols:   make([][]uint64, dims),
+		ws:     make([]float64, batch),
+	}
+	for d := range g.coords {
+		g.coords[d] = make([]uint64, batch)
+	}
+	return g
+}
+
+func (g *keyGen) next(rows int) ([][]uint64, []float64) {
+	for i := 0; i < rows; i++ {
+		for d := range g.coords {
+			g.coords[d][i] = g.r.Uint64() % g.domain
+		}
+		w := math.Pow(1-g.r.Float64(), -0.6)
+		g.ws[i] = w
+		g.total += w
+	}
+	for d := range g.cols {
+		g.cols[d] = g.coords[d][:rows]
+	}
+	return g.cols, g.ws[:rows]
 }

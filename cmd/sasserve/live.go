@@ -1,53 +1,88 @@
 package main
 
 // live.go is the write side of sasserve: named live summaries accept
-// weighted keys over HTTP into a long-lived core.Builder — the paper's
-// bounded-memory mergeable stream sample — and periodically publish
-// immutable snapshots (Builder.Snapshot → Summary.Index) into the same
-// serving map the file-backed summaries use. The read path never changes:
-// a snapshot rotation compiles a fully-formed index off to the side and
-// swaps the whole entry under the store lock, exactly like a SIGHUP
-// reload, so concurrent queries see either the previous epoch or the new
-// one, never a partial index.
+// weighted keys — over HTTP (JSON, NDJSON, or binary frames; see ingest.go)
+// and over the raw ingest socket (socket.go) — into long-lived core.Builders
+// and periodically publish immutable snapshots into the same serving map the
+// file-backed summaries use. The read path never changes: a snapshot
+// rotation compiles a fully-formed index off to the side and swaps the whole
+// entry under the store lock, exactly like a SIGHUP reload, so concurrent
+// queries see either the previous epoch or the new one, never a partial
+// index.
+//
+// Ingestion is parallel and explicitly bounded. Each live summary runs N
+// per-core shards (-live-shards, default GOMAXPROCS), each a fully
+// independent Builder behind a bounded frame queue drained by its own worker
+// goroutine. Accepted batches are routed round-robin, so every key enters
+// exactly one shard: the shard streams partition the population, which is
+// precisely the disjointness precondition of the paper's mergeable samples —
+// at rotation time the shard snapshots are combined with core.MergeSummaries
+// and the published summary's Horvitz–Thompson estimates stay unbiased for
+// the whole stream. When a shard queue is full the transport pushes back
+// instead of buffering without bound: the HTTP endpoint answers 429 with a
+// Retry-After hint, the socket listener stops reading and lets the
+// transport's flow control stall the sender.
 //
 // With -snapshot-dir set, every published snapshot is also persisted as a
 // numbered SAS2 file (written to a temp name, then renamed, so a crash
 // never leaves a torn file) and the newest one is recovered on startup.
 // The recovered summary covers the pre-restart stream and the restarted
-// Builder covers the post-restart stream — disjoint populations — so each
-// rotation merges the two with core.MergeSummaries, keeping estimates
+// builders cover the post-restart stream — disjoint populations — so each
+// rotation merges them with core.MergeSummaries, keeping estimates
 // unbiased across restarts.
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
-	"mime"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"structaware/internal/backend"
 	"structaware/internal/cliutil"
 	"structaware/internal/core"
-	"structaware/internal/ipps"
 	"structaware/internal/structure"
 )
 
 // liveConfig is the configuration shared by every live summary.
 type liveConfig struct {
 	size     int           // target sample size of each published snapshot
-	buffer   int           // builder reservoir capacity in keys (0 = 5×size)
-	seed     uint64        // construction seed
+	buffer   int           // per-shard builder reservoir in keys (0 = 5×size)
+	seed     uint64        // construction seed (shard i uses seed+i)
 	dir      string        // snapshot persistence directory ("" = in-memory only)
 	interval time.Duration // automatic rotation period (0 = manual snapshots only)
+	shards   int           // parallel builders per summary (0 = GOMAXPROCS)
+	queue    int           // per-shard pending-batch queue cap (0 = defaultIngestQueue)
+}
+
+// defaultIngestQueue is the per-shard pending-batch cap applied when
+// liveConfig.queue is 0: enough to keep a worker busy across transport
+// jitter, small enough that a stalled worker surfaces as backpressure
+// (429 / socket flow control) in well under a second, not as unbounded
+// memory.
+const defaultIngestQueue = 64
+
+func (lc liveConfig) shardCount() int {
+	if lc.shards <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return lc.shards
+}
+
+func (lc liveConfig) queueCap() int {
+	if lc.queue <= 0 {
+		return defaultIngestQueue
+	}
+	return lc.queue
 }
 
 // keepSnapshots is how many persisted snapshot files are retained per live
@@ -58,30 +93,140 @@ const keepSnapshots = 3
 // has been pushed (and with no recovered snapshot to fall back on).
 var errNoLiveData = errors.New("live summary has no data yet")
 
-// liveSummary is one writable summary. mu guards the builder and the
-// ingestion counters; rotMu serializes rotations (ticker, forced, and the
-// shutdown flush) so concurrent rotations cannot publish out of order.
-// The builder is only ever held under mu for O(buffer)-bounded operations
-// (PushBatch, Snapshot), so ingestion stalls are bounded regardless of how
-// long indexing or persistence of a rotation takes.
+// errIngestQueueFull reports a non-blocking enqueue against a full shard
+// queue — the HTTP 429 case.
+var errIngestQueueFull = errors.New("ingest queue is full")
+
+// errIngestStopped reports an enqueue after shutdown began.
+var errIngestStopped = errors.New("live ingestion has stopped")
+
+// ingestJob is one unit of shard-queue work: a batch to push, or (batch ==
+// nil) a flush marker whose done channel closes once the worker reaches it —
+// queues are FIFO, so a completed marker proves every batch enqueued before
+// it has been pushed into the builder.
+type ingestJob struct {
+	batch *ingestBatch
+	done  chan struct{}
+}
+
+// liveShard is one of a live summary's parallel ingestion lanes: an
+// independent Builder over its slice of the population, fed by one worker
+// goroutine draining a bounded queue. mu guards the builder; it is only
+// ever held for O(buffer)-bounded operations (PushBatch, Snapshot), so
+// ingestion stalls are bounded regardless of how long indexing or
+// persistence of a rotation takes.
+type liveShard struct {
+	mu sync.Mutex
+	b  *core.Builder
+	q  chan ingestJob
+}
+
+// liveSummary is one writable summary. rotMu serializes rotations (ticker,
+// forced, and the shutdown flush) so concurrent rotations cannot publish
+// out of order; mu guards the snapshot lineage (base, seq); qmu guards the
+// queue lifecycle (stopped excludes enqueues racing the queue close).
 type liveSummary struct {
 	name string
 	axes []structure.Axis
-	cfg  core.Config
+	cfg  core.Config // merge-time config; shard i builds with Seed+i
+
+	shards   []*liveShard
+	next     atomic.Uint64 // round-robin routing counter
+	accepted atomic.Int64  // keys accepted (queued or pushed) by this process
+	dirty    atomic.Bool   // keys accepted since the last published snapshot
 
 	rotMu sync.Mutex
 
-	mu     sync.Mutex
-	b      *core.Builder
-	base   *core.Summary // newest persisted snapshot of a previous process
-	pushed int64         // keys accepted over HTTP by this process
-	seq    uint64        // sequence number of the last published snapshot
-	dirty  bool          // keys pushed since the last published snapshot
+	mu   sync.Mutex
+	base *core.Summary // newest persisted snapshot of a previous process
+	seq  uint64        // sequence number of the last published snapshot
+
+	qmu     sync.RWMutex
+	stopped bool
+}
+
+// enqueue routes one validated batch to the next shard round-robin and
+// hands it to that shard's worker, transferring ownership of the batch.
+// block selects the transport's backpressure discipline: the HTTP handler
+// passes false and maps errIngestQueueFull to a 429, the socket listener
+// passes true so a full queue stalls the read loop and the transport's own
+// flow control throttles the sender.
+func (ls *liveSummary) enqueue(b *ingestBatch, block bool) error {
+	ls.qmu.RLock()
+	defer ls.qmu.RUnlock()
+	if ls.stopped {
+		return errIngestStopped
+	}
+	sh := ls.shards[ls.next.Add(1)%uint64(len(ls.shards))]
+	job := ingestJob{batch: b}
+	if block {
+		sh.q <- job
+	} else {
+		select {
+		case sh.q <- job:
+		default:
+			return errIngestQueueFull
+		}
+	}
+	ls.accepted.Add(int64(b.Rows()))
+	ls.dirty.Store(true)
+	return nil
+}
+
+// quiesce blocks until every batch accepted before the call has been
+// pushed into its shard's builder, by riding a flush marker down each FIFO
+// queue. After closeLive the workers have already drained and exited, so
+// quiesce is a no-op.
+func (ls *liveSummary) quiesce() {
+	ls.qmu.RLock()
+	if ls.stopped {
+		ls.qmu.RUnlock()
+		return
+	}
+	dones := make([]chan struct{}, len(ls.shards))
+	for i, sh := range ls.shards {
+		dones[i] = make(chan struct{})
+		sh.q <- ingestJob{done: dones[i]}
+	}
+	ls.qmu.RUnlock()
+	for _, done := range dones {
+		<-done
+	}
+}
+
+// snapSeq returns the sequence number of the last published snapshot.
+func (ls *liveSummary) snapSeq() uint64 {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.seq
+}
+
+// shardWorker is a shard's drain loop: pop a job, push it into the builder,
+// recycle the batch. It exits when closeLive closes the queue, after
+// draining every remaining job. Batches are fully validated before they are
+// accepted, so a push failure here is an internal invariant break, logged
+// rather than silently swallowed.
+func (st *store) shardWorker(ls *liveSummary, sh *liveShard) {
+	defer st.liveWG.Done()
+	for job := range sh.q {
+		if job.batch == nil {
+			close(job.done)
+			continue
+		}
+		sh.mu.Lock()
+		err := sh.b.PushBatch(job.batch.Coords, job.batch.Weights)
+		sh.mu.Unlock()
+		if err != nil {
+			st.logf("live %q: push of an accepted batch failed: %v", ls.name, err)
+		}
+		job.batch.release()
+	}
 }
 
 // initLive creates the live summaries (after loadAll: recovery installs
-// serving entries into the loaded map). Specs pair each name with a textual
-// axis description, e.g. net=bittrie:32,bittrie:32.
+// serving entries into the loaded map) and starts their shard workers.
+// Specs pair each name with a textual axis description, e.g.
+// net=bittrie:32,bittrie:32.
 func (st *store) initLive(specs []cliutil.Assignment, lc liveConfig) error {
 	if lc.dir != "" {
 		if err := os.MkdirAll(lc.dir, 0o755); err != nil {
@@ -95,21 +240,51 @@ func (st *store) initLive(specs []cliutil.Assignment, lc liveConfig) error {
 		if err != nil {
 			return fmt.Errorf("live summary %q: %w", sp.Name, err)
 		}
-		cfg := core.Config{Size: lc.size, Seed: lc.seed, Buffer: lc.buffer}
-		b, err := core.NewBuilder(axes, cfg)
-		if err != nil {
-			return fmt.Errorf("live summary %q: %w", sp.Name, err)
+		ls := &liveSummary{
+			name: sp.Name,
+			axes: axes,
+			cfg:  core.Config{Size: lc.size, Seed: lc.seed, Buffer: lc.buffer},
 		}
-		ls := &liveSummary{name: sp.Name, axes: axes, cfg: cfg, b: b}
+		for i := 0; i < lc.shardCount(); i++ {
+			cfg := core.Config{Size: lc.size, Seed: lc.seed + uint64(i), Buffer: lc.buffer}
+			b, err := core.NewBuilder(axes, cfg)
+			if err != nil {
+				return fmt.Errorf("live summary %q: %w", sp.Name, err)
+			}
+			ls.shards = append(ls.shards, &liveShard{b: b, q: make(chan ingestJob, lc.queueCap())})
+		}
 		if lc.dir != "" {
 			if err := st.recoverLive(ls); err != nil {
 				return err
 			}
 		}
+		for _, sh := range ls.shards {
+			st.liveWG.Add(1)
+			go st.shardWorker(ls, sh)
+		}
 		st.lives[sp.Name] = ls
 		st.liveOrder = append(st.liveOrder, sp.Name)
 	}
 	return nil
+}
+
+// closeLive stops ingestion for good: no new batches are accepted, the
+// shard workers drain their queues and exit. Callers stop the listeners
+// first; when closeLive returns, every acknowledged key is in a builder,
+// which is what makes the final rotation flush complete.
+func (st *store) closeLive() {
+	for _, name := range st.liveOrder {
+		ls := st.lives[name]
+		ls.qmu.Lock()
+		if !ls.stopped {
+			ls.stopped = true
+			for _, sh := range ls.shards {
+				close(sh.q)
+			}
+		}
+		ls.qmu.Unlock()
+	}
+	st.liveWG.Wait()
 }
 
 // recoverLive loads the newest loadable persisted snapshot of ls, if any:
@@ -163,45 +338,65 @@ func sameDomain(want, got []structure.Axis) error {
 	return nil
 }
 
-// rotate publishes a new snapshot of ls: snapshot the builder, merge with
-// the recovered base when one exists, compile the index, persist when
-// configured, and swap the serving entry. When force is false a summary
+// rotate publishes a new snapshot of ls: drain the queues, snapshot every
+// shard builder, merge the shard snapshots (plus the recovered base when
+// one exists) into one summary, compile the index, persist when
+// configured, and swap the serving entry. Shard populations are disjoint
+// by construction (round-robin routing sends each key to exactly one
+// shard) and the base covers the pre-restart stream, so the HT merge keeps
+// estimates unbiased for the whole stream. When force is false a summary
 // with no new keys since its last snapshot is skipped (the rotation loop's
 // idle case) and rotate returns (nil, nil).
 func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
 	ls.rotMu.Lock()
 	defer ls.rotMu.Unlock()
 	now := time.Now()
-
-	ls.mu.Lock()
-	if !ls.dirty && !force {
-		ls.mu.Unlock()
+	// The snapshot covers every key accepted so far; later accepts
+	// re-dirty, and a failed rotation re-dirties so the next tick retries.
+	if !ls.dirty.Swap(false) && !force {
 		return nil, nil
 	}
-	snap, err := ls.b.Snapshot()
-	if err != nil && !errors.Is(err, core.ErrNoData) {
-		ls.mu.Unlock()
-		return nil, err
-	}
+	ls.quiesce()
+
+	ls.mu.Lock()
 	base := ls.base
-	pushed := ls.pushed
 	seq := ls.seq + 1
-	// The snapshot covers every key pushed so far; later pushes re-dirty.
-	ls.dirty = false
 	ls.mu.Unlock()
 
-	sum := snap
-	switch {
-	case snap == nil && base == nil:
+	parts := make([]*core.Summary, 0, len(ls.shards)+1)
+	if base != nil {
+		parts = append(parts, base)
+	}
+	for _, sh := range ls.shards {
+		sh.mu.Lock()
+		snap, err := sh.b.Snapshot()
+		sh.mu.Unlock()
+		if errors.Is(err, core.ErrNoData) {
+			continue
+		}
+		if err != nil {
+			st.redirty(ls)
+			return nil, err
+		}
+		parts = append(parts, snap)
+	}
+	pushed := ls.accepted.Load()
+
+	var sum *core.Summary
+	var err error
+	switch len(parts) {
+	case 0:
 		return nil, errNoLiveData
-	case snap == nil:
-		// Nothing pushed yet this process: republish the recovered base.
-		sum = base
-	case base != nil:
-		// Base and builder cover disjoint parts of the stream (before and
-		// after the restart), which is exactly the precondition of the HT
-		// merge. The seed varies per epoch but stays deterministic.
-		sum, err = core.MergeSummaries(ls.cfg.Size, ls.cfg.Seed+seq, base, snap)
+	case 1:
+		// One part — a single shard with data and no base (publish exactly
+		// what Finalize would), or a restart with nothing pushed yet
+		// (republish the recovered base).
+		sum = parts[0]
+	default:
+		// The parts cover pairwise disjoint slices of the stream, which is
+		// exactly the precondition of the HT merge. The seed varies per
+		// epoch but stays deterministic.
+		sum, err = core.MergeSummaries(ls.cfg.Size, ls.cfg.Seed+seq, parts...)
 		if err != nil {
 			st.redirty(ls)
 			return nil, err
@@ -239,9 +434,7 @@ func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
 // redirty restores the pending-keys mark after a failed rotation so the
 // next tick retries instead of silently dropping the epoch.
 func (st *store) redirty(ls *liveSummary) {
-	ls.mu.Lock()
-	ls.dirty = true
-	ls.mu.Unlock()
+	ls.dirty.Store(true)
 }
 
 // rotateAll rotates every live summary (skipping clean ones unless force),
@@ -268,158 +461,6 @@ func (st *store) rotationLoop(ctx context.Context, interval time.Duration) {
 			st.rotateAll(false)
 		}
 	}
-}
-
-// ---- Ingestion endpoint -----------------------------------------------------
-
-// maxIngestBody bounds the POST /keys body. NDJSON runs ~40 bytes per 2-D
-// key, so one request carries on the order of 100k keys; heavier traffic
-// should batch across requests.
-const maxIngestBody = 8 << 20
-
-// maxKeysPerPush bounds the rows of one ingest batch, mirroring
-// maxRangesPerRequest on the query side: each row costs a reservoir update,
-// so an unbounded batch would let one request monopolize the builder lock.
-const maxKeysPerPush = 1 << 17
-
-// pushRequest is the columnar JSON ingest body: coords[d][i] is key i's
-// coordinate on axis d and weights[i] its weight — Builder.PushBatch over
-// the wire. Coordinates decode into uint64 directly (no float64 round
-// trip), so the full 64-bit domain survives.
-type pushRequest struct {
-	Coords  [][]uint64 `json:"coords"`
-	Weights []float64  `json:"weights"`
-}
-
-// pushKey is one NDJSON ingest row: {"point":[x,y],"weight":w}.
-type pushKey struct {
-	Point  []uint64 `json:"point"`
-	Weight float64  `json:"weight"`
-}
-
-type pushResponse struct {
-	Summary string `json:"summary"`
-	// Pushed counts this request's keys; TotalPushed every key accepted
-	// since this process started.
-	Pushed      int   `json:"pushed"`
-	TotalPushed int64 `json:"total_pushed"`
-	// Snapshot is the sequence number of the last published snapshot; keys
-	// become queryable when a later snapshot publishes.
-	Snapshot uint64 `json:"snapshot"`
-}
-
-// withLive resolves {name} to a live summary. Pushing into a file-backed
-// summary is a conflict (it exists, but is read-only), not a 404.
-func (st *store) withLive(h func(http.ResponseWriter, *http.Request, *liveSummary)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		name := r.PathValue("name")
-		ls := st.lives[name]
-		if ls == nil {
-			if _, ok := st.get(name); ok {
-				writeError(w, http.StatusConflict,
-					"summary %q is file-backed and read-only (declare it with -live to ingest)", name)
-				return
-			}
-			writeError(w, http.StatusNotFound, "no live summary named %q", name)
-			return
-		}
-		h(w, r, ls)
-	}
-}
-
-// handlePushKeys ingests one batch of weighted keys into the live builder.
-// The batch is atomic: every coordinate and weight is validated before the
-// first key enters the reservoir, so a 4xx means nothing was ingested.
-func (st *store) handlePushKeys(w http.ResponseWriter, r *http.Request, ls *liveSummary) {
-	coords, weights, ok := decodePushBody(w, r, len(ls.axes))
-	if !ok {
-		return
-	}
-	if len(weights) == 0 {
-		writeError(w, http.StatusBadRequest, "at least one key is required")
-		return
-	}
-	if len(weights) > maxKeysPerPush {
-		writeError(w, http.StatusBadRequest, "%d keys exceed the per-request limit of %d", len(weights), maxKeysPerPush)
-		return
-	}
-	for i, wt := range weights {
-		if err := ipps.ValidateWeight(wt); err != nil {
-			writeError(w, http.StatusBadRequest, "key %d: %v", i, err)
-			return
-		}
-	}
-	ls.mu.Lock()
-	err := ls.b.PushBatch(coords, weights)
-	if err == nil {
-		ls.pushed += int64(len(weights))
-		ls.dirty = true
-	}
-	total, seq := ls.pushed, ls.seq
-	ls.mu.Unlock()
-	if err != nil {
-		// PushBatch validates every coordinate before ingesting any key, so
-		// domain errors arrive here with the reservoir untouched.
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, pushResponse{
-		Summary: ls.name, Pushed: len(weights), TotalPushed: total, Snapshot: seq,
-	})
-}
-
-// decodePushBody decodes the ingest body as columnar JSON (default) or
-// NDJSON rows (Content-Type application/x-ndjson), returning columns ready
-// for Builder.PushBatch. Responses for malformed input are written here.
-func decodePushBody(w http.ResponseWriter, r *http.Request, dims int) ([][]uint64, []float64, bool) {
-	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
-	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
-	if ctype == "" {
-		ctype = "JSON"
-	}
-	fail := func(err error) bool {
-		writeDecodeError(w, ctype, err)
-		return false
-	}
-	if strings.HasSuffix(ctype, "ndjson") {
-		coords := make([][]uint64, dims)
-		var weights []float64
-		dec := json.NewDecoder(body)
-		for dec.More() {
-			var k pushKey
-			if err := dec.Decode(&k); err != nil {
-				return nil, nil, fail(err)
-			}
-			if len(k.Point) != dims {
-				writeError(w, http.StatusBadRequest, "key %d has %d coordinates, want %d", len(weights), len(k.Point), dims)
-				return nil, nil, false
-			}
-			if len(weights) >= maxKeysPerPush {
-				writeError(w, http.StatusBadRequest, "more than %d keys in one request", maxKeysPerPush)
-				return nil, nil, false
-			}
-			for d := range coords {
-				coords[d] = append(coords[d], k.Point[d])
-			}
-			weights = append(weights, k.Weight)
-		}
-		return coords, weights, true
-	}
-	var req pushRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		return nil, nil, fail(err)
-	}
-	if len(req.Coords) != dims {
-		writeError(w, http.StatusBadRequest, "coords has %d columns, want %d (one per axis)", len(req.Coords), dims)
-		return nil, nil, false
-	}
-	for d := range req.Coords {
-		if len(req.Coords[d]) != len(req.Weights) {
-			writeError(w, http.StatusBadRequest, "coords[%d] has %d rows for %d weights", d, len(req.Coords[d]), len(req.Weights))
-			return nil, nil, false
-		}
-	}
-	return req.Coords, req.Weights, true
 }
 
 // handleForceSnapshot publishes a snapshot immediately (bypassing the

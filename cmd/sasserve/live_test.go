@@ -20,6 +20,7 @@ import (
 	"structaware/internal/cliutil"
 	"structaware/internal/core"
 	"structaware/internal/structure"
+	"structaware/internal/wire"
 	"structaware/internal/xmath"
 )
 
@@ -31,7 +32,10 @@ var liveTestCfg = core.Config{Size: 120, Seed: 7}
 const liveAxesSpec = "bittrie:10,bittrie:10"
 
 // liveStore builds a store with one live summary "net" over a 2×10-bit
-// domain (no file-backed summaries unless sources are given).
+// domain (no file-backed summaries unless sources are given). A single
+// shard pins the stream order, so the bit-equality tests can reproduce the
+// server's snapshots with one offline Builder; the multi-shard behavior
+// has its own tests.
 func liveStore(t *testing.T, dir string, sources ...serveSource) *store {
 	t.Helper()
 	st := newStore(sources, t.Logf)
@@ -40,11 +44,12 @@ func liveStore(t *testing.T, dir string, sources ...serveSource) *store {
 	}
 	err := st.initLive(
 		[]cliutil.Assignment{{Name: "net", Value: liveAxesSpec}},
-		liveConfig{size: liveTestCfg.Size, seed: liveTestCfg.Seed, dir: dir},
+		liveConfig{size: liveTestCfg.Size, seed: liveTestCfg.Seed, dir: dir, shards: 1},
 	)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(st.closeLive)
 	return st
 }
 
@@ -406,17 +411,18 @@ func TestLivePersistRecover(t *testing.T) {
 	}
 }
 
-// pushDirect pushes a batch into the store's live builder without HTTP.
+// pushDirect pushes a batch into the store's live summary without HTTP,
+// through the same validated shard queues the transports use (a later
+// rotate quiesces the queues, so the keys are in the builders by snapshot
+// time). The batch is stack-owned, not pooled, so the worker's release is
+// a no-op.
 func pushDirect(st *store, coords [][]uint64, weights []float64) error {
 	ls := st.lives["net"]
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	if err := ls.b.PushBatch(coords, weights); err != nil {
+	batch := &ingestBatch{Batch: wire.Batch{Coords: coords, Weights: weights}}
+	if err := validateBatch(ls.axes, &batch.Batch); err != nil {
 		return err
 	}
-	ls.pushed += int64(len(weights))
-	ls.dirty = true
-	return nil
+	return ls.enqueue(batch, true)
 }
 
 // TestRotateSkipsClean: the interval rotation is a no-op when nothing was
@@ -495,6 +501,11 @@ func TestConcurrentLiveServing(t *testing.T) {
 				t.Error(err)
 				return
 			}
+			// Yield between rotations: the enqueue→quiesce handoffs keep
+			// the rotation chain in the scheduler's next slot, and an
+			// unthrottled loop starves the reader goroutines on one core.
+			// ~1k entry swaps/s is still far beyond any real rotation rate.
+			time.Sleep(time.Millisecond)
 		}
 	}()
 

@@ -32,6 +32,16 @@
 //	-live-size n           sample size of each live snapshot (default 1000)
 //	-live-buffer n         live builder reservoir in keys (0 = 5×size)
 //	-live-seed n           construction seed for live summaries
+//	-live-shards n         partitioned builders per live summary, each with
+//	                       its own ingest queue and worker (0 = all CPUs);
+//	                       shard snapshots are merged at every rotation
+//	-ingest-queue n        queue depth per shard, in batches (0 = default);
+//	                       a full queue answers HTTP 429 + Retry-After and
+//	                       stalls the raw socket (TCP back-pressure)
+//	-ingest-listen addr    raw frame-stream ingest socket ("host:port" or
+//	                       "unix:/path"): hello record, then binary frames,
+//	                       then a JSON ack (see internal/wire and
+//	                       sasbench -ingest)
 //	-snapshot-interval d   publish dirty live summaries every d (0 = manual)
 //	-snapshot-dir dir      persist snapshots as SAS2 files; the newest one
 //	                       is recovered on startup and merged with
@@ -60,7 +70,8 @@
 //	GET  /v1/summaries/{name}/representatives?range=...&limit=10
 //	GET  /v1/summaries/{name}/heavyhitters?range=...&k=10
 //	POST /v1/summaries/{name}/keys       {"coords": [[...],...], "weights": [...]}
-//	                                     (or NDJSON {"point":[...],"weight":w} rows)
+//	                                     (NDJSON {"point":[...],"weight":w} rows, or a
+//	                                     binary application/x-sas-frame body)
 //	POST /v1/summaries/{name}/snapshot
 //
 // Every backend answers estimate, total, and quantile; representatives and
@@ -72,8 +83,9 @@
 //
 // The serving summaries are immutable and shared: every request goroutine
 // queries the same compiled structure with no locks on the hot path, so
-// read throughput scales with cores; writes contend only on the one live
-// builder they target. Sample estimates are bit-for-bit identical to the
+// read throughput scales with cores; writes decode and validate on the
+// request goroutine and contend only on the bounded queue of the one
+// shard they land on. Sample estimates are bit-for-bit identical to the
 // in-process linear Summary methods.
 package main
 
@@ -105,6 +117,9 @@ func main() {
 		liveSize     = flag.Int("live-size", 1000, "target sample size of live-summary snapshots")
 		liveBuffer   = flag.Int("live-buffer", 0, "live builder reservoir in keys (0 = 5×live-size)")
 		liveSeed     = flag.Uint64("live-seed", 1, "construction seed for live summaries")
+		liveShards   = flag.Int("live-shards", 0, "parallel ingest builders per live summary (0 = GOMAXPROCS)")
+		ingestQueue  = flag.Int("ingest-queue", 0, "per-shard pending-batch queue cap (0 = default)")
+		ingestListen = flag.String("ingest-listen", "", "raw binary-frame ingest socket: host:port or unix:/path (requires -live)")
 		snapInterval = flag.Duration("snapshot-interval", 0, "automatic live snapshot period (0 = manual POST .../snapshot only)")
 		snapDir      = flag.String("snapshot-dir", "", "directory persisting live snapshots (newest recovered on startup)")
 	)
@@ -122,6 +137,8 @@ func main() {
 		cliutil.Required("-addr", *addr),
 		cliutil.Positive("-live-size", *liveSize),
 		cliutil.NonNegative("-live-buffer", *liveBuffer),
+		cliutil.NonNegative("-live-shards", *liveShards),
+		cliutil.NonNegative("-ingest-queue", *ingestQueue),
 		cliutil.NonNegativeDuration("-snapshot-interval", *snapInterval),
 	))
 	if flag.NArg() == 0 && len(liveSpecs) == 0 {
@@ -129,6 +146,9 @@ func main() {
 	}
 	if len(liveSpecs) == 0 && (*snapDir != "" || *snapInterval != 0) {
 		tool.Usagef("-snapshot-dir and -snapshot-interval require at least one -live summary")
+	}
+	if len(liveSpecs) == 0 && *ingestListen != "" {
+		tool.Usagef("-ingest-listen requires at least one -live summary")
 	}
 	assigns, err := cliutil.ParseAssignments(flag.Args())
 	tool.CheckUsage(err)
@@ -183,20 +203,24 @@ func main() {
 	logger := log.New(os.Stderr, "sasserve: ", log.LstdFlags)
 	st := newStore(sources, logger.Printf)
 	tool.Check(st.loadAll())
-	tool.Check(st.initLive(lives, liveConfig{
+	lc := liveConfig{
 		size:     *liveSize,
 		buffer:   *liveBuffer,
 		seed:     *liveSeed,
 		dir:      *snapDir,
 		interval: *snapInterval,
-	}))
+		shards:   *liveShards,
+		queue:    *ingestQueue,
+	}
+	tool.Check(st.initLive(lives, lc))
 	for _, src := range sources {
 		e, _ := st.get(src.name)
 		logger.Printf("serving %q from %s (%s, %d elements, %d dims)",
 			src.name, src.path, e.be.Kind, e.be.Size(), len(e.be.Axes))
 	}
 	for _, lv := range lives {
-		logger.Printf("serving live %q over %s (snapshot size %d)", lv.Name, lv.Value, *liveSize)
+		logger.Printf("serving live %q over %s (snapshot size %d, %d shards)",
+			lv.Name, lv.Value, *liveSize, lc.shardCount())
 	}
 
 	// SIGTERM/SIGINT start a graceful shutdown; SIGHUP hot-reloads files.
@@ -214,6 +238,13 @@ func main() {
 		go st.rotationLoop(ctx, *snapInterval)
 	}
 
+	var ingSrv *ingestServer
+	if *ingestListen != "" {
+		ingSrv, err = listenIngest(st, *ingestListen, logger.Printf)
+		tool.Check(err)
+		logger.Printf("ingest socket listening on %s", ingSrv.addr())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	tool.Check(err)
 	logger.Printf("listening on %s", ln.Addr())
@@ -227,11 +258,18 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	serveErr := serveUntilShutdown(ctx, srv, ln, logger.Printf)
+	// Stop the write plane in dependency order: listeners first (no new
+	// batches), then the shard workers (drain every accepted batch into
+	// the builders), so the final flush below covers every acknowledged
+	// key. This runs even when the drain timed out or the server failed —
+	// acknowledged keys must never be dropped on the way out.
+	if ingSrv != nil {
+		ingSrv.close()
+	}
+	st.closeLive()
 	if *snapDir != "" {
 		// Flush keys that arrived since the last rotation so a restart
-		// recovers them; clean summaries are skipped. This runs even when
-		// the drain timed out or the server failed — acknowledged keys
-		// must never be dropped on the way out.
+		// recovers them; clean summaries are skipped.
 		st.rotateAll(false)
 	}
 	tool.Check(serveErr)

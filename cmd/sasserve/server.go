@@ -138,6 +138,7 @@ type store struct {
 	lives     map[string]*liveSummary
 	liveOrder []string
 	liveCfg   liveConfig
+	liveWG    sync.WaitGroup // shard workers, joined by closeLive
 
 	mu      sync.RWMutex
 	entries map[string]*entry

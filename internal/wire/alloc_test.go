@@ -1,0 +1,66 @@
+package wire_test
+
+import (
+	"testing"
+
+	"structaware/internal/core"
+	"structaware/internal/structure"
+	"structaware/internal/wire"
+	"structaware/internal/xmath"
+)
+
+// TestDecodePushBatchZeroAllocSteadyState is the wire-plane counterpart of
+// PR 4's Builder.Push contract: once the reservoir has overflowed and the
+// decode Batch has grown to frame size, the full hot path of the ingest
+// plane — frame decode into reused buffers, then Builder.PushBatch — does
+// zero allocations per frame. This is what lets a live server ingest at
+// wire speed without GC pressure scaling with traffic.
+func TestDecodePushBatchZeroAllocSteadyState(t *testing.T) {
+	const rows = 512
+	axes := []structure.Axis{structure.BitTrieAxis(10), structure.BitTrieAxis(10)}
+	bld, err := core.NewBuilder(axes, core.Config{Size: 64, Buffer: 256, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cycle of pre-encoded frames, so successive decodes see different
+	// geometry-compatible payloads rather than one cached pattern.
+	r := xmath.NewRand(9)
+	frames := make([][]byte, 8)
+	for f := range frames {
+		coords := [][]uint64{make([]uint64, rows), make([]uint64, rows)}
+		weights := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			coords[0][i], coords[1][i] = r.Uint64()%1024, r.Uint64()%1024
+			weights[i] = 1 + 10*r.Float64()
+		}
+		frames[f], err = wire.AppendFrame(nil, coords, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dec := wire.Decoder{Dims: 2, MaxRows: rows}
+	var batch wire.Batch
+	i := 0
+	step := func() {
+		if err := dec.Decode(frames[i%len(frames)], &batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := bld.PushBatch(batch.Coords, batch.Weights); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	// Warm past the reservoir capacity and through several coordinate
+	// compaction cycles (compaction period is 3×4×Buffer pushes), as the
+	// Builder.Push contract does.
+	for bld.Pushed() < 16*4*256 {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(64, step); allocs != 0 {
+		t.Fatalf("steady-state decode→PushBatch allocated %v times per frame", allocs)
+	}
+	if _, err := bld.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}

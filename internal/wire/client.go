@@ -1,0 +1,160 @@
+package wire
+
+// The raw ingest-socket protocol (sasserve -ingest-listen): a client
+// connects, sends one hello record naming the target live summary, then
+// streams frames. Backpressure is the transport's own flow control — a
+// server whose ingest queues are full simply stops reading, and the
+// client's writes block until capacity frees up, so ingestion stalls are
+// bounded and explicit without any application-level windowing. When the
+// client half-closes its write side, the server flushes every received
+// frame into the builders and answers with one JSON Stats line, so a clean
+// Close is an end-to-end acknowledgement.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+)
+
+// Hello geometry.
+const (
+	helloMagic = "SASI"
+	// MaxNameLen bounds the summary name in a hello record.
+	MaxNameLen = 256
+)
+
+// ErrHello reports a malformed ingest-socket hello record.
+var ErrHello = fmt.Errorf("wire: bad ingest hello")
+
+// AppendHello appends the stream preamble selecting the target live
+// summary: magic "SASI", version, a uint16 name length, and the name.
+func AppendHello(dst []byte, summary string) ([]byte, error) {
+	if summary == "" || len(summary) > MaxNameLen {
+		return dst, fmt.Errorf("%w: name length %d", ErrHello, len(summary))
+	}
+	dst = append(dst, helloMagic...)
+	dst = append(dst, Version)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(summary)))
+	return append(dst, summary...), nil
+}
+
+// ReadHello consumes a hello record from r and returns the summary name.
+func ReadHello(r io.Reader) (string, error) {
+	var h [7]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrHello, err)
+	}
+	if string(h[:4]) != helloMagic {
+		return "", fmt.Errorf("%w: magic % x", ErrHello, h[:4])
+	}
+	if h[4] != Version {
+		return "", fmt.Errorf("%w: version %d", ErrHello, h[4])
+	}
+	n := int(binary.LittleEndian.Uint16(h[5:7]))
+	if n == 0 || n > MaxNameLen {
+		return "", fmt.Errorf("%w: name length %d", ErrHello, n)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrHello, err)
+	}
+	return string(name), nil
+}
+
+// Stats is the server's end-of-stream acknowledgement: what it ingested,
+// or (on a failed stream) what went wrong. It is written as one JSON line.
+type Stats struct {
+	Summary string `json:"summary"`
+	Frames  int64  `json:"frames"`
+	Keys    int64  `json:"keys"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Client streams frames to a sasserve ingest socket.
+type Client struct {
+	conn   net.Conn
+	bw     *bufio.Writer
+	fw     *Writer
+	frames int64
+	keys   int64
+}
+
+// SplitAddr interprets an ingest-socket address: "unix:/path/to.sock"
+// selects a unix-domain socket, anything else is a TCP host:port.
+func SplitAddr(addr string) (network, address string) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", path
+	}
+	return "tcp", addr
+}
+
+// Dial connects to a sasserve ingest socket (see SplitAddr for the address
+// syntax) and sends the hello record selecting the target live summary.
+func Dial(addr, summary string) (*Client, error) {
+	network, address := SplitAddr(addr)
+	conn, err := net.Dial(network, address)
+	if err != nil {
+		return nil, err
+	}
+	hello, err := AppendHello(nil, summary)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	if _, err := bw.Write(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, bw: bw, fw: NewWriter(bw)}, nil
+}
+
+// Send streams one batch as a frame. A send error usually means the server
+// rejected an earlier frame and closed the stream; Close returns its
+// explanation.
+func (c *Client) Send(coords [][]uint64, weights []float64) error {
+	if err := c.fw.WriteFrame(coords, weights); err != nil {
+		return err
+	}
+	c.frames++
+	c.keys += int64(len(weights))
+	return nil
+}
+
+// Close flushes the stream, half-closes the write side, and waits for the
+// server's Stats acknowledgement: when it returns a nil error, every sent
+// key has been pushed into the live builders. A Stats carrying a server
+// error is returned as that error alongside the counts.
+func (c *Client) Close() (Stats, error) {
+	defer c.conn.Close()
+	flushErr := c.bw.Flush()
+	type writeCloser interface{ CloseWrite() error }
+	if cw, ok := c.conn.(writeCloser); ok {
+		if err := cw.CloseWrite(); err != nil && flushErr == nil {
+			flushErr = err
+		}
+	}
+	var st Stats
+	if err := json.NewDecoder(io.LimitReader(c.conn, 1<<16)).Decode(&st); err != nil {
+		if flushErr != nil {
+			// The write-side failure explains the missing ack.
+			return st, flushErr
+		}
+		return st, fmt.Errorf("wire: reading ingest ack: %w", err)
+	}
+	if st.Error != "" {
+		return st, fmt.Errorf("wire: server rejected stream: %s", st.Error)
+	}
+	if flushErr != nil {
+		return st, flushErr
+	}
+	if st.Frames != c.frames || st.Keys != c.keys {
+		return st, fmt.Errorf("wire: server acknowledged %d frames/%d keys, sent %d/%d",
+			st.Frames, st.Keys, c.frames, c.keys)
+	}
+	return st, nil
+}

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeFrame: the decoder must never panic and never allocate beyond
+// its declared bounds on adversarial input. Valid frames must round-trip
+// (decode → re-encode → identical bytes), which pins the format end to end
+// under fuzzing, not just "doesn't crash". Seed inputs cover the accept
+// path and every rejection class; the checked-in corpus under
+// testdata/fuzz/FuzzDecodeFrame keeps regressions reproducible offline.
+func FuzzDecodeFrame(f *testing.F) {
+	coords, weights := genBatch(2, 3, 1)
+	valid, err := AppendFrame(nil, coords, weights)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:7])                                                         // truncated header
+	f.Add(valid[:len(valid)-2])                                              // truncated trailer
+	f.Add(append([]byte(nil), "XXXX\x01\x00\x02\x00\x03\x00\x00\x00"...))    // bad magic
+	f.Add(corrupt(valid, func(c []byte) []byte { c[4] = 2; return c }))      // bad version
+	f.Add(corrupt(valid, func(c []byte) []byte { c[30] ^= 0xff; return c })) // checksum break
+	f.Add(corrupt(valid, func(c []byte) []byte {
+		binary.LittleEndian.PutUint32(c[8:], 1<<31-1) // absurd row count
+		return c
+	}))
+	f.Add(append(append([]byte(nil), valid...), 0xaa)) // trailing byte
+
+	dec := Decoder{Dims: 2, MaxRows: 1 << 12}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b Batch
+		if err := dec.Decode(data, &b); err != nil {
+			return
+		}
+		// Accepted frames obey the decoder's bounds ...
+		if len(b.Coords) != dec.Dims {
+			t.Fatalf("accepted frame decoded %d columns, want %d", len(b.Coords), dec.Dims)
+		}
+		rows := len(b.Weights)
+		if rows == 0 || rows > dec.MaxRows {
+			t.Fatalf("accepted frame decoded %d rows (cap %d)", rows, dec.MaxRows)
+		}
+		for d := range b.Coords {
+			if len(b.Coords[d]) != rows {
+				t.Fatalf("accepted frame is ragged: column %d has %d rows for %d weights", d, len(b.Coords[d]), rows)
+			}
+		}
+		// ... and round-trip bit for bit.
+		re, err := AppendFrame(nil, b.Coords, b.Weights)
+		if err != nil {
+			t.Fatalf("re-encoding an accepted frame: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round trip changed the frame:\n got % x\nwant % x", re, data)
+		}
+	})
+}

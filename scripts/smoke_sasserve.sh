@@ -6,13 +6,18 @@
 #   write side: start a live summary, push keys over HTTP, force a
 #               snapshot, query it, SIGTERM the server (must exit 0,
 #               flushing a final snapshot), restart from -snapshot-dir and
-#               re-query the recovered summary.
+#               re-query the recovered summary;
+#   wire side:  push binary frames over HTTP (application/x-sas-frame),
+#               flood the raw -ingest-listen socket with sasbench -ingest
+#               while probing the HTTP path for 429 + Retry-After
+#               back-pressure, then verify every acknowledged key landed.
 #
 # Run from the repository root (CI runs it as a required step;
 # `make smoke-serve` runs it locally).
 set -euo pipefail
 
 PORT="${SMOKE_PORT:-8347}"
+INGEST_PORT=$((PORT + 1))
 TMP="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
@@ -58,7 +63,12 @@ go run ./cmd/sassample -in "$TMP/net.csv" -bits 12 -s 500 -seed 1 -dump "$TMP/ne
 
 echo "== start sasserve (static file + live summary + snapshot dir)"
 go build -o "$TMP/sasserve" ./cmd/sasserve
+# Two live summaries share the ingest plane: "flows" keeps the exact-sum
+# HTTP assertions below, "load" absorbs the wire flood. Two shards and a
+# 1-deep queue make the 429 back-pressure probe deterministic under flood.
 SERVE=("$TMP/sasserve" -addr "127.0.0.1:$PORT" -live 'flows=bittrie:12,bittrie:12' \
+    -live 'load=bittrie:12,bittrie:12' -live-shards 2 -ingest-queue 1 \
+    -ingest-listen "127.0.0.1:$INGEST_PORT" \
     -live-size 200 -live-seed 1 -snapshot-dir "$TMP/snapshots")
 "${SERVE[@]}" "net=$TMP/net.sas" &
 SERVER_PID=$!
@@ -99,6 +109,50 @@ LIVE_TOTAL="$(fetch "http://127.0.0.1:$PORT/v1/summaries/flows/total")"
 echo "$LIVE_TOTAL"
 # 6 keys fit entirely in the 200-key sample: the estimate is the exact sum.
 echo "$LIVE_TOTAL" | grep -q '"estimate":21' || { echo "live total wrong (want 21)" >&2; exit 1; }
+
+echo "== push binary frames over HTTP (application/x-sas-frame)"
+go build -o "$TMP/sasbench" ./cmd/sasbench
+FRAMED="$("$TMP/sasbench" -ingest "http://127.0.0.1:$PORT" -ingest-name load \
+    -ingest-keys 1000 -ingest-batch 250 -seed 3)"
+echo "$FRAMED"
+echo "$FRAMED" | grep -q '1000 keys in 4 frames' || { echo "HTTP frame push not acknowledged" >&2; exit 1; }
+
+echo "== flood the ingest socket, probe HTTP back-pressure (want 429 + Retry-After)"
+# Maximum-size frames (131072 keys) keep each shard worker busy for ~10ms
+# per pop, so the 1-deep queues are observably full whenever the probe's
+# handler gets scheduled — on one CPU, smaller frames drain before the
+# probe runs and the 429 would be flaky.
+"$TMP/sasbench" -ingest "127.0.0.1:$INGEST_PORT" -ingest-name load \
+    -ingest-keys 8000000 -ingest-batch 131072 -seed 7 >"$TMP/flood.out" &
+FLOOD_PID=$!
+PROBE_BODY='{"coords":[[1],[2]],"weights":[1]}'
+SAW_429=""
+command -v curl >/dev/null || SAW_429="skipped (no curl)"
+[ -n "$SAW_429" ] || for _ in $(seq 1 200); do
+    CODE="$(curl -s -o "$TMP/probe.json" -D "$TMP/probe.hdr" -w '%{http_code}' -X POST \
+        -H 'Content-Type: application/json' -d "$PROBE_BODY" \
+        "http://127.0.0.1:$PORT/v1/summaries/load/keys")" || CODE=000
+    if [ "$CODE" = "429" ]; then
+        SAW_429=yes
+        grep -qi '^Retry-After:' "$TMP/probe.hdr" || { echo "429 without Retry-After" >&2; exit 1; }
+        break
+    fi
+    kill -0 "$FLOOD_PID" 2>/dev/null || break
+done
+wait "$FLOOD_PID" || { echo "socket flood failed" >&2; cat "$TMP/flood.out" >&2; exit 1; }
+cat "$TMP/flood.out"
+grep -q '8000000 keys' "$TMP/flood.out" || { echo "flood keys not acknowledged" >&2; exit 1; }
+[ -n "$SAW_429" ] || { echo "never observed a 429 under flood" >&2; exit 1; }
+
+echo "== snapshot the flooded summary: every acknowledged key must be counted"
+LOAD_SNAP="$(post "http://127.0.0.1:$PORT/v1/summaries/load/snapshot" '')"
+echo "$LOAD_SNAP"
+LOAD_PUSHED="$(echo "$LOAD_SNAP" | sed -n 's/.*"pushed":\([0-9]*\).*/\1/p')"
+# 8 001 000 socket+frame keys, plus any probe pushes that squeezed in.
+if [ -z "$LOAD_PUSHED" ] || [ "$LOAD_PUSHED" -lt 8001000 ]; then
+    echo "flooded summary pushed=$LOAD_PUSHED, want >= 8001000" >&2
+    exit 1
+fi
 
 echo "== push more keys, then SIGTERM (graceful shutdown must flush + exit 0)"
 post "http://127.0.0.1:$PORT/v1/summaries/flows/keys" '{"coords":[[77],[88]],"weights":[9]}' >/dev/null
