@@ -158,6 +158,10 @@ func (ls *liveSummary) enqueue(b *ingestBatch, block bool) error {
 		return errIngestStopped
 	}
 	sh := ls.shards[ls.next.Add(1)%uint64(len(ls.shards))]
+	// A successful send transfers batch ownership to the shard worker,
+	// which may push and recycle it immediately — size it before the send,
+	// never touch it after.
+	rows := int64(b.Rows())
 	job := ingestJob{batch: b}
 	if block {
 		sh.q <- job
@@ -168,7 +172,7 @@ func (ls *liveSummary) enqueue(b *ingestBatch, block bool) error {
 			return errIngestQueueFull
 		}
 	}
-	ls.accepted.Add(int64(b.Rows()))
+	ls.accepted.Add(rows)
 	ls.dirty.Store(true)
 	return nil
 }

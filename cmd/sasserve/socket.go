@@ -29,6 +29,15 @@ import (
 // long-running daemon must not let dead peers pin goroutines.
 const ingestIdleTimeout = 2 * time.Minute
 
+// failDrainBytes / failDrainTimeout bound the post-error input drain (see
+// ingestServer.fail): enough to swallow the frames a streaming client had
+// in flight when the error was detected, small enough that a hostile peer
+// cannot pin the connection goroutine.
+const (
+	failDrainBytes   = 4 << 20
+	failDrainTimeout = 10 * time.Second
+)
+
 // ingestServer owns the raw ingest listener and its connections.
 type ingestServer struct {
 	st   *store
@@ -132,12 +141,12 @@ func (is *ingestServer) serveConn(conn net.Conn) {
 	idle()
 	name, err := wire.ReadHello(conn)
 	if err != nil {
-		is.reply(conn, wire.Stats{Error: err.Error()})
+		is.fail(conn, wire.Stats{Error: err.Error()})
 		return
 	}
 	ls := is.st.lives[name]
 	if ls == nil {
-		is.reply(conn, wire.Stats{Summary: name, Error: fmt.Sprintf("no live summary named %q", name)})
+		is.fail(conn, wire.Stats{Summary: name, Error: fmt.Sprintf("no live summary named %q", name)})
 		return
 	}
 	st := wire.Stats{Summary: name}
@@ -153,13 +162,13 @@ func (is *ingestServer) serveConn(conn net.Conn) {
 		if err != nil {
 			batch.release()
 			st.Error = fmt.Sprintf("frame %d: %v", st.Frames, err)
-			is.reply(conn, st)
+			is.fail(conn, st)
 			return
 		}
 		if err := validateBatch(ls.axes, &batch.Batch); err != nil {
 			batch.release()
 			st.Error = fmt.Sprintf("frame %d: %v", st.Frames, err)
-			is.reply(conn, st)
+			is.fail(conn, st)
 			return
 		}
 		rows := batch.Rows()
@@ -169,7 +178,7 @@ func (is *ingestServer) serveConn(conn net.Conn) {
 		if err := ls.enqueue(batch, true); err != nil {
 			batch.release()
 			st.Error = err.Error()
-			is.reply(conn, st)
+			is.fail(conn, st)
 			return
 		}
 		st.Frames++
@@ -179,6 +188,24 @@ func (is *ingestServer) serveConn(conn net.Conn) {
 	// every counted key has reached a builder.
 	ls.quiesce()
 	is.reply(conn, st)
+}
+
+// fail ends an errored stream: write the diagnostic Stats line, half-close
+// the write side so the line is flushed behind a FIN, then discard a
+// bounded amount of the input the peer still had in flight. A streaming
+// client keeps sending frames until it sees our answer; closing with that
+// data unread makes the kernel reset the connection, and the RST can
+// destroy the just-written diagnostic before the peer reads it — the
+// client would report "connection reset" instead of the server's error.
+// The drain is bounded in both bytes and time, so a peer that never stops
+// sending still gets cut off (and then a reset is exactly right).
+func (is *ingestServer) fail(conn net.Conn, st wire.Stats) {
+	is.reply(conn, st)
+	if cw, ok := conn.(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	}
+	conn.SetReadDeadline(time.Now().Add(failDrainTimeout))
+	io.CopyN(io.Discard, conn, failDrainBytes)
 }
 
 // reply writes the end-of-stream Stats line, best effort (the peer may
