@@ -59,11 +59,17 @@ BACKENDSIZE ?= 1000
 # keys through a socket or HTTP server; 2s gives stable keys/s).
 INGESTBENCHTIME ?= 2s
 
+# Requests per (mix, concurrency) cell of the concurrent serving benchmark;
+# an iteration count (not a duration) so every cell replays the same seeded
+# sequence. CI uses 300x for a smoke-grade artifact.
+LOADBENCHTIME ?= 3000x
+
 # Record the benchmark trajectory: run the key build/query benchmarks, the
-# ingest-plane transport benchmarks, and the head-to-head backend comparison
-# (sasbench -backends), and emit BENCH_PR7.json (before = the previous PR's
-# recorded numbers, after = this run, backends = the embedded comparison
-# document).
+# ingest-plane transport benchmarks, the concurrent serving benchmark
+# (qps + latency percentiles per query mix, including the answer-cache
+# hot/hot-nocache pair), and the head-to-head backend comparison (sasbench
+# -backends), and emit BENCH_PR8.json (before = the previous PR's recorded
+# numbers, after = this run, backends = the embedded comparison document).
 bench-json:
 	$(GO) run ./cmd/sasbench -backends /tmp/sas_backends.json \
 		-scale $(BACKENDSCALE) -backend-size $(BACKENDSIZE)
@@ -73,11 +79,13 @@ bench-json:
 	  $(GO) test -run '^$$' -bench '^BenchmarkIndexedEstimateRange$$' \
 		-benchmem -benchtime $(QUERYBENCHTIME) . && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkIngest' \
-		-benchmem -benchtime $(INGESTBENCHTIME) ./cmd/sasserve ) \
-	| $(GO) run ./scripts/benchjson -pr 7 \
-		-before BENCH_PR6.json -backends /tmp/sas_backends.json \
-		-out BENCH_PR7.json
-	@echo wrote BENCH_PR7.json
+		-benchmem -benchtime $(INGESTBENCHTIME) ./cmd/sasserve && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkServeLoad$$' \
+		-benchtime $(LOADBENCHTIME) ./cmd/sasserve ) \
+	| $(GO) run ./scripts/benchjson -pr 8 \
+		-before BENCH_PR7.json -backends /tmp/sas_backends.json \
+		-out BENCH_PR8.json
+	@echo wrote BENCH_PR8.json
 
 smoke-serve:
 	./scripts/smoke_sasserve.sh

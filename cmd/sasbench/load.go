@@ -1,0 +1,208 @@
+package main
+
+// load.go is sasbench's query-side load mode (`sasbench -load <base-url>`):
+// replay seeded query mixes against a running sasserve at fixed concurrency
+// levels and report qps plus p50/p99/p999 latency, per (mix, concurrency)
+// cell. The mixes mirror the workload generators the repository's accuracy
+// experiments use — uniform-area boxes over the summary's real domain, plus
+// a Zipf-skewed "hot" mix that concentrates traffic on a small pool of
+// ranges, the shape the epoch-keyed answer cache exists for. `hot-nocache`
+// replays the identical hot sequence with cache=off, so the cache's effect
+// is the difference between two rows of the same report.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"structaware/internal/loadgen"
+	"structaware/internal/xmath"
+)
+
+// loadPoolSize is how many distinct boxes the area mix cycles through —
+// large enough that an answer cache of default capacity cannot blanket it.
+const loadPoolSize = 8192
+
+// hotPoolSize is the hot mix's range pool: small enough to live entirely in
+// the answer cache, skewed so the top ranks dominate.
+const hotPoolSize = 64
+
+// loadSeqLen is the length of each mix's precomputed request sequence;
+// requests beyond it wrap around.
+const loadSeqLen = 65536
+
+// loadCell is one (mix, concurrency) measurement in the JSON report.
+type loadCell struct {
+	Mix         string  `json:"mix"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	QPS         float64 `json:"qps"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	P999Ns      int64   `json:"p999_ns"`
+}
+
+// loadMetaAxes is the slice of /v1/summaries/{name} metadata the load
+// generator needs: the domain size per axis.
+type loadMetaAxes struct {
+	Axes []struct {
+		DomainSize uint64 `json:"domain_size"`
+	} `json:"axes"`
+}
+
+// runLoad drives the full grid: every mix at every concurrency level, each
+// for the given duration, printing a TSV row per cell and optionally
+// writing the cells as JSON.
+func runLoad(base, name, mixSpec, concSpec string, dur time.Duration, out string, seed uint64) error {
+	base = strings.TrimRight(base, "/")
+	domains, err := fetchDomains(base, name)
+	if err != nil {
+		return err
+	}
+	concs, err := parseConcs(concSpec)
+	if err != nil {
+		return err
+	}
+	mixNames := strings.Split(mixSpec, ",")
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+	fmt.Printf("mix\tconcurrency\trequests\terrors\tqps\tp50\tp99\tp999\n")
+	var cells []loadCell
+	for _, mix := range mixNames {
+		mix = strings.TrimSpace(mix)
+		urls, err := buildMixURLs(base, name, mix, domains, seed)
+		if err != nil {
+			return err
+		}
+		for _, conc := range concs {
+			res, err := loadgen.Run(loadgen.Options{Concurrency: conc, Duration: dur}, func(_, seq int) error {
+				return getDiscard(client, urls[seq%len(urls)])
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\n",
+				mix, conc, res.Requests, res.Errors, res.QPS, res.P50, res.P99, res.P999)
+			cells = append(cells, loadCell{
+				Mix: mix, Concurrency: conc,
+				Requests: res.Requests, Errors: res.Errors, QPS: res.QPS,
+				P50Ns: int64(res.P50), P99Ns: int64(res.P99), P999Ns: int64(res.P999),
+			})
+			if res.Errors > res.Requests/2 {
+				return fmt.Errorf("mix %s at concurrency %d: %d of %d requests failed",
+					mix, conc, res.Errors, res.Requests)
+			}
+		}
+	}
+	if out != "" {
+		raw, err := json.MarshalIndent(cells, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, append(raw, '\n'), 0o644)
+	}
+	return nil
+}
+
+// buildMixURLs precomputes a mix's deterministic request sequence as full
+// URLs, so the timed loop does no random drawing and no string building.
+func buildMixURLs(base, name, mix string, domains []uint64, seed uint64) ([]string, error) {
+	estimate := base + "/v1/summaries/" + name + "/estimate?range="
+	switch mix {
+	case "area":
+		texts := loadgen.RangeTexts(loadgen.AreaBoxes(domains, loadPoolSize, 0.1, seed))
+		urls := make([]string, len(texts))
+		for i, t := range texts {
+			urls[i] = estimate + t
+		}
+		return urls, nil
+	case "hot", "hot-nocache":
+		texts := loadgen.RangeTexts(loadgen.AreaBoxes(domains, hotPoolSize, 0.05, seed+1))
+		z := loadgen.NewZipf(len(texts), 1.0)
+		r := xmath.NewRand(seed + 2)
+		suffix := ""
+		if mix == "hot-nocache" {
+			suffix = "&cache=off"
+		}
+		urls := make([]string, loadSeqLen)
+		for i := range urls {
+			urls[i] = estimate + texts[z.Pick(r.Float64())] + suffix
+		}
+		return urls, nil
+	default:
+		return nil, fmt.Errorf("unknown mix %q (have: area, hot, hot-nocache)", mix)
+	}
+}
+
+// fetchDomains reads the summary's per-axis domain sizes from its metadata
+// endpoint, so mixes always query inside the real domain.
+func fetchDomains(base, name string) ([]uint64, error) {
+	resp, err := http.Get(base + "/v1/summaries/" + name)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/v1/summaries/%s: status %d: %s",
+			base, name, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var meta loadMetaAxes
+	if err := json.Unmarshal(body, &meta); err != nil {
+		return nil, fmt.Errorf("summary %s metadata: %w", name, err)
+	}
+	if len(meta.Axes) == 0 {
+		return nil, fmt.Errorf("summary %s metadata reports no axes", name)
+	}
+	domains := make([]uint64, len(meta.Axes))
+	for d, a := range meta.Axes {
+		if a.DomainSize == 0 {
+			return nil, fmt.Errorf("summary %s axis %d has domain size 0", name, d)
+		}
+		domains[d] = a.DomainSize
+	}
+	return domains, nil
+}
+
+// getDiscard issues one GET and drains the body (keeping the connection
+// reusable), reporting any non-200 as an error.
+func getDiscard(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// parseConcs parses the comma-separated -load-conc list.
+func parseConcs(spec string) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	concs := make([]int, 0, len(parts))
+	for _, p := range parts {
+		c, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("-load-conc %q: each level must be a positive integer", spec)
+		}
+		concs = append(concs, c)
+	}
+	return concs, nil
+}

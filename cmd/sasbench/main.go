@@ -8,6 +8,8 @@
 //	sasbench -exp all -scale 0.05
 //	sasbench -backends backends.json [-backend-size 1000] [-scale 0.05]
 //	sasbench -ingest 127.0.0.1:9401 -ingest-name flows [-ingest-keys 1000000]
+//	sasbench -load http://127.0.0.1:8337 -load-name net [-load-mix area,hot]
+//	          [-load-conc 4,16] [-load-duration 3s] [-load-out load.json]
 //	sasbench -list
 //
 // Scale 1.0 reproduces the paper's dataset cardinalities (196K network
@@ -26,6 +28,14 @@
 // unix:/path) with binary frames of seeded synthetic keys and reports the
 // server-acknowledged throughput. It doubles as a load generator for the
 // smoke script's back-pressure probe.
+//
+// -load is the read-side counterpart: replay seeded query mixes against a
+// running sasserve at each -load-conc concurrency level for -load-duration,
+// reporting qps and p50/p99/p999 latency per cell (TSV to stdout, JSON via
+// -load-out). Mixes: "area" cycles uniform-area boxes over the summary's
+// domain; "hot" Zipf-concentrates traffic on a small range pool (the answer
+// cache's best case); "hot-nocache" replays the identical hot sequence with
+// cache=off, so cache effect = hot vs hot-nocache.
 package main
 
 import (
@@ -64,6 +74,12 @@ func main() {
 		ingBatch = flag.Int("ingest-batch", 4096, "keys per frame in -ingest mode")
 		ingDims  = flag.Int("ingest-dims", 2, "coordinate dimensions in -ingest mode")
 		ingBits  = flag.Int("ingest-bits", 12, "bits per coordinate in -ingest mode")
+		load     = flag.String("load", "", "replay query load against a sasserve base URL (http://host:port)")
+		loadName = flag.String("load-name", "net", "summary to query in -load mode")
+		loadMix  = flag.String("load-mix", "area,hot", "comma-separated query mixes in -load mode (area, hot, hot-nocache)")
+		loadConc = flag.String("load-conc", "4,16", "comma-separated concurrency levels in -load mode")
+		loadDur  = flag.Duration("load-duration", 3*time.Second, "duration of each (mix, concurrency) cell in -load mode")
+		loadOut  = flag.String("load-out", "", "write -load results as JSON to this file")
 	)
 	flag.Parse()
 	tool := cliutil.New("sasbench")
@@ -86,6 +102,13 @@ func main() {
 	))
 	if *ingest != "" {
 		tool.Check(runIngest(*ingest, *ingName, *ingKeys, *ingBatch, *ingDims, *ingBits, *seed))
+		return
+	}
+	if *load != "" {
+		if *loadDur <= 0 {
+			tool.Usagef("-load-duration must be positive")
+		}
+		tool.Check(runLoad(*load, *loadName, *loadMix, *loadConc, *loadDur, *loadOut, *seed))
 		return
 	}
 	if *backends != "" {
@@ -194,11 +217,7 @@ func runIngestHTTP(base, name string, n int, gen *keyGen) error {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusTooManyRequests {
 				retries++
-				wait := time.Second
-				if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
-					wait = time.Duration(s) * time.Second
-				}
-				time.Sleep(wait)
+				sleepFn(retryAfterWait(resp.Header.Get("Retry-After")))
 				continue
 			}
 			if resp.StatusCode != http.StatusOK {
@@ -215,6 +234,20 @@ func runIngestHTTP(base, name string, n int, gen *keyGen) error {
 		elapsed.Round(time.Millisecond), float64(keys)/elapsed.Seconds())
 	return nil
 }
+
+// retryAfterWait converts a 429's Retry-After header into a backoff. Only a
+// positive whole number of seconds is honored; zero, negatives, garbage,
+// and an absent header all fall back to one second — a misbehaving server
+// must never be able to talk the client into a hot retry loop.
+func retryAfterWait(h string) time.Duration {
+	if s, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && s > 0 {
+		return time.Duration(s) * time.Second
+	}
+	return time.Second
+}
+
+// sleepFn is swapped by tests to observe backoff without real sleeping.
+var sleepFn = time.Sleep
 
 // keyGen produces seeded heavy-tailed batches over a [0, 2^bits)^dims
 // domain, reusing its column buffers across calls.

@@ -56,7 +56,7 @@ func backendServer(t *testing.T) (*httptest.Server, string, [][]uint64, []float6
 		cfg := &backend.Config{Kind: kind, Size: 500, Seed: 5, Axes: axes}
 		sources = append(sources, serveSource{name: string(kind), path: path, cfg: cfg})
 	}
-	st := newStore(sources, t.Logf)
+	st := newStore(sources, 4096, t.Logf)
 	if err := st.loadAll(); err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestBackendReload(t *testing.T) {
 	st := newStore([]serveSource{{
 		name: "qd", path: path,
 		cfg: &backend.Config{Kind: backend.KindQDigest, Size: 300, Axes: axes},
-	}}, t.Logf)
+	}}, 4096, t.Logf)
 	if err := st.loadAll(); err != nil {
 		t.Fatal(err)
 	}

@@ -57,7 +57,7 @@ func ingestFixture(b *testing.B) ([][]uint64, []float64) {
 // the HTTP benchmarks measure throughput, not 429 shedding.
 func benchLiveStore(b *testing.B) *store {
 	b.Helper()
-	st := newStore(nil, func(string, ...any) {})
+	st := newStore(nil, 4096, func(string, ...any) {})
 	err := st.initLive(
 		[]cliutil.Assignment{{Name: "net", Value: "bittrie:10,bittrie:10"}},
 		liveConfig{size: 4096, seed: 1, shards: 1, queue: 4096},

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ import (
 // 2×10-bit domain, with explicit shard and queue geometry.
 func shardedStore(t *testing.T, size int, shards, queue int) *store {
 	t.Helper()
-	st := newStore(nil, t.Logf)
+	st := newStore(nil, 4096, t.Logf)
 	err := st.initLive(
 		[]cliutil.Assignment{{Name: "net", Value: liveAxesSpec}},
 		liveConfig{size: size, seed: liveTestCfg.Seed, shards: shards, queue: queue},
@@ -261,9 +262,14 @@ func TestIngestQueueFull(t *testing.T) {
 		sh.mu.Unlock()
 		t.Fatalf("saturated push status %d, want 429", resp.StatusCode)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
+	// The hint must be a parseable positive whole number of seconds —
+	// sasbench's client treats zero or garbage as a misbehaving server and
+	// falls back to its own floor, so a regression here would silently
+	// disable the advertised back-pressure.
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs <= 0 {
 		sh.mu.Unlock()
-		t.Fatal("429 without a Retry-After header")
+		t.Fatalf("429 Retry-After %q is not a positive integer of seconds", ra)
 	}
 
 	// Release the worker: both accepted batches (and nothing else) land.

@@ -318,9 +318,7 @@ func (st *store) recoverLive(ls *liveSummary) error {
 		}
 		e.live, e.seq = true, sn.seq
 		ls.base = e.sample().Summary()
-		st.mu.Lock()
-		st.entries[ls.name] = e
-		st.mu.Unlock()
+		st.install(e)
 		st.logf("recovered live %q from %s (snapshot %d, %d keys)", ls.name, sn.path, sn.seq, e.be.Size())
 		return nil
 	}
@@ -428,9 +426,9 @@ func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
 	ls.mu.Lock()
 	ls.seq = seq
 	ls.mu.Unlock()
-	st.mu.Lock()
-	st.entries[ls.name] = e
-	st.mu.Unlock()
+	// install gives the new epoch its own empty answer cache — publishing
+	// the snapshot is what invalidates every answer cached for the old one.
+	st.install(e)
 	st.logf("snapshot %d of live %q: %d keys from %d pushed (%s)", seq, ls.name, sum.Size(), pushed, path)
 	return e, nil
 }

@@ -38,7 +38,7 @@ const liveAxesSpec = "bittrie:10,bittrie:10"
 // has its own tests.
 func liveStore(t *testing.T, dir string, sources ...serveSource) *store {
 	t.Helper()
-	st := newStore(sources, t.Logf)
+	st := newStore(sources, 4096, t.Logf)
 	if err := st.loadAll(); err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +401,7 @@ func TestLivePersistRecover(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st4 := newStore(nil, t.Logf)
+	st4 := newStore(nil, 4096, t.Logf)
 	err = st4.initLive(
 		[]cliutil.Assignment{{Name: "net", Value: liveAxesSpec}},
 		liveConfig{size: liveTestCfg.Size, seed: liveTestCfg.Seed, dir: dir},

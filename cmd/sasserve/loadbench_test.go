@@ -1,0 +1,110 @@
+package main
+
+// Concurrent serving benchmarks: replay the sasbench -load query mixes
+// against an in-process httptest server through internal/loadgen, reporting
+// qps and p50/p99/p999 latency per (mix, concurrency) cell. The hot vs
+// hot-nocache pair quantifies the epoch-keyed answer cache on its target
+// shape; area is the cache-hostile baseline (8192 distinct boxes against a
+// 4096-entry cache). Run with
+//
+//	go test -run '^$' -bench '^BenchmarkServeLoad$' -benchtime 3000x ./cmd/sasserve
+//
+// `make bench-json` records the cells into the benchmark trajectory.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"structaware/internal/loadgen"
+	"structaware/internal/xmath"
+)
+
+// benchMixURLs mirrors sasbench's mix construction: "area" cycles a large
+// pool of uniform-area boxes, "hot" Zipf-concentrates traffic on 64 ranges,
+// and "hot-nocache" replays the identical hot sequence with cache=off.
+func benchMixURLs(base, mix string, domains []uint64) []string {
+	estimate := base + "/v1/summaries/net/estimate?range="
+	switch mix {
+	case "area":
+		texts := loadgen.RangeTexts(loadgen.AreaBoxes(domains, 8192, 0.1, 11))
+		urls := make([]string, len(texts))
+		for i, t := range texts {
+			urls[i] = estimate + t
+		}
+		return urls
+	case "hot", "hot-nocache":
+		texts := loadgen.RangeTexts(loadgen.AreaBoxes(domains, 64, 0.05, 12))
+		z := loadgen.NewZipf(len(texts), 1.0)
+		r := xmath.NewRand(13)
+		suffix := ""
+		if mix == "hot-nocache" {
+			suffix = "&cache=off"
+		}
+		urls := make([]string, 16384)
+		for i := range urls {
+			urls[i] = estimate + texts[z.Pick(r.Float64())] + suffix
+		}
+		return urls
+	}
+	panic("unknown mix " + mix)
+}
+
+func BenchmarkServeLoad(b *testing.B) {
+	dir := b.TempDir()
+	path := filepath.Join(dir, "net.sas")
+	writeSummary(b, path, buildSummary(b, 31))
+	st := newStore([]serveSource{{name: "net", path: path}}, 4096, func(string, ...any) {})
+	if err := st.loadAll(); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(st.handler())
+	defer srv.Close()
+	domains := []uint64{1024, 1024}
+
+	for _, mix := range []string{"hot", "hot-nocache", "area"} {
+		urls := benchMixURLs(srv.URL, mix, domains)
+		for _, conc := range []int{4, 16} {
+			b.Run(fmt.Sprintf("mix=%s/conc=%d", mix, conc), func(b *testing.B) {
+				client := &http.Client{Transport: &http.Transport{
+					MaxIdleConns:        256,
+					MaxIdleConnsPerHost: 256,
+				}}
+				defer client.CloseIdleConnections()
+				get := func(_, seq int) error {
+					resp, err := client.Get(urls[seq%len(urls)])
+					if err != nil {
+						return err
+					}
+					_, err = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if err == nil && resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %d", resp.StatusCode)
+					}
+					return err
+				}
+				// Each cell quantifies steady state: prime the answer
+				// cache, the server's scratch pools, and the client's
+				// connection pool before the measured run.
+				if _, err := loadgen.Run(loadgen.Options{Concurrency: conc, Requests: 512}, get); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				res, err := loadgen.Run(loadgen.Options{Concurrency: conc, Requests: b.N}, get)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Errors > 0 {
+					b.Fatalf("%d of %d requests failed", res.Errors, res.Requests)
+				}
+				b.ReportMetric(res.QPS, "qps")
+				b.ReportMetric(float64(res.P50), "p50-ns")
+				b.ReportMetric(float64(res.P99), "p99-ns")
+				b.ReportMetric(float64(res.P999), "p999-ns")
+			})
+		}
+	}
+}

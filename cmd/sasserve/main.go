@@ -27,6 +27,13 @@
 //	                       "c0,c1,...,weight" rows and the summary is built
 //	                       from it at load time; a bare "sample" recipe (no
 //	                       axes) reads a serialized .sas file, the default.
+//	-cache-size n          per-summary answer-cache capacity, in cached
+//	                       responses (default 4096, 0 disables). Answers are
+//	                       keyed on the literal range text and valid for one
+//	                       serving epoch; a reload or snapshot rotation swaps
+//	                       the entry and drops its cache wholesale, so a
+//	                       stale answer can never be served. A single-range
+//	                       GET may append &cache=off to bypass the cache.
 //	-live name=axes        writable summary over the given key domain
 //	                       (axes like "bittrie:32,bittrie:32"; repeatable)
 //	-live-size n           sample size of each live snapshot (default 1000)
@@ -114,6 +121,7 @@ func main() {
 	var liveSpecs, backendSpecs []string
 	var (
 		addr         = flag.String("addr", ":8337", "HTTP listen address")
+		cacheSize    = flag.Int("cache-size", 4096, "per-summary answer-cache capacity in responses (0 disables)")
 		liveSize     = flag.Int("live-size", 1000, "target sample size of live-summary snapshots")
 		liveBuffer   = flag.Int("live-buffer", 0, "live builder reservoir in keys (0 = 5×live-size)")
 		liveSeed     = flag.Uint64("live-seed", 1, "construction seed for live summaries")
@@ -135,6 +143,7 @@ func main() {
 	tool := cliutil.New("sasserve")
 	tool.CheckUsage(cliutil.FirstError(
 		cliutil.Required("-addr", *addr),
+		cliutil.NonNegative("-cache-size", *cacheSize),
 		cliutil.Positive("-live-size", *liveSize),
 		cliutil.NonNegative("-live-buffer", *liveBuffer),
 		cliutil.NonNegative("-live-shards", *liveShards),
@@ -201,7 +210,7 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "sasserve: ", log.LstdFlags)
-	st := newStore(sources, logger.Printf)
+	st := newStore(sources, *cacheSize, logger.Printf)
 	tool.Check(st.loadAll())
 	lc := liveConfig{
 		size:     *liveSize,

@@ -1,15 +1,21 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"structaware/internal/anscache"
 	"structaware/internal/backend"
 	"structaware/internal/core"
 	"structaware/internal/structure"
@@ -58,6 +64,18 @@ type entry struct {
 	live   bool
 	seq    uint64
 	pushed int64
+
+	// Serving epoch and per-epoch answer cache, assigned by store.install
+	// when the entry is published. Estimates are immutable per epoch (the
+	// entry never changes after the swap), so the cache needs no
+	// invalidation beyond being dropped with the entry it belongs to.
+	epoch uint64
+	cache *anscache.Cache
+	// bodyPrefix is the pre-rendered static head of this entry's
+	// single-range response bodies (`{"summary":"...","backend":"...",
+	// "epoch":N,"ranges":["`), or nil when the name cannot be emitted into
+	// JSON verbatim, disabling the pre-rendered fast path for this entry.
+	bodyPrefix []byte
 }
 
 // sample returns the sample adapter behind the entry, or nil for
@@ -140,28 +158,57 @@ type store struct {
 	liveCfg   liveConfig
 	liveWG    sync.WaitGroup // shard workers, joined by closeLive
 
+	// cacheCap sizes the per-entry answer cache (-cache-size; 0 disables).
+	cacheCap int
+	// epochs numbers every installed entry, process-unique and increasing.
+	epochs atomic.Uint64
+
 	mu      sync.RWMutex
 	entries map[string]*entry
 }
 
-func newStore(sources []serveSource, logf func(format string, args ...any)) *store {
-	return &store{sources: sources, logf: logf, entries: make(map[string]*entry)}
+func newStore(sources []serveSource, cacheCap int, logf func(format string, args ...any)) *store {
+	return &store{sources: sources, cacheCap: cacheCap, logf: logf, entries: make(map[string]*entry)}
+}
+
+// install publishes a fully-formed entry into the serving map. Every path
+// that makes an entry visible goes through here — startup load, SIGHUP
+// reload, live-snapshot recovery, and rotation — so each published entry
+// carries a fresh epoch number and an empty answer cache: swapping the
+// entry IS the wholesale cache invalidation, and the (epoch, backend) part
+// of the conceptual (epoch, backend, range) cache key is simply which
+// entry's cache a request consults.
+func (st *store) install(e *entry) {
+	e.epoch = st.epochs.Add(1)
+	e.cache = anscache.New(st.cacheCap)
+	if jsonPlain(e.name) {
+		p := append([]byte(`{"summary":"`), e.name...)
+		p = append(p, `","backend":"`...)
+		p = append(p, string(e.be.Kind)...)
+		p = append(p, `","epoch":`...)
+		p = strconv.AppendUint(p, e.epoch, 10)
+		p = append(p, `,"ranges":["`...)
+		e.bodyPrefix = p
+	}
+	st.mu.Lock()
+	st.entries[e.name] = e
+	st.mu.Unlock()
 }
 
 // loadAll loads every configured summary; any failure is fatal (startup).
 func (st *store) loadAll() error {
 	now := time.Now()
-	fresh := make(map[string]*entry, len(st.sources))
+	loaded := make([]*entry, 0, len(st.sources))
 	for _, src := range st.sources {
 		e, err := loadEntry(src, now)
 		if err != nil {
 			return err
 		}
-		fresh[src.name] = e
+		loaded = append(loaded, e)
 	}
-	st.mu.Lock()
-	st.entries = fresh
-	st.mu.Unlock()
+	for _, e := range loaded {
+		st.install(e)
+	}
 	return nil
 }
 
@@ -178,9 +225,7 @@ func (st *store) reload() {
 			st.logf("reload %s: %v (keeping previous version)", src.name, err)
 			continue
 		}
-		st.mu.Lock()
-		st.entries[src.name] = e
-		st.mu.Unlock()
+		st.install(e)
 		st.logf("reloaded %s from %s (%s, %d elements)", src.name, src.path, e.be.Kind, e.be.Size())
 	}
 }
@@ -216,6 +261,12 @@ type summaryMeta struct {
 	Axes          []axisMeta `json:"axes"`
 	LoadedAt      time.Time  `json:"loaded_at"`
 	Bytes         int64      `json:"bytes"`
+	// Epoch identifies the immutable serving generation behind every
+	// answer; it increases on each reload, recovery, or snapshot rotation.
+	Epoch uint64 `json:"epoch"`
+	// Answer-cache counters for this epoch's entry (both zero with -cache-size 0).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
 	// Live-snapshot provenance, absent on file-backed summaries.
 	Live     bool   `json:"live,omitempty"`
 	Snapshot uint64 `json:"snapshot,omitempty"`
@@ -243,10 +294,12 @@ func (e *entry) meta() summaryMeta {
 		Axes:          axes,
 		LoadedAt:      e.loadedAt,
 		Bytes:         e.bytes,
+		Epoch:         e.epoch,
 		Live:          e.live,
 		Snapshot:      e.seq,
 		Pushed:        e.pushed,
 	}
+	m.CacheHits, m.CacheMisses = e.cache.Stats()
 	if s := e.sample(); s != nil {
 		m.Method = s.Summary().Method.String()
 		m.Tau = s.Summary().Tau
@@ -262,8 +315,12 @@ type estimateRequest struct {
 }
 
 type estimateResponse struct {
-	Summary   string    `json:"summary"`
-	Backend   string    `json:"backend"`
+	Summary string `json:"summary"`
+	Backend string `json:"backend"`
+	// Epoch is the serving generation that produced these estimates; two
+	// responses with equal epoch and equal ranges are byte-identical (the
+	// contract the soak gauntlet asserts and the answer cache relies on).
+	Epoch     uint64    `json:"epoch"`
 	Ranges    []string  `json:"ranges"`
 	Estimates []float64 `json:"estimates"`
 	// Total is the multi-range estimate over the union of the requested
@@ -332,12 +389,35 @@ func (st *store) handler() http.Handler {
 	return mux
 }
 
+// jsonBufPool recycles response-encoding buffers across requests; buffers
+// that ballooned on a large response (a big representatives dump) are let
+// go rather than pinned in the pool forever.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledEncodeBuf = 1 << 16
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledEncodeBuf {
+		jsonBufPool.Put(buf)
+	}
+}
+
+// writeRawJSON writes a pre-rendered 200 response body (the single-range
+// fast path, cached or freshly rendered — both produce identical bytes).
+func writeRawJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -441,7 +521,7 @@ func parseBoxes(texts []string, e *entry) ([]structure.Range, error) {
 // contract, taking the backend's batch fast path when it has one and
 // attaching confidence bounds when it can prove them.
 func estimate(e *entry, texts []string, boxes []structure.Range) estimateResponse {
-	resp := estimateResponse{Summary: e.name, Backend: string(e.be.Kind), Ranges: texts}
+	resp := estimateResponse{Summary: e.name, Backend: string(e.be.Kind), Epoch: e.epoch, Ranges: texts}
 	switch {
 	case len(boxes) == 1:
 		// The union of one box is that box; one traversal answers both.
@@ -470,13 +550,168 @@ func estimate(e *entry, texts []string, boxes []structure.Range) estimateRespons
 }
 
 func (st *store) handleEstimateGet(w http.ResponseWriter, r *http.Request, e *entry) {
-	texts := r.URL.Query()["range"]
-	boxes, err := parseBoxes(texts, e)
+	first, all, n, useCache := parseEstimateParams(r.URL.RawQuery)
+	if n == 1 {
+		serveSingleEstimate(w, e, first, useCache)
+		return
+	}
+	boxes, err := parseBoxes(all, e)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, estimate(e, texts, boxes))
+	writeJSON(w, http.StatusOK, estimate(e, all, boxes))
+}
+
+// parseEstimateParams scans an estimate GET's raw query without building
+// url.Values: the steady-state request is exactly one range parameter, and
+// its decoded text — returned without allocating in the escape-free case —
+// is the answer-cache key. When several ranges are present they all come
+// back in all (first included); pairs with invalid percent-escapes are
+// skipped, as url.Values does. cache=off opts the request out of the answer
+// cache — consistency tests and the load harness's uncached baseline use it.
+func parseEstimateParams(raw string) (first string, all []string, n int, useCache bool) {
+	useCache = true
+	for raw != "" {
+		var pair string
+		pair, raw, _ = strings.Cut(raw, "&")
+		key, val, _ := strings.Cut(pair, "=")
+		switch key {
+		case "range":
+			text, err := unescapeQueryValue(val)
+			if err != nil {
+				continue
+			}
+			if n == 0 {
+				first = text
+			} else {
+				if all == nil {
+					all = append(make([]string, 0, n+2), first)
+				}
+				all = append(all, text)
+			}
+			n++
+		case "cache":
+			if val == "off" {
+				useCache = false
+			}
+		}
+	}
+	return first, all, n, useCache
+}
+
+// unescapeQueryValue decodes one query value, with no allocation for the
+// common escape-free case.
+func unescapeQueryValue(s string) (string, error) {
+	if !strings.ContainsAny(s, "%+") {
+		return s, nil
+	}
+	return url.QueryUnescape(s)
+}
+
+// jsonPlain reports whether s appears verbatim inside a JSON string under
+// the server's non-HTML-escaping encoder: printable ASCII with no quote or
+// backslash. Only such strings participate in pre-rendered bodies and cache
+// keys; anything else takes the reflective encoder path.
+func jsonPlain(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// serveSingleEstimate answers the hot request shape — one range against one
+// summary — through the entry's answer cache. A hit writes the previously
+// rendered body with zero estimate work; a miss parses, estimates, renders
+// once, and caches the body keyed on the literal range text (so a hit also
+// skips parsing). Cached and uncached answers are byte-identical by
+// construction: both are produced by the same renderer, and the entry (and
+// with it the cache) is immutable for its whole epoch.
+func serveSingleEstimate(w http.ResponseWriter, e *entry, text string, useCache bool) {
+	if e.bodyPrefix == nil || !jsonPlain(text) {
+		// Names or texts the pre-renderer cannot emit verbatim go through
+		// the reflective encoder, uncached.
+		boxes, err := parseBoxes([]string{text}, e)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, estimate(e, []string{text}, boxes))
+		return
+	}
+	if useCache {
+		if body, ok := e.cache.Get(text); ok {
+			writeRawJSON(w, body)
+			return
+		}
+	}
+	box, err := structure.ParseRange(text)
+	if err == nil {
+		err = box.Check(e.be.Axes)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := renderSingleEstimate(e, text, box)
+	if useCache {
+		e.cache.Put(text, body)
+	}
+	writeRawJSON(w, body)
+}
+
+// renderSingleEstimate renders the single-range response body by hand,
+// byte-for-byte what writeJSON produces for the equivalent
+// estimateResponse — field order, float formatting (see appendJSONFloat),
+// omitempty behavior, and the encoder's trailing newline — without the
+// reflection walk. The equivalence is pinned by TestSingleRangeRenderParity.
+func renderSingleEstimate(e *entry, text string, box structure.Range) []byte {
+	est := e.be.EstimateRange(box)
+	b := make([]byte, 0, len(e.bodyPrefix)+len(text)+112)
+	b = append(b, e.bodyPrefix...)
+	b = append(b, text...)
+	b = append(b, `"],"estimates":[`...)
+	b = appendJSONFloat(b, est)
+	b = append(b, `],"total":`...)
+	b = appendJSONFloat(b, est)
+	if bd, ok := e.be.Estimator.(backend.Bounder); ok {
+		bound := bd.EstimateBound(est, 1-serveConfidence)
+		b = append(b, `,"confidence":`...)
+		b = appendJSONFloat(b, serveConfidence)
+		b = append(b, `,"bounds":[`...)
+		b = appendJSONFloat(b, bound)
+		b = append(b, ']')
+		if bound != 0 { // omitempty parity
+			b = append(b, `,"total_bound":`...)
+			b = appendJSONFloat(b, bound)
+		}
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest decimal form, 'f' format except for magnitudes below 1e-6 or at
+// least 1e21, which use 'e' with a one-digit-minimum exponent. The smoke
+// test compares a rendered estimate against /total output textually, so
+// this parity is load-bearing, not cosmetic.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
 }
 
 // writeDecodeError answers a failed body decode: an exceeded size cap is
@@ -506,6 +741,12 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool
 func (st *store) handleEstimatePost(w http.ResponseWriter, r *http.Request, e *entry) {
 	var req estimateRequest
 	if !decodeBody(w, r, maxEstimateBody, &req) {
+		return
+	}
+	if len(req.Ranges) == 1 {
+		// Same fast path (and cache) as the single-range GET, so the two
+		// verbs answer the same question with identical bytes.
+		serveSingleEstimate(w, e, req.Ranges[0], true)
 		return
 	}
 	boxes, err := parseBoxes(req.Ranges, e)

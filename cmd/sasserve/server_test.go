@@ -18,7 +18,7 @@ import (
 )
 
 // buildSummary draws a deterministic 2-D test summary.
-func buildSummary(t *testing.T, seed uint64) *core.Summary {
+func buildSummary(t testing.TB, seed uint64) *core.Summary {
 	t.Helper()
 	axes := []structure.Axis{structure.BitTrieAxis(10), structure.BitTrieAxis(10)}
 	r := xmath.NewRand(seed)
@@ -40,7 +40,7 @@ func buildSummary(t *testing.T, seed uint64) *core.Summary {
 	return sum
 }
 
-func writeSummary(t *testing.T, path string, sum *core.Summary) {
+func writeSummary(t testing.TB, path string, sum *core.Summary) {
 	t.Helper()
 	f, err := os.Create(path)
 	if err != nil {
@@ -61,7 +61,7 @@ func testServer(t *testing.T, sum *core.Summary) (*httptest.Server, *store, stri
 	dir := t.TempDir()
 	path := filepath.Join(dir, "net.sas")
 	writeSummary(t, path, sum)
-	st := newStore([]serveSource{{name: "net", path: path}}, t.Logf)
+	st := newStore([]serveSource{{name: "net", path: path}}, 4096, t.Logf)
 	if err := st.loadAll(); err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +331,7 @@ func TestMultipleSummaries(t *testing.T) {
 	pa, pb := filepath.Join(dir, "a.sas"), filepath.Join(dir, "b.sas")
 	writeSummary(t, pa, a)
 	writeSummary(t, pb, b)
-	st := newStore([]serveSource{{name: "a", path: pa}, {name: "b", path: pb}}, t.Logf)
+	st := newStore([]serveSource{{name: "a", path: pa}, {name: "b", path: pb}}, 4096, t.Logf)
 	if err := st.loadAll(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,441 @@
+package main
+
+// Tests for the hot read path added for serving at p99: the single-range
+// render fast path (byte parity with the reflective encoder), the
+// epoch-keyed answer cache (correctness across snapshot rotations, hit/miss
+// accounting, cached == uncached bytes), the low-allocation contract of a
+// warm-cache GET, the 400 table of the fast parser, and the soak gauntlet
+// of concurrent readers against live ingest and entry rotations.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"structaware/internal/structure"
+	"structaware/internal/xmath"
+)
+
+// getRaw fetches url and returns the raw body bytes and status code.
+func getRaw(t *testing.T, url string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, resp.StatusCode
+}
+
+// TestSingleRangeRenderParity pins the contract renderSingleEstimate's
+// comment promises: the hand-rendered single-range body is byte-for-byte
+// what writeJSON produces for the equivalent estimateResponse — field
+// order, float formatting, omitempty behavior, trailing newline. The smoke
+// script compares rendered floats textually against /total, so a parity
+// break is a production bug, not a cosmetic one.
+func TestSingleRangeRenderParity(t *testing.T) {
+	sum := buildSummary(t, 21)
+	_, st, _ := testServer(t, sum)
+	e, ok := st.get("net")
+	if !ok {
+		t.Fatal("no entry")
+	}
+	if e.bodyPrefix == nil {
+		t.Fatal("plain-named entry has no pre-rendered body prefix")
+	}
+	for _, text := range []string{
+		"0:1023,0:1023",
+		"0:511,256:767",
+		"100:199,0:1023",
+		"0:0,0:0", // empty box: estimate 0, bound 0 — the omitempty branch
+		"1023:1023,1023:1023",
+	} {
+		box, err := structure.ParseRange(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := renderSingleEstimate(e, text, box)
+		rec := httptest.NewRecorder()
+		writeJSON(rec, http.StatusOK, estimate(e, []string{text}, []structure.Range{box}))
+		if want := rec.Body.Bytes(); !bytes.Equal(got, want) {
+			t.Errorf("range %s:\nrendered  %s\nreflective %s", text, got, want)
+		}
+	}
+}
+
+// TestAppendJSONFloatMatchesEncodingJSON sweeps the float formatter over
+// every formatting regime encoding/json distinguishes — 'f' vs 'e', the
+// 1e-6 and 1e21 thresholds, one- and multi-digit exponents, negatives,
+// subnormals, and extremes — and demands byte equality with json.Marshal.
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 0.5, -0.5, 1.0 / 3.0,
+		123456.789, 1e6, 1e20, 9.99e20,
+		1e21, -1e21, 1.5e22, 1e300, math.MaxFloat64,
+		1e-6, 9.999999e-7, 1e-7, -1e-7, 2.5e-9, 1e-300,
+		5e-324, math.SmallestNonzeroFloat64,
+		serveConfidence, 0.95, 1024.0, 16777217,
+	}
+	for _, f := range vals {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, f); !bytes.Equal(got, want) {
+			t.Errorf("appendJSONFloat(%g) = %s, want %s", f, got, want)
+		}
+	}
+}
+
+// TestAnswerCacheAcrossRotation is the cache-correctness contract: repeat
+// queries hit (bit-identically), cache=off bypasses but agrees byte for
+// byte, the meta counters move, and a snapshot rotation swaps in a fresh
+// epoch whose answers reflect the new data — the old cache is gone with
+// its entry, never serving stale estimates.
+func TestAnswerCacheAcrossRotation(t *testing.T) {
+	st := liveStore(t, "")
+	srv := httptest.NewServer(st.handler())
+	defer srv.Close()
+
+	coords, weights := genKeys(2000, 201)
+	if err := pushDirect(st, coords, weights); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.rotate(st.lives["net"], true); err != nil {
+		t.Fatal(err)
+	}
+
+	const text = "0:511,0:1023"
+	url := srv.URL + "/v1/summaries/net/estimate?range=" + text
+
+	body1, code := getRaw(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("first query status %d", code)
+	}
+	body2, _ := getRaw(t, url)
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cache hit differs from miss:\n%s\n%s", body1, body2)
+	}
+	bodyOff, _ := getRaw(t, url+"&cache=off")
+	if !bytes.Equal(body1, bodyOff) {
+		t.Fatalf("cache=off differs from cached:\n%s\n%s", body1, bodyOff)
+	}
+
+	// POST with the same single range rides the same cache and renderer.
+	req, _ := json.Marshal(estimateRequest{Ranges: []string{text}})
+	resp, err := http.Post(srv.URL+"/v1/summaries/net/estimate", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(body1, postBody) {
+		t.Fatalf("POST single-range differs from GET:\n%s\n%s", body1, postBody)
+	}
+
+	var meta summaryMeta
+	getJSON(t, srv.URL+"/v1/summaries/net", http.StatusOK, &meta)
+	// One miss (the first GET), then GET hit + POST hit; cache=off touched
+	// neither counter.
+	if meta.CacheMisses != 1 || meta.CacheHits != 2 {
+		t.Fatalf("counters hits=%d misses=%d, want 2/1", meta.CacheHits, meta.CacheMisses)
+	}
+	epoch1 := meta.Epoch
+	if epoch1 == 0 {
+		t.Fatal("serving entry has epoch 0")
+	}
+
+	// Rotation: new keys, forced snapshot, and the same URL must answer from
+	// the new epoch with the new data — bit-identical to the fresh backend.
+	coords2, weights2 := genKeys(2000, 202)
+	if err := pushDirect(st, coords2, weights2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.rotate(st.lives["net"], true); err != nil {
+		t.Fatal(err)
+	}
+	var got estimateResponse
+	raw, code := getRaw(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("post-rotation status %d", code)
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch <= epoch1 {
+		t.Fatalf("post-rotation epoch %d did not advance past %d", got.Epoch, epoch1)
+	}
+	e, _ := st.get("net")
+	box, _ := structure.ParseRange(text)
+	if math.Float64bits(got.Estimates[0]) != math.Float64bits(e.be.EstimateRange(box)) {
+		t.Fatalf("post-rotation estimate %v, want %v from the new entry", got.Estimates[0], e.be.EstimateRange(box))
+	}
+	if bytes.Equal(raw, body1) {
+		t.Fatal("post-rotation body identical to the pre-rotation one (stale cache?)")
+	}
+	getJSON(t, srv.URL+"/v1/summaries/net", http.StatusOK, &meta)
+	if meta.CacheMisses != 1 || meta.CacheHits != 0 {
+		t.Fatalf("fresh-epoch counters hits=%d misses=%d, want 0/1", meta.CacheHits, meta.CacheMisses)
+	}
+}
+
+// discardResponseWriter is a reusable ResponseWriter so AllocsPerRun
+// measures the handler's allocations, not the recorder's.
+type discardResponseWriter struct{ h http.Header }
+
+func (d *discardResponseWriter) Header() http.Header         { return d.h }
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponseWriter) WriteHeader(int)             {}
+
+// maxWarmGetAllocs bounds the per-request heap allocations of a warm-cache
+// single-range GET through the full mux. The measured cost is the mux's
+// request clone plus the Content-Length string; the budget leaves headroom
+// for toolchain drift while still catching any per-request encode or parse
+// regression (the reflective path costs dozens).
+const maxWarmGetAllocs = 10
+
+func TestWarmCacheSingleRangeAllocs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.sas")
+	writeSummary(t, path, buildSummary(t, 22))
+	st := newStore([]serveSource{{name: "net", path: path}}, 4096, t.Logf)
+	if err := st.loadAll(); err != nil {
+		t.Fatal(err)
+	}
+	h := st.handler()
+	req := httptest.NewRequest("GET", "/v1/summaries/net/estimate?range=0:511,0:1023", nil)
+	w := &discardResponseWriter{h: make(http.Header)}
+	h.ServeHTTP(w, req) // the priming miss renders and caches
+	avg := testing.AllocsPerRun(200, func() {
+		h.ServeHTTP(w, req)
+	})
+	if avg > maxWarmGetAllocs {
+		t.Errorf("warm-cache GET allocates %.1f per request, budget %d", avg, maxWarmGetAllocs)
+	}
+	e, _ := st.get("net")
+	if hits, misses := e.cache.Stats(); hits < 200 || misses != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d — the warm loop was not served from cache", hits, misses)
+	}
+}
+
+// TestEstimateBadRanges is the 400 table of the fast query parser: every
+// malformed single- and multi-range request is rejected with a JSON error
+// body, on GET and on the POST fast path alike.
+func TestEstimateBadRanges(t *testing.T) {
+	sum := buildSummary(t, 23)
+	srv, _, _ := testServer(t, sum)
+
+	for _, tc := range []struct {
+		name  string
+		query string
+	}{
+		{"no range", ""},
+		{"unparseable", "?range=abc"},
+		{"not lo:hi", "?range=12,34"},
+		{"empty interval", "?range=5:2,0:10"},
+		{"wrong dims", "?range=0:10"},
+		{"extra dims", "?range=0:1,0:1,0:1"},
+		{"out of domain", "?range=0:2000,0:10"},
+		{"overflow", "?range=0:18446744073709551616,0:1"},
+		{"bad second range", "?range=0:1,0:1&range=abc"},
+		{"bad escape only", "?range=%zz"},
+		{"bad with cache off", "?range=abc&cache=off"},
+	} {
+		body, code := getRaw(t, srv.URL+"/v1/summaries/net/estimate"+tc.query)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: 400 body %q is not a JSON error", tc.name, body)
+		}
+	}
+
+	// The POST single-range fast path shares the rejection plumbing.
+	for _, bad := range []string{"abc", "5:2,0:10", "0:10"} {
+		req, _ := json.Marshal(estimateRequest{Ranges: []string{bad}})
+		resp, err := http.Post(srv.URL+"/v1/summaries/net/estimate", "application/json", bytes.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Sanity: a valid single range still answers 200 through the fast path.
+	if _, code := getRaw(t, srv.URL+"/v1/summaries/net/estimate?range=0:511,0:1023&cache=off"); code != http.StatusOK {
+		t.Fatalf("valid range status %d", code)
+	}
+}
+
+// TestServingSoakConsistency is the read-path soak gauntlet (run under
+// -race in CI): concurrent readers replay a hot range pool — cached,
+// uncached, and via POST — while live ingest keeps rotating fresh epochs
+// underneath. Every response must be internally consistent, cached and
+// uncached answers within one epoch must agree byte for byte, and any two
+// responses for the same (epoch, range) must be identical across all
+// readers for the whole run — the immutable-epoch contract the answer
+// cache is built on.
+func TestServingSoakConsistency(t *testing.T) {
+	st := liveStore(t, "")
+	srv := httptest.NewServer(st.handler())
+	defer srv.Close()
+
+	coords, weights := genKeys(1000, 301)
+	if err := pushDirect(st, coords, weights); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.rotate(st.lives["net"], true); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c, w := genKeys(150, uint64(5000+i))
+			if err := pushDirect(st, c, w); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := st.rotate(st.lives["net"], true); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	pool := []string{
+		"0:1023,0:1023",
+		"0:511,0:1023",
+		"512:1023,0:1023",
+		"0:255,256:511",
+		"100:199,0:1023",
+	}
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+
+	// seen maps "epoch range" to the exact response body: the same epoch
+	// must answer the same range identically for every reader, every time,
+	// whether the bytes came from the cache, a fresh render, or a POST.
+	var seen sync.Map
+	check := func(text string, body []byte) (estimateResponse, bool) {
+		var got estimateResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Errorf("range %s: bad response %q: %v", text, body, err)
+			return got, false
+		}
+		if len(got.Estimates) != 1 ||
+			math.Float64bits(got.Estimates[0]) != math.Float64bits(got.Total) {
+			t.Errorf("range %s: inconsistent response %s", text, body)
+			return got, false
+		}
+		key := fmt.Sprintf("%d %s", got.Epoch, text)
+		if prev, loaded := seen.LoadOrStore(key, string(body)); loaded && prev.(string) != string(body) {
+			t.Errorf("epoch %d range %s answered differently:\n%s\n%s", got.Epoch, text, prev, body)
+			return got, false
+		}
+		return got, true
+	}
+
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			base := srv.URL + "/v1/summaries/net/estimate"
+			for i := 0; i < iters; i++ {
+				text := pool[(r+i)%len(pool)]
+				cached, code := getRaw(t, base+"?range="+text)
+				if code != http.StatusOK {
+					t.Errorf("cached status %d", code)
+					return
+				}
+				uncached, code := getRaw(t, base+"?range="+text+"&cache=off")
+				if code != http.StatusOK {
+					t.Errorf("uncached status %d", code)
+					return
+				}
+				cr, ok := check(text, cached)
+				if !ok {
+					return
+				}
+				ur, ok := check(text, uncached)
+				if !ok {
+					return
+				}
+				// A rotation may land between the two GETs; byte equality is
+				// only owed within one epoch.
+				if cr.Epoch == ur.Epoch && !bytes.Equal(cached, uncached) {
+					t.Errorf("epoch %d range %s: cached != uncached:\n%s\n%s", cr.Epoch, text, cached, uncached)
+					return
+				}
+				body, _ := json.Marshal(estimateRequest{Ranges: []string{text}})
+				resp, err := http.Post(base, "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				posted, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("POST status %d err %v", resp.StatusCode, err)
+					return
+				}
+				if _, ok := check(text, posted); !ok {
+					return
+				}
+				// Cross-range consistency inside one multi-range response:
+				// the two halves sum to the full domain, and the full box
+				// equals the union total bit for bit.
+				var multi estimateResponse
+				raw, code := getRaw(t, base+"?range="+pool[0]+"&range="+pool[1]+"&range="+pool[2])
+				if code != http.StatusOK {
+					t.Errorf("multi status %d", code)
+					return
+				}
+				if err := json.Unmarshal(raw, &multi); err != nil {
+					t.Error(err)
+					return
+				}
+				if math.Float64bits(multi.Estimates[0]) != math.Float64bits(multi.Total) {
+					t.Errorf("torn read? full %v != union total %v", multi.Estimates[0], multi.Total)
+					return
+				}
+				if !xmath.AlmostEqual(multi.Estimates[1]+multi.Estimates[2], multi.Estimates[0], 1e-9) {
+					t.Errorf("halves %v+%v != full %v", multi.Estimates[1], multi.Estimates[2], multi.Estimates[0])
+					return
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}

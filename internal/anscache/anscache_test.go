@@ -1,0 +1,97 @@
+package anscache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutAndCounters(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.Put("a", []byte("1"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	c.Put("a", []byte("2")) // refresh replaces the value
+	if v, _ := c.Get("a"); string(v) != "2" {
+		t.Fatalf("refreshed Get(a) = %q", v)
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c := New(0); c != nil {
+		t.Fatal("New(0) should return the nil disabled cache")
+	}
+	c.Put("a", []byte("1"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache must always miss")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatal("nil cache must not count")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache must be empty")
+	}
+}
+
+// TestEvictionIsLRUWithinShard drives one logical LRU by keeping every key
+// in play and checking that (a) capacity is respected and (b) the key
+// touched most recently survives while an untouched one from the same
+// shard eventually goes.
+func TestEvictionBoundAndRecencySurvival(t *testing.T) {
+	const capacity = 64
+	c := New(capacity)
+	c.Put("keep", []byte("keep"))
+	for i := 0; i < 100*capacity; i++ {
+		c.Put(fmt.Sprintf("k%06d", i), []byte("x"))
+		// Touch "keep" every iteration: recency must protect it from
+		// eviction no matter how much churn shares its shard.
+		if _, ok := c.Get("keep"); !ok {
+			t.Fatalf("recently used key evicted after %d churn inserts", i)
+		}
+	}
+	if n := c.Len(); n > capacity+numShards {
+		t.Fatalf("Len = %d after churn, capacity %d", n, capacity)
+	}
+	// An early churn key must be long gone (it shares the cache with
+	// thousands of later inserts).
+	if _, ok := c.Get("k000000"); ok {
+		t.Fatal("oldest churn key survived 6400 later inserts")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%200)
+				if v, ok := c.Get(key); ok && len(v) != 3 {
+					t.Errorf("corrupt value %q", v)
+					return
+				}
+				c.Put(key, []byte("abc"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 8*2000 {
+		t.Fatalf("counters %d+%d, want %d lookups", hits, misses, 8*2000)
+	}
+}

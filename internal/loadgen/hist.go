@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram layout: latencies below histLinear nanoseconds get one exact
+// bucket each; above that, each power-of-two octave is split into histSub
+// sub-buckets, bounding relative quantile error at 1/histSub ≈ 3% — tight
+// enough to compare p99s, and the whole histogram is a fixed ~15 KiB array
+// that records in a handful of instructions with no allocation. (The same
+// log-linear scheme as HdrHistogram at low resolution.)
+const (
+	histLinear = 64 // exact buckets for values < histLinear
+	histSubLog = 5
+	histSub    = 1 << histSubLog // sub-buckets per octave
+	// Octaves 6..62 cover every int64 nanosecond value above histLinear.
+	histBuckets = histLinear + (63-6)*histSub
+)
+
+// Hist is a latency histogram. Record/Quantile are not safe for concurrent
+// use — the runner gives each worker its own Hist and merges at the end,
+// which is both faster than a shared atomic histogram and trivially
+// race-free.
+type Hist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	max    int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{} }
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func bucketOf(v int64) int {
+	if v < histLinear {
+		return int(v)
+	}
+	octave := bits.Len64(uint64(v)) - 1 // >= 6
+	sub := int(v>>(uint(octave)-histSubLog)) & (histSub - 1)
+	b := histLinear + (octave-6)*histSub + sub
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the largest value that lands in bucket b — quantiles
+// report this bound, so they err on the pessimistic side by at most the
+// bucket width.
+func bucketUpper(b int) int64 {
+	if b < histLinear {
+		return int64(b)
+	}
+	octave := 6 + (b-histLinear)/histSub
+	sub := int64((b - histLinear) % histSub)
+	width := int64(1) << (uint(octave) - histSubLog)
+	return int64(1)<<uint(octave) + (sub+1)*width - 1
+}
+
+// Merge adds o's observations into h.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Max returns the largest recorded value exactly.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// recorded latencies, within one bucket width of exact. Zero observations
+// yield zero.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.n))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			u := bucketUpper(b)
+			if u > h.max {
+				u = h.max // never report past the observed maximum
+			}
+			return time.Duration(u)
+		}
+	}
+	return time.Duration(h.max)
+}

@@ -2,8 +2,9 @@
 // query index, turning the O(s) linear scan of the paper's query procedure
 // ("we just compute the intersection of the sample with each query
 // rectangle", Cohen, Cormode, Duffield, VLDB 2011, §1) into an
-// O(log s + answer) lookup (plus an s/64-word bitmap sweep — 64 keys per
-// machine word — that keeps exact summation-order parity; see below). The
+// O(log s + answer) lookup (plus a bitmap sweep over only the words the
+// query touched — 64 keys per machine word — that keeps exact
+// summation-order parity; see below). The
 // index is the read/serving side of the
 // summary lifecycle: built once from the sampled keys, never mutated, and
 // safe to share across any number of concurrently querying goroutines.
@@ -30,9 +31,12 @@
 // Floating-point summation does not commute, so "same set, same order, same
 // algorithm" is the invariant that makes an indexed deployment
 // indistinguishable from the reference implementation. The canonical order
-// is recovered by marking found keys in a pooled bitmap and sweeping its
-// s/64 words, so per-query cost is Θ(log s + answer + s/64) — the sweep
-// touches 64 keys per word and is ~1% of the linear scan's per-key work.
+// is recovered by marking found keys in a pooled bitmap and sweeping it.
+// Each scratch bitmap tracks the span of words the query touched, and both
+// the pre-query clear and the sweep are bounded to that span, so per-query
+// cost is Θ(log s + answer + touched words) rather than carrying a fixed
+// s/64-word term — selective queries on large samples stay cheap even with
+// many concurrent readers.
 package queryidx
 
 import (
@@ -148,7 +152,7 @@ func New(axes []structure.Axis, coords [][]uint64, weights []float64, tau float6
 	words := (size + 63) / 64
 	dims := len(axes)
 	ix.pool.New = func() any {
-		return &scratch{bits: make([]uint64, words), box: make(structure.Range, dims)}
+		return &scratch{bits: make([]uint64, words), box: make(structure.Range, dims), lo: words, hi: -1}
 	}
 	return ix, nil
 }
@@ -262,18 +266,53 @@ func (ix *Index) SlabWeight(d int, iv structure.Interval) float64 {
 // scratch is the per-query working state: a bitmap with one bit per sample
 // key. Marking in-range keys as bits (instead of appending ids) makes the
 // canonical ascending iteration order free — no sort — and dedupes
-// multi-range queries as a side effect. Bitmaps are pooled so a serving
-// process does not allocate per request; at s=10k a bitmap is 1.25 KiB and
-// lives in L1.
+// multi-range queries as a side effect. Bitmaps are pooled (sync.Pool is
+// per-P, so concurrent readers do not contend on a shared freelist) and a
+// serving process does not allocate per request; at s=10k a bitmap is
+// 1.25 KiB and lives in L1.
+//
+// lo/hi bound the words the current query has touched. Clearing and
+// sweeping only that span makes the fixed per-query bitmap cost
+// proportional to the query's footprint instead of s/64 words, which is
+// what keeps selective queries cheap on large samples under concurrent
+// load. The invariant: every word outside [lo, hi] is zero (fresh bitmaps
+// are zero, and reset clears exactly the span the previous query set).
 type scratch struct {
-	bits []uint64
-	box  structure.Range // kd descent box, reused across queries
+	bits   []uint64
+	box    structure.Range // kd descent box, reused across queries
+	lo, hi int             // touched word span; empty when lo > hi
+}
+
+// touch folds word w into the touched span.
+func (sc *scratch) touch(w int) {
+	if w < sc.lo {
+		sc.lo = w
+	}
+	if w > sc.hi {
+		sc.hi = w
+	}
+}
+
+// set marks key k and maintains the touched span.
+func (sc *scratch) set(k int32) {
+	w := int(k) >> 6
+	sc.bits[w] |= 1 << (uint(k) & 63)
+	sc.touch(w)
+}
+
+// reset clears the touched span (restoring the all-zero invariant) and
+// empties it.
+func (sc *scratch) reset() {
+	if sc.lo <= sc.hi {
+		clear(sc.bits[sc.lo : sc.hi+1])
+	}
+	sc.lo, sc.hi = len(sc.bits), -1
 }
 
 // acquire returns a cleared bitmap (plus descent box) from the pool.
 func (ix *Index) acquire() *scratch {
 	sc := ix.pool.Get().(*scratch)
-	clear(sc.bits)
+	sc.reset()
 	return sc
 }
 
@@ -288,12 +327,12 @@ func (ix *Index) Keys(r structure.Range) []int32 {
 		return nil
 	}
 	count := 0
-	for _, word := range sc.bits {
-		count += bits.OnesCount64(word)
+	for w := sc.lo; w <= sc.hi; w++ {
+		count += bits.OnesCount64(sc.bits[w])
 	}
 	ids := make([]int32, 0, count)
-	for w, word := range sc.bits {
-		for ; word != 0; word &= word - 1 {
+	for w := sc.lo; w <= sc.hi; w++ {
+		for word := sc.bits[w]; word != 0; word &= word - 1 {
 			ids = append(ids, int32(w*64+bits.TrailingZeros64(word)))
 		}
 	}
@@ -325,15 +364,21 @@ func (ix *Index) mark(r structure.Range, sc *scratch) bool {
 		}
 	}
 	if bestAxis == -1 { // no constrained axis: everything matches
-		for k := 0; k < ix.size; k++ {
-			sc.bits[k>>6] |= 1 << (k & 63)
+		words := (ix.size + 63) / 64
+		for w := 0; w < words; w++ {
+			sc.bits[w] = ^uint64(0)
 		}
+		if rem := uint(ix.size) & 63; rem != 0 {
+			sc.bits[words-1] = (1 << rem) - 1
+		}
+		sc.touch(0)
+		sc.touch(words - 1)
 		return true
 	}
 	if len(ix.axes) == 1 {
 		lo, hi := ix.run(0, r[0])
 		for _, k := range ix.byAxis[0].order[lo:hi] {
-			sc.bits[k>>6] |= 1 << (k & 63)
+			sc.set(k)
 		}
 		return true
 	}
@@ -345,7 +390,7 @@ func (ix *Index) mark(r structure.Range, sc *scratch) bool {
 		lo, hi := ix.run(bestAxis, r[bestAxis])
 		for _, k := range ix.byAxis[bestAxis].order[lo:hi] {
 			if ix.inRange(int(k), r) {
-				sc.bits[k>>6] |= 1 << (k & 63)
+				sc.set(k)
 			}
 		}
 		return true
@@ -353,24 +398,24 @@ func (ix *Index) mark(r structure.Range, sc *scratch) bool {
 	for d, a := range ix.axes {
 		sc.box[d] = structure.Interval{Lo: 0, Hi: a.DomainSize() - 1}
 	}
-	ix.markKD(0, sc.box, r, sc.bits)
+	ix.markKD(0, sc.box, r, sc)
 	return true
 }
 
 // markKD descends the flattened kd partition. box is the region owned by
 // node n (mutated on descent and restored before returning).
-func (ix *Index) markKD(n int32, box, r structure.Range, bits []uint64) {
+func (ix *Index) markKD(n int32, box, r structure.Range, sc *scratch) {
 	nd := &ix.nodes[n]
 	if contains(r, box) {
 		for _, k := range ix.items[nd.start:nd.end] {
-			bits[k>>6] |= 1 << (k & 63)
+			sc.set(k)
 		}
 		return
 	}
 	if nd.axis < 0 { // boundary leaf: filter
 		for _, k := range ix.items[nd.start:nd.end] {
 			if ix.inRange(int(k), r) {
-				bits[k>>6] |= 1 << (k & 63)
+				sc.set(k)
 			}
 		}
 		return
@@ -383,13 +428,13 @@ func (ix *Index) markKD(n int32, box, r structure.Range, bits []uint64) {
 	if iv.Lo <= nd.split {
 		saved := box[d].Hi
 		box[d].Hi = nd.split
-		ix.markKD(n+1, box, r, bits)
+		ix.markKD(n+1, box, r, sc)
 		box[d].Hi = saved
 	}
 	if iv.Hi > nd.split {
 		saved := box[d].Lo
 		box[d].Lo = nd.split + 1
-		ix.markKD(nd.right, box, r, bits)
+		ix.markKD(nd.right, box, r, sc)
 		box[d].Lo = saved
 	}
 }
@@ -417,11 +462,14 @@ func (ix *Index) inRange(k int, r structure.Range) bool {
 
 // sumBits adds the adjusted weights of the marked keys in canonical order
 // (ascending key id, Kahan compensation) — the same set, order, and
-// algorithm as the linear scan, hence bit-identical results.
+// algorithm as the linear scan, hence bit-identical results. Only the
+// touched word span is swept: words outside it are zero by the scratch
+// invariant, and skipping a zero word never changes the set, the order, or
+// the compensation (Kahan state is unchanged by not adding anything).
 func (ix *Index) sumBits(sc *scratch) float64 {
 	var s xmath.KahanSum
-	for w, word := range sc.bits {
-		for ; word != 0; word &= word - 1 {
+	for w := sc.lo; w <= sc.hi; w++ {
+		for word := sc.bits[w]; word != 0; word &= word - 1 {
 			s.Add(ix.adj[w*64+bits.TrailingZeros64(word)])
 		}
 	}
@@ -471,14 +519,18 @@ func (ix *Index) EstimateRanges(q structure.Query) (ests []float64, total float6
 	any := false
 	for i, r := range q {
 		if i > 0 {
-			clear(per.bits)
+			per.reset()
 		}
 		if !ix.mark(r, per) {
 			continue
 		}
 		ests[i] = ix.sumBits(per)
-		for w, word := range per.bits {
-			union.bits[w] |= word
+		for w := per.lo; w <= per.hi; w++ {
+			union.bits[w] |= per.bits[w]
+		}
+		if per.lo <= per.hi {
+			union.touch(per.lo)
+			union.touch(per.hi)
 		}
 		any = true
 	}

@@ -1,6 +1,7 @@
 package queryidx
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -333,5 +334,135 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(ax, [][]uint64{{1, 2}}, []float64{1}, 1); err == nil {
 		t.Fatal("ragged columns accepted")
+	}
+}
+
+// TestScratchReuseStaysClean pins the span-bounded clear: a full-domain
+// query dirties an entire pooled bitmap, and every query after it (narrow,
+// empty, batched) must still match the linear scan exactly. If reset ever
+// cleared less than the touched span, stale bits from the wide query would
+// inflate a later narrow answer.
+func TestScratchReuseStaysClean(t *testing.T) {
+	for name, axes := range testAxes(t) {
+		t.Run(name, func(t *testing.T) {
+			f := randomFixture(axes, 700, 11)
+			ix, err := New(f.axes, f.coords, f.weights, f.tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := make(structure.Range, len(axes))
+			for d, a := range axes {
+				full[d] = structure.Interval{Lo: 0, Hi: a.DomainSize() - 1}
+			}
+			r := xmath.NewRand(23)
+			for trial := 0; trial < 50; trial++ {
+				// Dirty the scratch with the widest possible query...
+				if got, want := ix.EstimateRange(full), f.linearEstimate(full); got != want {
+					t.Fatalf("full-domain estimate %v, want %v", got, want)
+				}
+				// ...then a selective one must not see any stale bits.
+				narrow := randomRange(axes, 0.02, r)
+				if got, want := ix.EstimateRange(narrow), f.linearEstimate(narrow); got != want {
+					t.Fatalf("trial %d: narrow %v after full: %v, want %v", trial, narrow, got, want)
+				}
+				// Batched path reuses one per-box scratch across boxes; a wide
+				// box followed by narrow ones exercises its in-loop reset.
+				q := structure.Query{full, narrow, randomRange(axes, 0.01, r)}
+				ests, total := ix.EstimateRanges(q)
+				for i, box := range q {
+					if want := f.linearEstimate(box); ests[i] != want {
+						t.Fatalf("trial %d: batch box %d: %v, want %v", trial, i, ests[i], want)
+					}
+				}
+				if want := f.linearQuery(q); total != want {
+					t.Fatalf("trial %d: batch union %v, want %v", trial, total, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentEstimates hammers one shared index from many goroutines,
+// each comparing against the linear reference. Run under -race this pins
+// that pooled scratches are never shared between concurrent queries.
+func TestConcurrentEstimates(t *testing.T) {
+	axes := []structure.Axis{structure.BitTrieAxis(10), structure.BitTrieAxis(10)}
+	f := randomFixture(axes, 1500, 31)
+	ix, err := New(f.axes, f.coords, f.weights, f.tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(seed uint64) {
+			r := xmath.NewRand(seed)
+			for i := 0; i < 200; i++ {
+				width := 0.01
+				if i%3 == 0 {
+					width = 0.9
+				}
+				box := randomRange(axes, width, r)
+				if got, want := ix.EstimateRange(box), f.linearEstimate(box); got != want {
+					done <- fmt.Errorf("worker %d: box %v: %v, want %v", seed, box, got, want)
+					return
+				}
+			}
+			done <- nil
+		}(uint64(w + 100))
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateRangeParallel measures the serving-shaped load: many
+// goroutines issuing selective range queries against one shared index. The
+// span-bounded clear/sweep keeps the per-query bitmap cost proportional to
+// the answer, so this should scale with cores instead of serializing on
+// full-bitmap clears.
+func BenchmarkEstimateRangeParallel(b *testing.B) {
+	axes := []structure.Axis{structure.BitTrieAxis(12), structure.BitTrieAxis(12)}
+	f := randomFixture(axes, 100_000, 71)
+	ix, err := New(f.axes, f.coords, f.weights, f.tau)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xmath.NewRand(5)
+	boxes := make([]structure.Range, 256)
+	for i := range boxes {
+		boxes[i] = randomRange(axes, 0.01, r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ix.EstimateRange(boxes[i%len(boxes)])
+			i++
+		}
+	})
+}
+
+// BenchmarkEstimateRangeSelective is the single-threaded baseline for the
+// same selective load (compare with the parallel variant for scaling).
+func BenchmarkEstimateRangeSelective(b *testing.B) {
+	axes := []structure.Axis{structure.BitTrieAxis(12), structure.BitTrieAxis(12)}
+	f := randomFixture(axes, 100_000, 71)
+	ix, err := New(f.axes, f.coords, f.weights, f.tau)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xmath.NewRand(5)
+	boxes := make([]structure.Range, 256)
+	for i := range boxes {
+		boxes[i] = randomRange(axes, 0.01, r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.EstimateRange(boxes[i%len(boxes)])
 	}
 }

@@ -1,0 +1,97 @@
+package structure
+
+import "testing"
+
+// The textual range and axis-spec parsers sit directly behind the HTTP
+// API's query parameters: arbitrary client bytes reach them unfiltered, so
+// their contract is "error, never panic", and every accepted input must
+// round-trip through the canonical String form.
+
+func FuzzParseRange(f *testing.F) {
+	for _, seed := range []string{
+		"0:1023",
+		"0:1023,512:767",
+		"1:2,3:4,5:6",
+		" 7 : 9 ",
+		"",
+		",",
+		":",
+		"a:b",
+		"5:2",
+		"0:18446744073709551615",
+		"18446744073709551616:0",
+		"0:1023,",
+		"0x10:20",
+		"+1:2",
+		"1:2,3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		box, err := ParseRange(s)
+		if err != nil {
+			return // rejected input: the only requirement is not panicking
+		}
+		if len(box) == 0 {
+			t.Fatalf("ParseRange(%q) accepted an empty box", s)
+		}
+		for d, iv := range box {
+			if iv.Lo > iv.Hi {
+				t.Fatalf("ParseRange(%q) axis %d: empty interval %v accepted", s, d, iv)
+			}
+		}
+		// Canonical round trip: the String form re-parses to the same box.
+		back, err := ParseRange(box.String())
+		if err != nil {
+			t.Fatalf("ParseRange(%q).String() = %q does not re-parse: %v", s, box.String(), err)
+		}
+		if len(back) != len(box) {
+			t.Fatalf("round trip of %q changed dims: %d -> %d", s, len(box), len(back))
+		}
+		for d := range box {
+			if back[d] != box[d] {
+				t.Fatalf("round trip of %q changed axis %d: %v -> %v", s, d, box[d], back[d])
+			}
+		}
+	})
+}
+
+func FuzzParseAxisSpec(f *testing.F) {
+	for _, seed := range []string{
+		"bittrie:10",
+		"bittrie:10,bittrie:10",
+		"ordered:20",
+		"bittrie:63,ordered:1",
+		"bittrie:0",
+		"bittrie:64",
+		"bittrie:-1",
+		"explicit:5",
+		"qdigest:10",
+		"bittrie",
+		":",
+		"",
+		" bittrie : 12 ",
+		"bittrie:10,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		axes, err := ParseAxisSpec(s)
+		if err != nil {
+			return
+		}
+		if len(axes) == 0 {
+			t.Fatalf("ParseAxisSpec(%q) accepted an empty axis list", s)
+		}
+		for d, ax := range axes {
+			// Every accepted axis is fully valid and has a usable domain —
+			// the live-summary startup path builds on this without re-checking.
+			if err := ax.Validate(); err != nil {
+				t.Fatalf("ParseAxisSpec(%q) axis %d invalid: %v", s, d, err)
+			}
+			if ax.DomainSize() == 0 {
+				t.Fatalf("ParseAxisSpec(%q) axis %d has zero domain", s, d)
+			}
+		}
+	})
+}

@@ -25,13 +25,19 @@ import (
 	"strings"
 )
 
-// Metrics is one benchmark's measurements.
+// Metrics is one benchmark's measurements. The qps and latency-percentile
+// fields are reported by the concurrent serving benchmarks
+// (BenchmarkServeLoad) via b.ReportMetric and absent elsewhere.
 type Metrics struct {
 	Iters       int64   `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	KeysPerS    float64 `json:"keys_per_s,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	QPS         float64 `json:"qps,omitempty"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	P999Ns      float64 `json:"p999_ns,omitempty"`
 }
 
 // Report is the emitted trajectory document.
@@ -145,6 +151,14 @@ func parseBench(line string) (string, Metrics, bool) {
 			m.BytesPerOp = v
 		case "allocs/op":
 			m.AllocsPerOp = v
+		case "qps":
+			m.QPS = v
+		case "p50-ns":
+			m.P50Ns = v
+		case "p99-ns":
+			m.P99Ns = v
+		case "p999-ns":
+			m.P999Ns = v
 		}
 	}
 	return name, m, true

@@ -7,6 +7,8 @@
 #               snapshot, query it, SIGTERM the server (must exit 0,
 #               flushing a final snapshot), restart from -snapshot-dir and
 #               re-query the recovered summary;
+#   load side:  replay a seeded hot/hot-nocache query mix with sasbench
+#               -load and check the answer cache took hits;
 #   wire side:  push binary frames over HTTP (application/x-sas-frame),
 #               flood the raw -ingest-listen socket with sasbench -ingest
 #               while probing the HTTP path for 429 + Retry-After
@@ -116,6 +118,17 @@ FRAMED="$("$TMP/sasbench" -ingest "http://127.0.0.1:$PORT" -ingest-name load \
     -ingest-keys 1000 -ingest-batch 250 -seed 3)"
 echo "$FRAMED"
 echo "$FRAMED" | grep -q '1000 keys in 4 frames' || { echo "HTTP frame push not acknowledged" >&2; exit 1; }
+
+echo "== replay a query load against the served summary (sasbench -load)"
+"$TMP/sasbench" -load "http://127.0.0.1:$PORT" -load-name net \
+    -load-mix hot,hot-nocache -load-conc 4 -load-duration 300ms \
+    -load-out "$TMP/load.json" -seed 5
+grep -q '"mix": "hot"' "$TMP/load.json" || { echo "load report missing hot mix" >&2; exit 1; }
+grep -q '"p999_ns"' "$TMP/load.json" || { echo "load report missing latency percentiles" >&2; exit 1; }
+# The hot mix replays 64 ranges for 300ms: the answer cache must have hits.
+NET_META="$(fetch "http://127.0.0.1:$PORT/v1/summaries/net")"
+echo "$NET_META"
+echo "$NET_META" | grep -q '"cache_hits":[1-9]' || { echo "answer cache took no hits under the hot mix" >&2; exit 1; }
 
 echo "== flood the ingest socket, probe HTTP back-pressure (want 429 + Retry-After)"
 # Maximum-size frames (131072 keys) keep each shard worker busy for ~10ms
