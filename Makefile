@@ -65,11 +65,13 @@ INGESTBENCHTIME ?= 2s
 LOADBENCHTIME ?= 3000x
 
 # Record the benchmark trajectory: run the key build/query benchmarks, the
-# ingest-plane transport benchmarks, the concurrent serving benchmark
-# (qps + latency percentiles per query mix, including the answer-cache
-# hot/hot-nocache pair), and the head-to-head backend comparison (sasbench
-# -backends), and emit BENCH_PR8.json (before = the previous PR's recorded
-# numbers, after = this run, backends = the embedded comparison document).
+# ingest-plane transport benchmarks (including BenchmarkIngestWAL, which
+# prices each -wal-sync durability policy against the no-WAL baseline),
+# the concurrent serving benchmark (qps + latency percentiles per query
+# mix, including the answer-cache hot/hot-nocache pair), and the
+# head-to-head backend comparison (sasbench -backends), and emit
+# BENCH_PR9.json (before = the previous PR's recorded numbers, after =
+# this run, backends = the embedded comparison document).
 bench-json:
 	$(GO) run ./cmd/sasbench -backends /tmp/sas_backends.json \
 		-scale $(BACKENDSCALE) -backend-size $(BACKENDSIZE)
@@ -82,10 +84,10 @@ bench-json:
 		-benchmem -benchtime $(INGESTBENCHTIME) ./cmd/sasserve && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkServeLoad$$' \
 		-benchtime $(LOADBENCHTIME) ./cmd/sasserve ) \
-	| $(GO) run ./scripts/benchjson -pr 8 \
-		-before BENCH_PR7.json -backends /tmp/sas_backends.json \
-		-out BENCH_PR8.json
-	@echo wrote BENCH_PR8.json
+	| $(GO) run ./scripts/benchjson -pr 9 \
+		-before BENCH_PR8.json -backends /tmp/sas_backends.json \
+		-out BENCH_PR9.json
+	@echo wrote BENCH_PR9.json
 
 smoke-serve:
 	./scripts/smoke_sasserve.sh

@@ -47,7 +47,6 @@ import (
 	"math"
 	"net/http"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -172,7 +171,10 @@ func runIngest(addr, name string, n, batch, dims, bits int, seed uint64) error {
 	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
 		return runIngestHTTP(addr, name, n, gen)
 	}
-	c, err := wire.Dial(addr, name)
+	// A restarting server refuses or resets the dial for the moment the
+	// listener is down; ride it out with a few jittered retries instead of
+	// failing a whole ingest run on a blip.
+	c, err := wire.DialRetry(addr, name, 5, nil)
 	if err != nil {
 		return err
 	}
@@ -196,10 +198,13 @@ func runIngest(addr, name string, n, batch, dims, bits int, seed uint64) error {
 }
 
 // runIngestHTTP posts the generated stream as application/x-sas-frame
-// bodies, retrying each frame on 429 after the advertised Retry-After.
+// bodies, retrying each frame on 429 after the advertised Retry-After —
+// or, when the server sends no usable hint, after a capped exponential
+// backoff with jitter whose first wait is never below one second.
 func runIngestHTTP(base, name string, n int, gen *keyGen) error {
 	url := strings.TrimRight(base, "/") + "/v1/summaries/" + name + "/keys"
 	keys, frames, retries := 0, 0, 0
+	bo := wire.Backoff{Base: 2 * time.Second, Max: 30 * time.Second}
 	start := time.Now()
 	for sent := 0; sent < n; sent += gen.batch {
 		rows := min(gen.batch, n-sent)
@@ -217,12 +222,13 @@ func runIngestHTTP(base, name string, n int, gen *keyGen) error {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusTooManyRequests {
 				retries++
-				sleepFn(retryAfterWait(resp.Header.Get("Retry-After")))
+				sleepFn(wire.RetryAfter(resp.Header.Get("Retry-After"), bo.Next()))
 				continue
 			}
 			if resp.StatusCode != http.StatusOK {
 				return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
 			}
+			bo.Reset()
 			break
 		}
 		keys += rows
@@ -233,17 +239,6 @@ func runIngestHTTP(base, name string, n int, gen *keyGen) error {
 		name, keys, frames, retries, gen.total,
 		elapsed.Round(time.Millisecond), float64(keys)/elapsed.Seconds())
 	return nil
-}
-
-// retryAfterWait converts a 429's Retry-After header into a backoff. Only a
-// positive whole number of seconds is honored; zero, negatives, garbage,
-// and an absent header all fall back to one second — a misbehaving server
-// must never be able to talk the client into a hot retry loop.
-func retryAfterWait(h string) time.Duration {
-	if s, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && s > 0 {
-		return time.Duration(s) * time.Second
-	}
-	return time.Second
 }
 
 // sleepFn is swapped by tests to observe backoff without real sleeping.

@@ -11,31 +11,12 @@ import (
 	"time"
 )
 
-func TestRetryAfterWait(t *testing.T) {
-	cases := []struct {
-		header string
-		want   time.Duration
-	}{
-		{"1", time.Second},
-		{"7", 7 * time.Second},
-		{" 2 ", 2 * time.Second},
-		// A zero or garbage hint must never produce a zero backoff — that
-		// is the hot-loop bug this function exists to prevent.
-		{"0", time.Second},
-		{"-3", time.Second},
-		{"soon", time.Second},
-		{"", time.Second},
-	}
-	for _, c := range cases {
-		if got := retryAfterWait(c.header); got != c.want {
-			t.Errorf("retryAfterWait(%q) = %v, want %v", c.header, got, c.want)
-		}
-	}
-}
-
 // TestIngestHTTPHonorsRetryAfter pins the client half of the back-pressure
 // contract: a 429 with Retry-After makes the client sleep the advertised
-// (positive) time and resend the same frame, never spinning.
+// (positive) time and resend the same frame, never spinning — and a 429
+// with an adversarial hint falls back to the jittered backoff, whose
+// first wait is at least one second (wire.Backoff's d/2 jitter floor on
+// the 2s base).
 func TestIngestHTTPHonorsRetryAfter(t *testing.T) {
 	var calls atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

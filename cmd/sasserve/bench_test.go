@@ -21,6 +21,7 @@ import (
 
 	"structaware/internal/cliutil"
 	"structaware/internal/structure"
+	"structaware/internal/wal"
 	"structaware/internal/wire"
 	"structaware/internal/xmath"
 )
@@ -250,4 +251,55 @@ func BenchmarkIngestDecodeFrame(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(benchKeys)*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+// BenchmarkIngestWAL prices the durability contract on the socket path:
+// the BenchmarkIngestWire stream against a store whose write-ahead log is
+// off (PR 7 behavior — the baseline the 2× acceptance bound is measured
+// from), interval (write(2) before every ack, background fsync), and
+// always (fsync before every ack). No rotation happens inside the timed
+// region, so the numbers isolate the per-append WAL cost.
+func BenchmarkIngestWAL(b *testing.B) {
+	coords, weights := ingestFixture(b)
+	cs, ws := frameSlices(coords, weights)
+	for _, pol := range []wal.Policy{wal.PolicyOff, wal.PolicyInterval, wal.PolicyAlways} {
+		b.Run(pol.String(), func(b *testing.B) {
+			st := newStore(nil, 4096, func(string, ...any) {})
+			err := st.initLive(
+				[]cliutil.Assignment{{Name: "net", Value: "bittrie:10,bittrie:10"}},
+				liveConfig{
+					size: 4096, seed: 1, shards: 1, queue: 4096,
+					dir: b.TempDir(), walSync: pol,
+				},
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(st.closeWALs)
+			b.Cleanup(st.closeLive)
+			is, err := listenIngest(st, "127.0.0.1:0", func(string, ...any) {})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(is.close)
+			addr := is.addr().String()
+			b.SetBytes(int64(wire.FrameSize(2, benchPerFrame) * len(ws)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := wire.Dial(addr, "net")
+				if err != nil {
+					b.Fatal(err)
+				}
+				for f := range ws {
+					if err := c.Send(cs[f], ws[f]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := c.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(benchKeys)*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+		})
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 
+	"structaware/internal/fault"
 	"structaware/internal/ipps"
 	"structaware/internal/structure"
 	"structaware/internal/wire"
@@ -68,7 +69,7 @@ var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return 
 func (st *store) withLive(h func(http.ResponseWriter, *http.Request, *liveSummary)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
-		ls := st.lives[name]
+		ls := st.live(name)
 		if ls == nil {
 			if _, ok := st.get(name); ok {
 				writeError(w, http.StatusConflict,
@@ -112,6 +113,10 @@ func (st *store) handlePushKeys(w http.ResponseWriter, r *http.Request, ls *live
 	writeJSON(w, http.StatusOK, pushResponse{
 		Summary: ls.name, Pushed: rows, TotalPushed: ls.accepted.Load(), Snapshot: ls.snapSeq(),
 	})
+	// Torture crashpoint: the ack is written but any background WAL fsync
+	// (-wal-sync=interval) has not necessarily run — the widest window a
+	// kill -9 gets to disprove the durability contract.
+	fault.Point(faultPostAck)
 }
 
 // validateBatch is the single admission check every transport (HTTP frame,

@@ -30,6 +30,21 @@ package main
 // builders cover the post-restart stream — disjoint populations — so each
 // rotation merges them with core.MergeSummaries, keeping estimates
 // unbiased across restarts.
+//
+// With -wal-sync=always|interval (the default, interval, applies whenever
+// -snapshot-dir is set), acknowledged batches are additionally written to
+// a per-summary write-ahead log (internal/wal) *before* the ack leaves the
+// server, closing the gap between acks and snapshots: a kill -9, OOM, or
+// panic loses no acknowledged key, and under "always" neither does power
+// loss. The crash-consistency invariant is enforced here, not in the wal
+// package: a per-summary walMu makes {capacity check, WAL append, queue
+// handoff} atomic against rotation's cut, and the cut itself is a barrier
+// — every shard worker pauses at a marker while the shard builders are
+// snapshotted — so the records in WAL segments sealed by the cut are
+// exactly the records the snapshot covers. Startup recovery is then
+// newest-loadable-snapshot plus a replay of the WAL segments the snapshot
+// does not cover, tolerating a torn final record (the one write a dying
+// process can have left half-finished).
 
 import (
 	"context"
@@ -50,7 +65,19 @@ import (
 	"structaware/internal/backend"
 	"structaware/internal/cliutil"
 	"structaware/internal/core"
+	"structaware/internal/fault"
 	"structaware/internal/structure"
+	"structaware/internal/wal"
+	"structaware/internal/wire"
+)
+
+// Crashpoint names (see internal/fault): the three instants where a crash
+// is most likely to expose a durability bug, each exercised by the
+// recovery torture tests.
+const (
+	faultPostAck   = "post-ack-pre-sync"    // ingest ack written, background WAL fsync pending
+	faultPreRotate = "post-sync-pre-rotate" // WAL cut sealed + synced, snapshot not yet written
+	faultMidRename = "mid-snapshot-rename"  // snapshot temp file written, rename pending
 )
 
 // liveConfig is the configuration shared by every live summary.
@@ -62,6 +89,18 @@ type liveConfig struct {
 	interval time.Duration // automatic rotation period (0 = manual snapshots only)
 	shards   int           // parallel builders per summary (0 = GOMAXPROCS)
 	queue    int           // per-shard pending-batch queue cap (0 = defaultIngestQueue)
+
+	// Write-ahead log of acknowledged batches (-wal-sync); effective only
+	// with dir set. The zero value (wal.PolicyOff) keeps the snapshot-only
+	// durability of PR 7.
+	walSync     wal.Policy
+	walEvery    time.Duration // background fsync period under PolicyInterval (0 = wal default)
+	walSegBytes int64         // segment roll threshold (0 = wal default)
+}
+
+// walEnabled reports whether live summaries keep a write-ahead log.
+func (lc liveConfig) walEnabled() bool {
+	return lc.dir != "" && lc.walSync != wal.PolicyOff
 }
 
 // defaultIngestQueue is the per-shard pending-batch cap applied when
@@ -103,10 +142,14 @@ var errIngestStopped = errors.New("live ingestion has stopped")
 // ingestJob is one unit of shard-queue work: a batch to push, or (batch ==
 // nil) a flush marker whose done channel closes once the worker reaches it —
 // queues are FIFO, so a completed marker proves every batch enqueued before
-// it has been pushed into the builder.
+// it has been pushed into the builder. A marker with resume set is a
+// rotation barrier: after closing done the worker parks until resume
+// closes, so jobs enqueued behind the marker cannot reach the builder
+// while the rotation snapshots it.
 type ingestJob struct {
-	batch *ingestBatch
-	done  chan struct{}
+	batch  *ingestBatch
+	done   chan struct{}
+	resume chan struct{}
 }
 
 // liveShard is one of a live summary's parallel ingestion lanes: an
@@ -124,7 +167,9 @@ type liveShard struct {
 // liveSummary is one writable summary. rotMu serializes rotations (ticker,
 // forced, and the shutdown flush) so concurrent rotations cannot publish
 // out of order; mu guards the snapshot lineage (base, seq); qmu guards the
-// queue lifecycle (stopped excludes enqueues racing the queue close).
+// queue lifecycle (stopped excludes enqueues racing the queue close);
+// walMu makes {capacity check, WAL append, queue handoff} atomic against
+// each other and against rotation's cut. Lock order: walMu before qmu.
 type liveSummary struct {
 	name string
 	axes []structure.Axis
@@ -135,11 +180,18 @@ type liveSummary struct {
 	accepted atomic.Int64  // keys accepted (queued or pushed) by this process
 	dirty    atomic.Bool   // keys accepted since the last published snapshot
 
+	// wal, when non-nil, logs every accepted batch before its ack. walMu
+	// serializes producers (so the non-blocking capacity check cannot lie:
+	// only workers consume) and excludes them across the rotation cut (so a
+	// record lands on a well-defined side of every snapshot).
+	walMu sync.Mutex
+	wal   *wal.Log
+
 	rotMu sync.Mutex
 
 	mu   sync.Mutex
 	base *core.Summary // newest persisted snapshot of a previous process
-	seq  uint64        // sequence number of the last published snapshot
+	seq  uint64        // newest snapshot attempt sequence (consumed even by failures)
 
 	qmu     sync.RWMutex
 	stopped bool
@@ -151,30 +203,98 @@ type liveSummary struct {
 // passes false and maps errIngestQueueFull to a 429, the socket listener
 // passes true so a full queue stalls the read loop and the transport's own
 // flow control throttles the sender.
+//
+// With a WAL, the batch is appended (and made as durable as the sync
+// policy promises) before the queue handoff, all under walMu, which is
+// what makes the ack that follows crash-safe. The ordering matters twice
+// over: backpressure is checked first, so a 429 leaves no WAL record, and
+// the append precedes the send, because a successful send transfers batch
+// ownership to the worker. The capacity check is reliable rather than
+// advisory because every producer holds walMu and only workers consume —
+// after it passes, the send below cannot block on a full queue for longer
+// than one worker pop (a concurrent quiesce marker may take the last
+// slot).
 func (ls *liveSummary) enqueue(b *ingestBatch, block bool) error {
+	sh := ls.shards[ls.next.Add(1)%uint64(len(ls.shards))]
+	// Non-blocking fast path: a full queue answers 429 without touching
+	// walMu. A blocking producer holds walMu across its channel send, so
+	// under sustained back-pressure the lock is held almost continuously —
+	// serializing this check behind it would let the shed-load signal
+	// starve exactly when it matters. The peek is racy (the queue may
+	// drain before a retry), but shedding is advisory; the locked re-check
+	// below is what the accept path actually relies on.
+	if !block && len(sh.q) == cap(sh.q) {
+		return errIngestQueueFull
+	}
+	ls.walMu.Lock()
+	defer ls.walMu.Unlock()
 	ls.qmu.RLock()
 	defer ls.qmu.RUnlock()
 	if ls.stopped {
 		return errIngestStopped
 	}
-	sh := ls.shards[ls.next.Add(1)%uint64(len(ls.shards))]
-	// A successful send transfers batch ownership to the shard worker,
-	// which may push and recycle it immediately — size it before the send,
-	// never touch it after.
-	rows := int64(b.Rows())
-	job := ingestJob{batch: b}
-	if block {
-		sh.q <- job
-	} else {
-		select {
-		case sh.q <- job:
-		default:
-			return errIngestQueueFull
+	if !block && len(sh.q) == cap(sh.q) {
+		return errIngestQueueFull
+	}
+	if ls.wal != nil {
+		if err := ls.wal.Append(b.Coords, b.Weights); err != nil {
+			// Nothing was enqueued: the caller reports the failure (503)
+			// and the record, if it made it to disk, is an unacknowledged
+			// tail a future replay may or may not include — exactly the
+			// contract for an errored request.
+			return fmt.Errorf("wal append: %w", err)
 		}
 	}
+	// The send transfers batch ownership to the shard worker, which may
+	// push and recycle it immediately — size the batch before the send,
+	// never touch it after.
+	rows := int64(b.Rows())
+	sh.q <- ingestJob{batch: b}
 	ls.accepted.Add(rows)
 	ls.dirty.Store(true)
 	return nil
+}
+
+// cutBarrier freezes the ingest pipeline at one instant: holding walMu (no
+// producer can be mid-append) it enqueues a barrier marker to every shard
+// and cuts the WAL into snapshot attempt window seq. Every record appended
+// before the call is ahead of the markers and in a segment the cut sealed;
+// every later one is behind the markers and in a segment with baseSeq >=
+// seq. The caller then wait()s for all workers to reach their markers —
+// proving the sealed records are all in the builders — snapshots the
+// builders, and release()s the workers. After closeLive the workers are
+// gone and the queues are already drained, so only the cut happens.
+func (ls *liveSummary) cutBarrier(seq uint64) (wait, release func(), err error) {
+	ls.walMu.Lock()
+	defer ls.walMu.Unlock()
+	ls.qmu.RLock()
+	defer ls.qmu.RUnlock()
+	nop := func() {}
+	if ls.stopped {
+		if ls.wal != nil {
+			err = ls.wal.Cut(seq)
+		}
+		return nop, nop, err
+	}
+	resume := make(chan struct{})
+	dones := make([]chan struct{}, len(ls.shards))
+	for i, sh := range ls.shards {
+		dones[i] = make(chan struct{})
+		sh.q <- ingestJob{done: dones[i], resume: resume}
+	}
+	if ls.wal != nil {
+		if err := ls.wal.Cut(seq); err != nil {
+			// Unpark the workers; the markers ahead of them are harmless.
+			close(resume)
+			return nop, nop, err
+		}
+	}
+	wait = func() {
+		for _, done := range dones {
+			<-done
+		}
+	}
+	return wait, func() { close(resume) }, nil
 }
 
 // quiesce blocks until every batch accepted before the call has been
@@ -215,6 +335,11 @@ func (st *store) shardWorker(ls *liveSummary, sh *liveShard) {
 	for job := range sh.q {
 		if job.batch == nil {
 			close(job.done)
+			if job.resume != nil {
+				// Rotation barrier: the builder must not advance past the
+				// marker until every shard is snapshotted.
+				<-job.resume
+			}
 			continue
 		}
 		sh.mu.Lock()
@@ -230,15 +355,21 @@ func (st *store) shardWorker(ls *liveSummary, sh *liveShard) {
 // initLive creates the live summaries (after loadAll: recovery installs
 // serving entries into the loaded map) and starts their shard workers.
 // Specs pair each name with a textual axis description, e.g.
-// net=bittrie:32,bittrie:32.
+// net=bittrie:32,bittrie:32. The HTTP listener may already be serving
+// (/readyz answers 503 throughout), so the live map is built privately and
+// published under the store lock at the end.
 func (st *store) initLive(specs []cliutil.Assignment, lc liveConfig) error {
 	if lc.dir != "" {
 		if err := os.MkdirAll(lc.dir, 0o755); err != nil {
 			return err
 		}
+		// A crash between writing and renaming a snapshot temp file leaves
+		// an orphan no later rotation would ever clean up.
+		sweepTmpFiles(lc.dir, st.logf)
 	}
 	st.liveCfg = lc
-	st.lives = make(map[string]*liveSummary, len(specs))
+	lives := make(map[string]*liveSummary, len(specs))
+	var order []string
 	for _, sp := range specs {
 		axes, err := structure.ParseAxisSpec(sp.Value)
 		if err != nil {
@@ -258,18 +389,94 @@ func (st *store) initLive(specs []cliutil.Assignment, lc liveConfig) error {
 			ls.shards = append(ls.shards, &liveShard{b: b, q: make(chan ingestJob, lc.queueCap())})
 		}
 		if lc.dir != "" {
-			if err := st.recoverLive(ls); err != nil {
+			loadedSeq, err := st.recoverLive(ls)
+			if err != nil {
 				return err
+			}
+			if lc.walEnabled() {
+				if err := st.recoverWAL(ls, lc, loadedSeq); err != nil {
+					return err
+				}
 			}
 		}
 		for _, sh := range ls.shards {
 			st.liveWG.Add(1)
 			go st.shardWorker(ls, sh)
 		}
-		st.lives[sp.Name] = ls
-		st.liveOrder = append(st.liveOrder, sp.Name)
+		lives[sp.Name] = ls
+		order = append(order, sp.Name)
 	}
+	st.mu.Lock()
+	st.lives, st.liveOrder = lives, order
+	st.mu.Unlock()
 	return nil
+}
+
+// recoverWAL finishes a live summary's startup recovery: replay the WAL
+// records the loaded snapshot (seq loadedSeq; 0 = none) does not cover
+// into the shard builders, then open a fresh log whose first segment sorts
+// after every snapshot attempt any previous process ever made — snapshot
+// files and segment windows both witness attempts, and the maximum of the
+// two is where this process resumes numbering. Replayed keys count as
+// accepted (they are in this process's builders and will be in its next
+// snapshot) and dirty the summary so that snapshot actually happens. The
+// shard workers are not running yet, so the builders are pushed directly.
+func (st *store) recoverWAL(ls *liveSummary, lc liveConfig, loadedSeq uint64) error {
+	segs, err := wal.List(lc.dir, ls.name)
+	if err != nil {
+		return fmt.Errorf("live summary %q: list wal: %w", ls.name, err)
+	}
+	for _, sg := range segs {
+		if sg.BaseSeq > ls.seq {
+			ls.seq = sg.BaseSeq
+		}
+	}
+	dec := wire.Decoder{Dims: len(ls.axes), MaxRows: maxKeysPerPush}
+	next := 0
+	stats, err := wal.Replay(lc.dir, ls.name, loadedSeq, dec, func(b *wire.Batch) error {
+		if err := validateBatch(ls.axes, b); err != nil {
+			return err
+		}
+		sh := ls.shards[next%len(ls.shards)]
+		next++
+		return sh.b.PushBatch(b.Coords, b.Weights)
+	})
+	if err != nil {
+		return fmt.Errorf("live summary %q: wal replay: %w (a corrupt sealed segment, or a -live domain "+
+			"that no longer matches; move the .wal files aside to start from the snapshot alone)", ls.name, err)
+	}
+	if stats.Records > 0 {
+		ls.accepted.Add(stats.Keys)
+		ls.dirty.Store(true)
+		st.logf("replayed wal of live %q: %d keys in %d records from %d segments (snapshot %d, torn tail: %v)",
+			ls.name, stats.Keys, stats.Records, stats.Segments, loadedSeq, stats.Torn)
+	}
+	ls.wal, err = wal.Open(wal.Options{
+		Dir: lc.dir, Name: ls.name, BaseSeq: ls.seq, Policy: lc.walSync,
+		SegmentBytes: lc.walSegBytes, SyncEvery: lc.walEvery, Logf: st.logf,
+	})
+	if err != nil {
+		return fmt.Errorf("live summary %q: open wal: %w", ls.name, err)
+	}
+	// Segments below the loaded snapshot are fully covered by it; a crash
+	// that skipped truncation (or a bit-rot fallback) may have left some.
+	ls.wal.Truncate(loadedSeq)
+	return nil
+}
+
+// closeWALs seals every live summary's write-ahead log. Called after the
+// final shutdown flush: the logs must stay open through it so the flush's
+// cut and truncation are ordinary rotations.
+func (st *store) closeWALs() {
+	for _, name := range st.liveOrder {
+		ls := st.lives[name]
+		if ls.wal == nil {
+			continue
+		}
+		if err := ls.wal.Close(); err != nil {
+			st.logf("close wal of live %q: %v", name, err)
+		}
+	}
 }
 
 // closeLive stops ingestion for good: no new batches are accepted, the
@@ -298,11 +505,13 @@ func (st *store) closeLive() {
 // logged and skipped in favor of the next-newest retained one — a single
 // bad file must not wedge startup while valid history sits beside it. Only
 // a dir full of snapshots with none loadable is fatal. New snapshots
-// always number above every file found, loadable or not.
-func (st *store) recoverLive(ls *liveSummary) error {
+// always number above every file found, loadable or not. Returns the
+// sequence number of the snapshot actually loaded (0 when none): the WAL
+// replay threshold.
+func (st *store) recoverLive(ls *liveSummary) (uint64, error) {
 	snaps, err := listSnapshots(st.liveCfg.dir, ls.name)
 	if err != nil || len(snaps) == 0 {
-		return err
+		return 0, err
 	}
 	ls.seq = snaps[0].seq
 	var lastErr error
@@ -320,9 +529,9 @@ func (st *store) recoverLive(ls *liveSummary) error {
 		ls.base = e.sample().Summary()
 		st.install(e)
 		st.logf("recovered live %q from %s (snapshot %d, %d keys)", ls.name, sn.path, sn.seq, e.be.Size())
-		return nil
+		return sn.seq, nil
 	}
-	return fmt.Errorf("recover live summary %q: no loadable snapshot among %d files: %w", ls.name, len(snaps), lastErr)
+	return 0, fmt.Errorf("recover live summary %q: no loadable snapshot among %d files: %w", ls.name, len(snaps), lastErr)
 }
 
 // sameDomain checks that a recovered snapshot describes the key domain the
@@ -340,15 +549,23 @@ func sameDomain(want, got []structure.Axis) error {
 	return nil
 }
 
-// rotate publishes a new snapshot of ls: drain the queues, snapshot every
-// shard builder, merge the shard snapshots (plus the recovered base when
-// one exists) into one summary, compile the index, persist when
-// configured, and swap the serving entry. Shard populations are disjoint
-// by construction (round-robin routing sends each key to exactly one
-// shard) and the base covers the pre-restart stream, so the HT merge keeps
-// estimates unbiased for the whole stream. When force is false a summary
-// with no new keys since its last snapshot is skipped (the rotation loop's
-// idle case) and rotate returns (nil, nil).
+// rotate publishes a new snapshot of ls: cut the WAL and pause the shard
+// workers at a barrier, snapshot every shard builder, release the workers,
+// merge the shard snapshots (plus the recovered base when one exists) into
+// one summary, compile the index, persist when configured, truncate the
+// WAL segments the persisted snapshot covers, and swap the serving entry.
+// Shard populations are disjoint by construction (round-robin routing
+// sends each key to exactly one shard) and the base covers the pre-restart
+// stream, so the HT merge keeps estimates unbiased for the whole stream.
+// When force is false a summary with no new keys since its last snapshot
+// is skipped (the rotation loop's idle case) and rotate returns (nil, nil).
+//
+// Attempt sequence numbers are consumed even by failed rotations: the
+// WAL's coverage rule ("segment baseSeq B is covered exactly by snapshots
+// with seq > B") only stays crash-consistent if no later attempt can reuse
+// a window an earlier cut already opened. Snapshot files may therefore
+// have gaps in their numbering after failures; recovery already tolerates
+// that.
 func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
 	ls.rotMu.Lock()
 	defer ls.rotMu.Unlock()
@@ -358,12 +575,31 @@ func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
 	if !ls.dirty.Swap(false) && !force {
 		return nil, nil
 	}
-	ls.quiesce()
 
 	ls.mu.Lock()
 	base := ls.base
-	seq := ls.seq + 1
+	ls.seq++
+	seq := ls.seq
 	ls.mu.Unlock()
+
+	wait, release, err := ls.cutBarrier(seq)
+	if err != nil {
+		st.redirty(ls)
+		return nil, err
+	}
+	released := false
+	releaseOnce := func() {
+		if !released {
+			released = true
+			release()
+		}
+	}
+	defer releaseOnce()
+	// Every record in a segment the cut sealed is ahead of the barrier
+	// markers; once the workers reach them, those records are all in the
+	// builders, and nothing newer can get in until release.
+	wait()
+	fault.Point(faultPreRotate)
 
 	parts := make([]*core.Summary, 0, len(ls.shards)+1)
 	if base != nil {
@@ -383,9 +619,9 @@ func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
 		parts = append(parts, snap)
 	}
 	pushed := ls.accepted.Load()
+	releaseOnce() // ingestion resumes; the merge/index/persist work below is off the hot path
 
 	var sum *core.Summary
-	var err error
 	switch len(parts) {
 	case 0:
 		return nil, errNoLiveData
@@ -416,6 +652,11 @@ func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
 			st.redirty(ls)
 			return nil, err
 		}
+		if ls.wal != nil {
+			// The snapshot is durably renamed: the records in segments
+			// below its window are redundant now and only now.
+			ls.wal.Truncate(seq)
+		}
 		pruneSnapshots(st.liveCfg.dir, ls.name, keepSnapshots)
 	}
 
@@ -423,9 +664,6 @@ func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
 		name: ls.name, path: path, be: backend.FromIndexedSummary(idx), loadedAt: now,
 		live: true, seq: seq, pushed: pushed,
 	}
-	ls.mu.Lock()
-	ls.seq = seq
-	ls.mu.Unlock()
 	// install gives the new epoch its own empty answer cache — publishing
 	// the snapshot is what invalidates every answer cached for the old one.
 	st.install(e)
@@ -567,11 +805,33 @@ func writeSnapshotFile(dir, name string, seq uint64, sum *core.Summary) (string,
 		os.Remove(tmp)
 		return "", err
 	}
+	fault.Point(faultMidRename)
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return "", err
 	}
+	// Make the rename itself durable: without the directory fsync a power
+	// loss can forget the new name even though its bytes are safe, and the
+	// WAL truncation that follows would then have destroyed the only copy.
+	wal.SyncDir(dir, nil)
 	return path, nil
+}
+
+// sweepTmpFiles deletes orphaned snapshot temp files: a crash between
+// writing <name>-<seq>.sas.tmp and renaming it leaves the temp behind, and
+// since every rotation writes a fresh seq, nothing would ever reclaim it.
+func sweepTmpFiles(dir string, logf func(format string, args ...any)) {
+	orphans, err := filepath.Glob(filepath.Join(dir, "*.sas.tmp"))
+	if err != nil {
+		return
+	}
+	for _, p := range orphans {
+		if err := os.Remove(p); err != nil {
+			logf("sweep orphan %s: %v", p, err)
+		} else {
+			logf("removed orphaned snapshot temp file %s", p)
+		}
+	}
 }
 
 // pruneSnapshots removes all but the newest keep snapshot files of one live

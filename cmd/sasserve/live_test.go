@@ -20,6 +20,7 @@ import (
 	"structaware/internal/cliutil"
 	"structaware/internal/core"
 	"structaware/internal/structure"
+	"structaware/internal/wal"
 	"structaware/internal/wire"
 	"structaware/internal/xmath"
 )
@@ -628,5 +629,123 @@ func TestServeUntilShutdownDrainsInflight(t *testing.T) {
 	// The listener is closed: new connections are refused.
 	if _, err := http.Get("http://" + ln.Addr().String()); err == nil {
 		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestLiveWALRecover is the in-process half of the durability contract:
+// batches acknowledged under -wal-sync=interval survive a process that
+// never snapshots. The first store is simply abandoned — no rotate, no
+// close — which is what kill -9 leaves behind (the WAL bytes were handed
+// to the kernel before each ack, so the file has them even though nothing
+// was flushed on purpose). A second store over the same directory replays
+// the tail into fresh builders, and its first snapshot is bitwise-equal
+// to an offline Builder fed the same stream in ack order.
+func TestLiveWALRecover(t *testing.T) {
+	dir := t.TempDir()
+	walCfg := liveConfig{
+		size: liveTestCfg.Size, seed: liveTestCfg.Seed,
+		dir: dir, shards: 1, walSync: wal.PolicyInterval,
+	}
+	st1 := newStore(nil, 4096, t.Logf)
+	if err := st1.loadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.initLive([]cliutil.Assignment{{Name: "net", Value: liveAxesSpec}}, walCfg); err != nil {
+		t.Fatal(err)
+	}
+	coords, weights := genKeys(900, 51)
+	for i := 0; i < 3; i++ {
+		c := [][]uint64{coords[0][i*300 : (i+1)*300], coords[1][i*300 : (i+1)*300]}
+		if err := pushDirect(st1, c, weights[i*300:(i+1)*300]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon st1 here: the "restart" below must see only what the acks
+	// already durably handed off. Its goroutines are reaped at cleanup,
+	// after the recovered store has been verified.
+	t.Cleanup(st1.closeWALs)
+	t.Cleanup(st1.closeLive)
+
+	st2 := newStore(nil, 4096, t.Logf)
+	if err := st2.loadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.initLive([]cliutil.Assignment{{Name: "net", Value: liveAxesSpec}}, walCfg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st2.closeWALs)
+	t.Cleanup(st2.closeLive)
+	ls2 := st2.lives["net"]
+	if got := ls2.accepted.Load(); got != 900 {
+		t.Fatalf("replay accepted %d keys, want 900", got)
+	}
+	e, err := st2.rotate(ls2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.seq != 1 {
+		t.Fatalf("recovered snapshot seq %d, want 1", e.seq)
+	}
+
+	axes, err := structure.ParseAxisSpec(liveAxesSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewBuilder(axes, liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PushBatch(coords, weights); err != nil {
+		t.Fatal(err)
+	}
+	want, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, box := range []structure.Range{
+		{{Lo: 0, Hi: 1023}, {Lo: 0, Hi: 1023}},
+		{{Lo: 0, Hi: 511}, {Lo: 512, Hi: 1023}},
+		{{Lo: 300, Hi: 399}, {Lo: 0, Hi: 1023}},
+	} {
+		if math.Float64bits(e.be.EstimateRange(box)) != math.Float64bits(want.EstimateRange(box)) {
+			t.Fatalf("box %s: recovered %v, want %v", box, e.be.EstimateRange(box), want.EstimateRange(box))
+		}
+	}
+	// The snapshot covers window 0 completely, so its rotation truncated
+	// every window-0 segment — st1's orphaned one included.
+	old, err := filepath.Glob(filepath.Join(dir, "net-00000000-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != 0 {
+		t.Fatalf("window-0 wal segments survived the covering snapshot: %v", old)
+	}
+}
+
+// TestReadyzGate: /readyz answers 503 until the store flips ready, while
+// /healthz answers 200 the whole time — the distinction orchestrators
+// gate traffic on during snapshot recovery and WAL replay.
+func TestReadyzGate(t *testing.T) {
+	st := newStore(nil, 4096, t.Logf)
+	srv := httptest.NewServer(st.handler())
+	defer srv.Close()
+
+	status := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz before ready: %d, want 200", got)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before ready: %d, want 503", got)
+	}
+	st.ready.Store(true)
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz after ready: %d, want 200", got)
 	}
 }

@@ -54,6 +54,18 @@
 //	                       is recovered on startup and merged with
 //	                       post-restart keys, so estimates stay unbiased
 //	                       across restarts
+//	-wal-sync policy       write-ahead-log sync policy for acknowledged
+//	                       ingest batches (requires -snapshot-dir):
+//	                       "interval" (default) writes each batch before
+//	                       the ack and fsyncs in the background, so acks
+//	                       survive kill -9/OOM/panic; "always" fsyncs before
+//	                       every ack, so acks survive power loss; "off"
+//	                       restores snapshot-only durability. On startup the
+//	                       WAL tail is replayed on top of the recovered
+//	                       snapshot, so no acknowledged key is lost.
+//	-wal-sync-every d      background fsync period under -wal-sync=interval
+//	                       (default 100ms; the power-loss exposure window)
+//	-wal-segment-bytes n   WAL segment roll threshold (default 64MiB)
 //
 // A bare path names its summary after the file ("data/net.sas" → "net").
 // SIGHUP re-reads every source in place (hot reload): each summary swaps
@@ -68,6 +80,7 @@
 // inclusive interval per axis):
 //
 //	GET  /healthz
+//	GET  /readyz                         503 until snapshot recovery + WAL replay finish
 //	GET  /v1/summaries
 //	GET  /v1/summaries/{name}
 //	GET  /v1/summaries/{name}/total
@@ -111,6 +124,7 @@ import (
 	"structaware/internal/backend"
 	"structaware/internal/cliutil"
 	"structaware/internal/structure"
+	"structaware/internal/wal"
 )
 
 // shutdownGrace bounds how long a graceful shutdown waits for in-flight
@@ -130,6 +144,9 @@ func main() {
 		ingestListen = flag.String("ingest-listen", "", "raw binary-frame ingest socket: host:port or unix:/path (requires -live)")
 		snapInterval = flag.Duration("snapshot-interval", 0, "automatic live snapshot period (0 = manual POST .../snapshot only)")
 		snapDir      = flag.String("snapshot-dir", "", "directory persisting live snapshots (newest recovered on startup)")
+		walSyncFlag  = flag.String("wal-sync", "interval", "ingest write-ahead-log sync policy: always, interval, or off (effective with -snapshot-dir)")
+		walEvery     = flag.Duration("wal-sync-every", 0, "background WAL fsync period under -wal-sync=interval (0 = 100ms)")
+		walSegBytes  = flag.Int64("wal-segment-bytes", 0, "WAL segment roll threshold in bytes (0 = 64MiB)")
 	)
 	flag.Func("live", "live summary as name=axes (axes like bittrie:32,bittrie:32; repeatable)", func(v string) error {
 		liveSpecs = append(liveSpecs, v)
@@ -149,7 +166,27 @@ func main() {
 		cliutil.NonNegative("-live-shards", *liveShards),
 		cliutil.NonNegative("-ingest-queue", *ingestQueue),
 		cliutil.NonNegativeDuration("-snapshot-interval", *snapInterval),
+		cliutil.NonNegativeDuration("-wal-sync-every", *walEvery),
 	))
+	walPolicy, err := wal.ParsePolicy(*walSyncFlag)
+	if err != nil {
+		tool.Usagef("-wal-sync: %v", err)
+	}
+	if *walSegBytes < 0 {
+		tool.Usagef("-wal-segment-bytes must be >= 0, got %d", *walSegBytes)
+	}
+	if *snapDir == "" {
+		// The WAL lives in -snapshot-dir and only makes sense alongside the
+		// snapshots it is truncated against. An explicit non-off policy
+		// without a directory is a misconfiguration worth refusing; the
+		// unset default just degrades to the no-persistence behavior.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "wal-sync" })
+		if explicit && walPolicy != wal.PolicyOff {
+			tool.Usagef("-wal-sync=%s requires -snapshot-dir", walPolicy)
+		}
+		walPolicy = wal.PolicyOff
+	}
 	if flag.NArg() == 0 && len(liveSpecs) == 0 {
 		tool.Usagef("at least one summary is required: sasserve [flags] name=path.sas ... or -live name=axes")
 	}
@@ -211,15 +248,42 @@ func main() {
 
 	logger := log.New(os.Stderr, "sasserve: ", log.LstdFlags)
 	st := newStore(sources, *cacheSize, logger.Printf)
+
+	// SIGTERM/SIGINT start a graceful shutdown; SIGHUP hot-reloads files.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Bind and serve before recovery runs: /healthz and /readyz answer
+	// immediately (503 from /readyz until recovery finishes), so
+	// orchestrators can watch a restarting node replay its WAL instead of
+	// timing out on a dead port.
+	ln, err := net.Listen("tcp", *addr)
+	tool.Check(err)
+	logger.Printf("listening on %s", ln.Addr())
+	srv := &http.Server{
+		Handler: st.handler(),
+		// A long-running daemon must not let slow or idle clients pin
+		// goroutines forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serveUntilShutdown(ctx, srv, ln, logger.Printf) }()
+
 	tool.Check(st.loadAll())
 	lc := liveConfig{
-		size:     *liveSize,
-		buffer:   *liveBuffer,
-		seed:     *liveSeed,
-		dir:      *snapDir,
-		interval: *snapInterval,
-		shards:   *liveShards,
-		queue:    *ingestQueue,
+		size:        *liveSize,
+		buffer:      *liveBuffer,
+		seed:        *liveSeed,
+		dir:         *snapDir,
+		interval:    *snapInterval,
+		shards:      *liveShards,
+		queue:       *ingestQueue,
+		walSync:     walPolicy,
+		walEvery:    *walEvery,
+		walSegBytes: *walSegBytes,
 	}
 	tool.Check(st.initLive(lives, lc))
 	for _, src := range sources {
@@ -228,13 +292,10 @@ func main() {
 			src.name, src.path, e.be.Kind, e.be.Size(), len(e.be.Axes))
 	}
 	for _, lv := range lives {
-		logger.Printf("serving live %q over %s (snapshot size %d, %d shards)",
-			lv.Name, lv.Value, *liveSize, lc.shardCount())
+		logger.Printf("serving live %q over %s (snapshot size %d, %d shards, wal %s)",
+			lv.Name, lv.Value, *liveSize, lc.shardCount(), effectivePolicy(lc))
 	}
 
-	// SIGTERM/SIGINT start a graceful shutdown; SIGHUP hot-reloads files.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
@@ -253,25 +314,17 @@ func main() {
 		tool.Check(err)
 		logger.Printf("ingest socket listening on %s", ingSrv.addr())
 	}
+	st.ready.Store(true)
+	logger.Printf("ready")
 
-	ln, err := net.Listen("tcp", *addr)
-	tool.Check(err)
-	logger.Printf("listening on %s", ln.Addr())
-	srv := &http.Server{
-		Handler: st.handler(),
-		// A long-running daemon must not let slow or idle clients pin
-		// goroutines forever.
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
-	serveErr := serveUntilShutdown(ctx, srv, ln, logger.Printf)
+	serveErr := <-serveDone
 	// Stop the write plane in dependency order: listeners first (no new
 	// batches), then the shard workers (drain every accepted batch into
 	// the builders), so the final flush below covers every acknowledged
 	// key. This runs even when the drain timed out or the server failed —
-	// acknowledged keys must never be dropped on the way out.
+	// acknowledged keys must never be dropped on the way out. The WALs
+	// close last: the final flush's cut and truncation are ordinary
+	// rotations against the open logs.
 	if ingSrv != nil {
 		ingSrv.close()
 	}
@@ -281,8 +334,17 @@ func main() {
 		// recovers them; clean summaries are skipped.
 		st.rotateAll(false)
 	}
+	st.closeWALs()
 	tool.Check(serveErr)
 	logger.Printf("shutdown complete")
+}
+
+// effectivePolicy names the WAL policy a live summary actually runs under.
+func effectivePolicy(lc liveConfig) string {
+	if !lc.walEnabled() {
+		return "off"
+	}
+	return lc.walSync.String()
 }
 
 // serveUntilShutdown serves on ln until ctx is cancelled (a shutdown

@@ -151,12 +151,19 @@ type store struct {
 	sources []serveSource
 	logf    func(format string, args ...any)
 
-	// Live (writable) summaries; both maps are populated once at startup
-	// and immutable afterwards, so the read path needs no lock for them.
+	// Live (writable) summaries. The maps are immutable once initLive
+	// publishes them, but the HTTP listener is up during startup recovery
+	// (so /readyz can answer 503), so publication happens under mu and the
+	// request path reads them through live()/liveCount().
 	lives     map[string]*liveSummary
 	liveOrder []string
 	liveCfg   liveConfig
 	liveWG    sync.WaitGroup // shard workers, joined by closeLive
+
+	// ready flips once startup recovery — snapshot loads and WAL replay —
+	// has finished and every configured summary is queryable; /readyz
+	// answers 503 until then.
+	ready atomic.Bool
 
 	// cacheCap sizes the per-entry answer cache (-cache-size; 0 disables).
 	cacheCap int
@@ -169,6 +176,21 @@ type store struct {
 
 func newStore(sources []serveSource, cacheCap int, logf func(format string, args ...any)) *store {
 	return &store{sources: sources, cacheCap: cacheCap, logf: logf, entries: make(map[string]*entry)}
+}
+
+// live resolves a live summary by name, safely against the startup window
+// where requests are already being served but initLive has not published
+// the map yet (every name simply doesn't exist until it has).
+func (st *store) live(name string) *liveSummary {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.lives[name]
+}
+
+func (st *store) liveCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.lives)
 }
 
 // install publishes a fully-formed entry into the serving map. Every path
@@ -376,6 +398,7 @@ type errorResponse struct {
 func (st *store) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", st.handleHealth)
+	mux.HandleFunc("GET /readyz", st.handleReady)
 	mux.HandleFunc("GET /v1/summaries", st.handleList)
 	mux.HandleFunc("GET /v1/summaries/{name}", st.withEntry(st.handleMeta))
 	mux.HandleFunc("GET /v1/summaries/{name}/total", st.withEntry(st.handleTotal))
@@ -432,7 +455,7 @@ func (st *store) withEntry(h func(http.ResponseWriter, *http.Request, *entry)) h
 		name := r.PathValue("name")
 		e, ok := st.get(name)
 		if !ok {
-			if st.lives[name] != nil {
+			if st.live(name) != nil {
 				writeError(w, http.StatusNotFound,
 					"live summary %q has no snapshot yet (POST keys, then POST .../snapshot or wait for -snapshot-interval)", name)
 				return
@@ -446,9 +469,26 @@ func (st *store) withEntry(h func(http.ResponseWriter, *http.Request, *entry)) h
 
 func (st *store) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	st.mu.RLock()
-	n := len(st.entries)
+	n, lives := len(st.entries), len(st.lives)
 	st.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "summaries": n, "live": len(st.lives)})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "summaries": n, "live": lives})
+}
+
+// handleReady is the readiness probe, distinct from the liveness probe
+// above: /healthz answers 200 as soon as the process serves HTTP at all,
+// while /readyz answers 503 until startup recovery — file loads, snapshot
+// recovery, and WAL-tail replay — has finished and every configured
+// summary is queryable. Orchestrators (and the smoke script) gate traffic
+// on it instead of sleeping and hoping.
+func (st *store) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !st.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "starting up: snapshot recovery and WAL replay in progress")
+		return
+	}
+	st.mu.RLock()
+	n, lives := len(st.entries), len(st.lives)
+	st.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "summaries": n, "live": lives})
 }
 
 func (st *store) handleList(w http.ResponseWriter, _ *http.Request) {

@@ -144,7 +144,7 @@ func (is *ingestServer) serveConn(conn net.Conn) {
 		is.fail(conn, wire.Stats{Error: err.Error()})
 		return
 	}
-	ls := is.st.lives[name]
+	ls := is.st.live(name)
 	if ls == nil {
 		is.fail(conn, wire.Stats{Summary: name, Error: fmt.Sprintf("no live summary named %q", name)})
 		return

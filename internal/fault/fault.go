@@ -1,0 +1,86 @@
+// Package fault is the crash-injection hook behind the recovery torture
+// tests: named crashpoints compiled permanently into the binary that kill
+// the process abruptly — no deferred cleanup, no graceful shutdown, the
+// moral equivalent of kill -9 at a chosen instruction — when armed through
+// the SASFAULT environment variable.
+//
+//	SASFAULT=<point>        crash at the first hit of <point>
+//	SASFAULT=<point>:<n>    crash at the n-th hit of <point>
+//
+// A process with SASFAULT unset pays one package-init getenv and a single
+// predictable branch per Point call, so the hooks stay in production
+// builds; there is no tag or build-mode split between the binary the tests
+// torture and the binary that ships.
+//
+// The crashpoints wired through cmd/sasserve:
+//
+//	post-ack-pre-sync     after an ingest ack is written, before any
+//	                      background WAL fsync (the -wal-sync=interval
+//	                      window a kill -9 must not widen into data loss)
+//	post-sync-pre-rotate  after the WAL cut is sealed and synced, before
+//	                      the snapshot file is written
+//	mid-snapshot-rename   after the snapshot temp file is written and
+//	                      closed, before the rename publishes it
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// ExitCode is the status a crashpoint exits with, distinctive enough that
+// the torture harness can tell an injected crash from an ordinary failure.
+const ExitCode = 86
+
+// armedPoint and armedHit hold the parsed SASFAULT spec ("" = disarmed).
+var (
+	armedPoint string
+	armedHit   int64
+	hits       atomic.Int64
+)
+
+func init() {
+	armedPoint, armedHit = parseSpec(os.Getenv("SASFAULT"))
+}
+
+// parseSpec splits a SASFAULT value into its point name and hit count. A
+// malformed or non-positive count collapses to 1 (crash on first hit) —
+// fault injection is a test tool, not an input to validate gracefully.
+func parseSpec(spec string) (point string, hit int64) {
+	if spec == "" {
+		return "", 0
+	}
+	point = spec
+	hit = 1
+	if name, count, ok := strings.Cut(spec, ":"); ok {
+		point = name
+		if n, err := strconv.ParseInt(count, 10, 64); err == nil && n > 0 {
+			hit = n
+		}
+	}
+	return point, hit
+}
+
+// Armed reports whether the named crashpoint is the one SASFAULT selects.
+// Call sites that need to do extra work only when a crash is imminent
+// (e.g. flushing a response so the torture harness sees the ack before the
+// process dies) gate on it; everything else just calls Point.
+func Armed(name string) bool {
+	return armedPoint == name
+}
+
+// Point crashes the process if SASFAULT arms the named crashpoint and this
+// is (at least) the configured hit. Disarmed, it is one string compare.
+func Point(name string) {
+	if armedPoint != name {
+		return
+	}
+	if hits.Add(1) < armedHit {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "SASFAULT: crashing at %s\n", name)
+	os.Exit(ExitCode)
+}

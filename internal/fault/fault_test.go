@@ -1,0 +1,40 @@
+package fault
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec  string
+		point string
+		hit   int64
+	}{
+		{"", "", 0},
+		{"post-ack-pre-sync", "post-ack-pre-sync", 1},
+		{"post-ack-pre-sync:3", "post-ack-pre-sync", 3},
+		// Malformed or non-positive counts collapse to first-hit.
+		{"mid-snapshot-rename:0", "mid-snapshot-rename", 1},
+		{"mid-snapshot-rename:-2", "mid-snapshot-rename", 1},
+		{"mid-snapshot-rename:soon", "mid-snapshot-rename", 1},
+	}
+	for _, c := range cases {
+		point, hit := parseSpec(c.spec)
+		if point != c.point || hit != c.hit {
+			t.Errorf("parseSpec(%q) = (%q, %d), want (%q, %d)", c.spec, point, hit, c.point, c.hit)
+		}
+	}
+}
+
+// TestDisarmed: with SASFAULT unset (the test process never arms it),
+// Point is a no-op and Armed reports false for every name — the
+// production-build contract that lets the hooks ship.
+func TestDisarmed(t *testing.T) {
+	if armedPoint != "" {
+		t.Skipf("SASFAULT=%s set in the test environment", armedPoint)
+	}
+	if Armed("post-ack-pre-sync") {
+		t.Fatal("Armed reported true in a disarmed process")
+	}
+	for i := 0; i < 3; i++ {
+		Point("post-ack-pre-sync") // must not exit
+	}
+}

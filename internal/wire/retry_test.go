@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBackoffScheduleAndCap pins the deterministic core of the schedule:
+// with jitter pinned to 0 the n-th Next is exactly (Base<<n)/2 capped at
+// Max/2, and Reset restarts from Base.
+func TestBackoffScheduleAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Rand: func() float64 { return 0 }}
+	want := []time.Duration{
+		50 * time.Millisecond,  // 100ms / 2
+		100 * time.Millisecond, // 200ms / 2
+		200 * time.Millisecond, // 400ms / 2
+		400 * time.Millisecond, // 800ms / 2
+		500 * time.Millisecond, // capped at 1s / 2
+		500 * time.Millisecond, // stays capped
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("Next #%d = %v, want %v", i, got, w)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 50*time.Millisecond {
+		t.Fatalf("Next after Reset = %v, want 50ms", got)
+	}
+}
+
+// TestBackoffJitterRange checks the jitter window: with the default Rand,
+// every wait lands in [d/2, d) — never zero, never above the doubling.
+func TestBackoffJitterRange(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	d := 100 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		got := b.Next()
+		if got < d/2 || got >= d {
+			t.Fatalf("Next #%d = %v outside [%v, %v)", i, got, d/2, d)
+		}
+		if d = d * 2; d > time.Second {
+			d = time.Second
+		}
+	}
+}
+
+// TestBackoffZeroValue: the zero value must be usable and never return a
+// zero wait — that is the hot-loop bug this type exists to prevent.
+func TestBackoffZeroValue(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 10; i++ {
+		if got := b.Next(); got <= 0 || got > DefaultBackoffMax {
+			t.Fatalf("zero-value Next #%d = %v", i, got)
+		}
+	}
+}
+
+func TestRetryAfter(t *testing.T) {
+	fallback := 123 * time.Millisecond
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"1", time.Second},
+		{"7", 7 * time.Second},
+		{" 2 ", 2 * time.Second},
+		// A zero or garbage hint must never produce a zero wait.
+		{"0", fallback},
+		{"-3", fallback},
+		{"soon", fallback},
+		{"Wed, 21 Oct 2026 07:28:00 GMT", fallback},
+		{"", fallback},
+	}
+	for _, c := range cases {
+		if got := RetryAfter(c.header, fallback); got != c.want {
+			t.Errorf("RetryAfter(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+// TestDialRetryTransient: a refused port is retried with backoff until the
+// attempt budget runs out, sleeping attempts-1 times.
+func TestDialRetryTransient(t *testing.T) {
+	// Bind and close a port so the dial is deterministically refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var slept []time.Duration
+	sleepRetry = func(d time.Duration) { slept = append(slept, d) }
+	defer func() { sleepRetry = time.Sleep }()
+
+	b := &Backoff{Base: time.Millisecond, Rand: func() float64 { return 0 }}
+	_, err = DialRetry(addr, "flows", 3, b)
+	if err == nil {
+		t.Fatal("DialRetry against a closed port succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("error does not name the attempt budget: %v", err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (between 3 attempts)", len(slept))
+	}
+}
+
+// TestDialRetryFirstTry: a healthy listener is dialed once with no sleeps,
+// and the hello names the summary.
+func TestDialRetryFirstTry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan string, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		name, _ := ReadHello(conn)
+		got <- name
+	}()
+
+	sleepRetry = func(time.Duration) { t.Error("slept on a successful first dial") }
+	defer func() { sleepRetry = time.Sleep }()
+
+	c, err := DialRetry(ln.Addr().String(), "flows", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Close(); err == nil {
+		// The stub never answers a Stats line; the error is expected and
+		// irrelevant — the dial itself is under test.
+		t.Log("unexpected clean close against a stub server")
+	}
+	select {
+	case name := <-got:
+		if name != "flows" {
+			t.Fatalf("hello named %q, want flows", name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never received the hello")
+	}
+}
+
+// TestDialRetryPermanent: a malformed summary name fails immediately — no
+// amount of retrying fixes a bad hello.
+func TestDialRetryPermanent(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+
+	sleepRetry = func(time.Duration) { t.Error("slept on a permanent error") }
+	defer func() { sleepRetry = time.Sleep }()
+
+	if _, err := DialRetry(ln.Addr().String(), "", 5, nil); err == nil {
+		t.Fatal("empty summary name accepted")
+	}
+}

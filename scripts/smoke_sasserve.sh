@@ -12,7 +12,11 @@
 #   wire side:  push binary frames over HTTP (application/x-sas-frame),
 #               flood the raw -ingest-listen socket with sasbench -ingest
 #               while probing the HTTP path for 429 + Retry-After
-#               back-pressure, then verify every acknowledged key landed.
+#               back-pressure, then verify every acknowledged key landed;
+#   crash side: kill -9 the server right after an acknowledged push and
+#               check WAL replay recovers the key on restart. Every
+#               (re)start gates on GET /readyz, which stays 503 until
+#               snapshot recovery and WAL replay finish.
 #
 # Run from the repository root (CI runs it as a required step;
 # `make smoke-serve` runs it locally).
@@ -23,7 +27,12 @@ INGEST_PORT=$((PORT + 1))
 TMP="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
-    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    if [ -n "$SERVER_PID" ]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        # Let the graceful shutdown finish writing its final snapshot
+        # before removing the directory out from under it.
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
     rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -44,18 +53,21 @@ post() { # post <url> <body> (empty body allowed)
     fi
 }
 
-wait_healthy() {
+# Readiness, not liveness: /readyz answers 503 while snapshot recovery and
+# WAL replay run, and 200 only once the summaries are queryable — exactly
+# the gate a deployment should wait on before routing traffic.
+wait_ready() {
     for _ in $(seq 1 50); do
-        if fetch "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+        if fetch "http://127.0.0.1:$PORT/readyz" >/dev/null 2>&1; then
             return 0
         fi
         if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-            echo "sasserve exited before becoming healthy" >&2
+            echo "sasserve exited before becoming ready" >&2
             exit 1
         fi
         sleep 0.2
     done
-    echo "sasserve never became healthy" >&2
+    echo "sasserve never became ready" >&2
     exit 1
 }
 
@@ -74,7 +86,7 @@ SERVE=("$TMP/sasserve" -addr "127.0.0.1:$PORT" -live 'flows=bittrie:12,bittrie:1
     -live-size 200 -live-seed 1 -snapshot-dir "$TMP/snapshots")
 "${SERVE[@]}" "net=$TMP/net.sas" &
 SERVER_PID=$!
-wait_healthy
+wait_ready
 
 echo "== query the file-backed summary"
 META="$(fetch "http://127.0.0.1:$PORT/v1/summaries/net")"
@@ -180,11 +192,13 @@ if [ "$STATUS" -ne 0 ]; then
 fi
 ls -l "$TMP/snapshots"
 [ -f "$TMP/snapshots/flows-00000002.sas" ] || { echo "final flush missing" >&2; exit 1; }
+# The default -wal-sync=interval keeps a WAL beside the snapshots.
+ls "$TMP/snapshots"/flows-*.wal >/dev/null 2>&1 || { echo "WAL segments missing" >&2; exit 1; }
 
 echo "== restart and query the recovered snapshot"
 "${SERVE[@]}" &
 SERVER_PID=$!
-wait_healthy
+wait_ready
 RECOVERED="$(fetch "http://127.0.0.1:$PORT/v1/summaries/flows/total")"
 echo "$RECOVERED"
 # The flushed snapshot includes the post-snapshot push: 21 + 9 = 30.
@@ -192,5 +206,19 @@ echo "$RECOVERED" | grep -q '"estimate":30' || { echo "recovered total wrong (wa
 META="$(fetch "http://127.0.0.1:$PORT/v1/summaries/flows")"
 echo "$META"
 echo "$META" | grep -q '"live":true' || { echo "recovered summary not marked live" >&2; exit 1; }
+
+echo "== push, kill -9, restart: WAL replay must recover the acked key"
+post "http://127.0.0.1:$PORT/v1/summaries/flows/keys" '{"coords":[[3],[4]],"weights":[5]}' >/dev/null
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+"${SERVE[@]}" &
+SERVER_PID=$!
+wait_ready
+post "http://127.0.0.1:$PORT/v1/summaries/flows/snapshot" '' >/dev/null
+CRASHED="$(fetch "http://127.0.0.1:$PORT/v1/summaries/flows/total")"
+echo "$CRASHED"
+# Snapshot total 30 plus the WAL-replayed post-crash push: 30 + 5 = 35.
+echo "$CRASHED" | grep -q '"estimate":35' || { echo "kill -9 recovery total wrong (want 35)" >&2; exit 1; }
 
 echo "== smoke OK"
