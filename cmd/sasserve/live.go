@@ -192,6 +192,7 @@ type liveSummary struct {
 	mu   sync.Mutex
 	base *core.Summary // newest persisted snapshot of a previous process
 	seq  uint64        // newest snapshot attempt sequence (consumed even by failures)
+	pub  uint64        // newest attempt that actually published (installed an entry)
 
 	qmu     sync.RWMutex
 	stopped bool
@@ -319,10 +320,13 @@ func (ls *liveSummary) quiesce() {
 }
 
 // snapSeq returns the sequence number of the last published snapshot.
+// Attempt numbers (ls.seq) are consumed even by failed rotations, so this
+// reports ls.pub instead: clients polling pushResponse.Snapshot to await
+// durability must never observe a number no snapshot ever published.
 func (ls *liveSummary) snapSeq() uint64 {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
-	return ls.seq
+	return ls.pub
 }
 
 // shardWorker is a shard's drain loop: pop a job, push it into the builder,
@@ -527,6 +531,7 @@ func (st *store) recoverLive(ls *liveSummary) (uint64, error) {
 		}
 		e.live, e.seq = true, sn.seq
 		ls.base = e.sample().Summary()
+		ls.pub = sn.seq
 		st.install(e)
 		st.logf("recovered live %q from %s (snapshot %d, %d keys)", ls.name, sn.path, sn.seq, e.be.Size())
 		return sn.seq, nil
@@ -667,6 +672,9 @@ func (st *store) rotate(ls *liveSummary, force bool) (*entry, error) {
 	// install gives the new epoch its own empty answer cache — publishing
 	// the snapshot is what invalidates every answer cached for the old one.
 	st.install(e)
+	ls.mu.Lock()
+	ls.pub = seq
+	ls.mu.Unlock()
 	st.logf("snapshot %d of live %q: %d keys from %d pushed (%s)", seq, ls.name, sum.Size(), pushed, path)
 	return e, nil
 }

@@ -98,6 +98,44 @@ func pushColumnar(t *testing.T, url string, coords [][]uint64, weights []float64
 	return pr
 }
 
+// TestPushSnapshotSeqOnlyCountsPublished pins pushResponse.Snapshot to
+// published snapshots: a failed rotation consumes an attempt number (the
+// WAL coverage rule needs that) but must not advance the number clients
+// poll to await durability — they would wait on a snapshot that never
+// happened.
+func TestPushSnapshotSeqOnlyCountsPublished(t *testing.T) {
+	st := liveStore(t, "")
+	srv := httptest.NewServer(st.handler())
+	defer srv.Close()
+
+	// Forcing a snapshot with no data fails the rotation after it has
+	// consumed attempt seq 1.
+	if code := postJSON(t, srv.URL+"/v1/summaries/net/snapshot", "application/json", nil, nil); code != http.StatusConflict {
+		t.Fatalf("empty force-snapshot status %d, want 409", code)
+	}
+	ls := st.lives["net"]
+	if got := ls.snapSeq(); got != 0 {
+		t.Fatalf("snapSeq after failed rotation = %d, want 0 (attempt %d never published)", got, ls.seq)
+	}
+
+	coords, weights := genKeys(100, 3)
+	if pr := pushColumnar(t, srv.URL, coords, weights); pr.Snapshot != 0 {
+		t.Fatalf("push response snapshot = %d before any publish", pr.Snapshot)
+	}
+	var snap struct {
+		Snapshot uint64 `json:"snapshot"`
+	}
+	if code := postJSON(t, srv.URL+"/v1/summaries/net/snapshot", "application/json", nil, &snap); code != http.StatusOK {
+		t.Fatalf("snapshot status %d", code)
+	}
+	if snap.Snapshot != 2 {
+		t.Fatalf("published snapshot seq = %d, want 2 (attempt 1 failed)", snap.Snapshot)
+	}
+	if pr := pushColumnar(t, srv.URL, coords, weights); pr.Snapshot != 2 {
+		t.Fatalf("push response snapshot = %d after publish, want 2", pr.Snapshot)
+	}
+}
+
 // TestLiveIngestSnapshotQuery is the end-to-end write path: keys pushed
 // over HTTP (columnar JSON and NDJSON) become queryable after a snapshot,
 // with estimates bit-identical to an offline Builder fed the same stream

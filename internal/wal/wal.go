@@ -211,7 +211,13 @@ func Open(opts Options) (*Log, error) {
 // itself is durable. Callers hold l.mu (or own the log exclusively).
 func (l *Log) openSegment(base, sub uint64) error {
 	path := segmentPath(l.opts.Dir, l.opts.Name, base, sub)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	// O_APPEND makes every write land at the file's current EOF regardless
+	// of the fd offset. That is load-bearing for Append's torn-write heal:
+	// after a partial write the fd offset sits past the truncated length,
+	// and without O_APPEND the next successful write would leave a
+	// zero-filled hole that replay reads as a torn tail — silently dropping
+	// every acked record after it.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -256,8 +262,10 @@ func (l *Log) Append(coords [][]uint64, weights []float64) error {
 	if _, err := l.f.Write(buf); err != nil {
 		// A failed or short write may have left a torn record mid-segment,
 		// which replay would treat as fatal corruption unless it is the
-		// final tail. Heal by truncating back to the last good boundary; if
-		// even that fails the log is poisoned and every later ack fails.
+		// final tail. Heal by truncating back to the last good boundary —
+		// the segment is open O_APPEND, so the next write lands at the new
+		// EOF rather than the advanced fd offset; if even the truncate
+		// fails the log is poisoned and every later ack fails.
 		if terr := l.f.Truncate(l.size); terr != nil {
 			l.err = fmt.Errorf("wal: segment torn at %d and unhealable (%v) after write error: %w", l.size, terr, err)
 			return l.err
@@ -531,6 +539,14 @@ type Stats struct {
 // else is corruption of data the log promised was sealed, and recovery
 // fails loudly rather than silently serving a summary with a hole in it —
 // the same posture recoverLive takes when no snapshot loads.
+//
+// A tolerated tear is also healed on disk: the torn segment is truncated
+// to its valid prefix (fsynced), or deleted outright when even its header
+// never made it. Open starts a fresh segment after the torn one, so
+// without the heal a second restart would find the tear mid-stream — no
+// longer last in List order — and refuse to start over records that were
+// already, correctly, dropped as unacked tail. A heal failure is an error
+// for the same reason: leaving the tear guarantees that exact fate.
 func Replay(dir, name string, minSeq uint64, dec wire.Decoder, fn func(*wire.Batch) error) (Stats, error) {
 	segs, err := List(dir, name)
 	if err != nil {
@@ -546,7 +562,7 @@ func Replay(dir, name string, minSeq uint64, dec wire.Decoder, fn func(*wire.Bat
 			return st, fmt.Errorf("wal: replay %s: %w", filepath.Base(sg.Path), err)
 		}
 		st.Segments++
-		records, keys, fault := replaySegmentFile(data, sg.BaseSeq, dec, fn)
+		records, keys, good, fault := replaySegmentFile(data, sg.BaseSeq, dec, fn)
 		st.Records += records
 		st.Keys += keys
 		if fault == nil {
@@ -556,21 +572,55 @@ func Replay(dir, name string, minSeq uint64, dec wire.Decoder, fn func(*wire.Bat
 			return st, fmt.Errorf("wal: replay %s: %w", filepath.Base(sg.Path), fault)
 		}
 		st.Torn = true
+		if err := healTornTail(dir, sg.Path, good); err != nil {
+			return st, fmt.Errorf("wal: heal torn tail of %s: %w", filepath.Base(sg.Path), err)
+		}
 	}
 	return st, nil
 }
 
+// healTornTail makes a tolerated tear durable fact: the segment file is
+// cut back to its good-prefix length so later replays see a cleanly
+// sealed segment instead of mid-stream corruption. good == 0 means not
+// even the header survived (a crash between create and header write);
+// such a file holds no records and is removed rather than left as a
+// zero-byte tombstone that would read as torn forever.
+func healTornTail(dir, path string, good int) error {
+	if good == 0 {
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		SyncDir(dir, nil)
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	err = f.Truncate(int64(good))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // replaySegmentFile checks the header matches the filename's window, then
-// replays the record stream.
-func replaySegmentFile(data []byte, baseSeq uint64, dec wire.Decoder, fn func(*wire.Batch) error) (records int, keys int64, fault error) {
+// replays the record stream. good is the file's valid-prefix length in
+// bytes — header included once it parses, 0 when it does not — which is
+// exactly where a torn-tail heal truncates.
+func replaySegmentFile(data []byte, baseSeq uint64, dec wire.Decoder, fn func(*wire.Batch) error) (records int, keys int64, good int, fault error) {
 	rest, hdrBase, err := parseSegmentHeader(data)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if hdrBase != baseSeq {
-		return 0, 0, fmt.Errorf("%w: header window %d, filename says %d", ErrSegmentHeader, hdrBase, baseSeq)
+		return 0, 0, 0, fmt.Errorf("%w: header window %d, filename says %d", ErrSegmentHeader, hdrBase, baseSeq)
 	}
-	return ReplaySegment(rest, dec, fn)
+	records, keys, good, fault = ReplaySegment(rest, dec, fn)
+	return records, keys, segHeaderSize + good, fault
 }
 
 // parseSegmentHeader validates a segment's fixed header and returns the
@@ -589,28 +639,33 @@ func parseSegmentHeader(data []byte) (rest []byte, baseSeq uint64, err error) {
 }
 
 // ReplaySegment decodes one segment's record bytes (header already
-// stripped), calling fn per batch, and returns what it applied plus the
-// first fault. A nil fault is a clean end on a record boundary. A decode
-// fault stops the replay at the last good boundary — the caller decides
-// whether that is a tolerable torn tail (final segment) or fatal
-// corruption (any sealed segment); an fn error is wrapped in ErrApply and
-// is always fatal. ReplaySegment never panics on arbitrary input
-// (FuzzWALDecode holds it to that).
-func ReplaySegment(data []byte, dec wire.Decoder, fn func(*wire.Batch) error) (records int, keys int64, fault error) {
+// stripped), calling fn per batch, and returns what it applied, the byte
+// length of the valid record prefix (the last good record boundary, where
+// a torn-tail heal truncates), and the first fault. A nil fault is a
+// clean end on a record boundary. A decode fault stops the replay at the
+// last good boundary — the caller decides whether that is a tolerable
+// torn tail (final segment) or fatal corruption (any sealed segment); an
+// fn error is wrapped in ErrApply and is always fatal. ReplaySegment
+// never panics on arbitrary input (FuzzWALDecode holds it to that).
+func ReplaySegment(data []byte, dec wire.Decoder, fn func(*wire.Batch) error) (records int, keys int64, good int, fault error) {
 	var batch wire.Batch
-	r := wire.NewReader(bytes.NewReader(data), dec)
+	br := bytes.NewReader(data)
+	r := wire.NewReader(br, dec)
 	for {
 		err := r.Next(&batch)
 		if err == io.EOF {
-			return records, keys, nil
+			return records, keys, good, nil
 		}
 		if err != nil {
-			return records, keys, err
+			return records, keys, good, err
 		}
 		if err := fn(&batch); err != nil {
-			return records, keys, fmt.Errorf("%w: %v", ErrApply, err)
+			return records, keys, good, fmt.Errorf("%w: %v", ErrApply, err)
 		}
 		records++
 		keys += int64(batch.Rows())
+		// The reader consumes exactly one frame per Next, so the unread
+		// count marks the record boundary the applied prefix ends on.
+		good = len(data) - br.Len()
 	}
 }

@@ -245,6 +245,62 @@ func TestTornTailRecovery(t *testing.T) {
 	if !st.Torn || st.Records != 1 || len(keys) != 4 {
 		t.Fatalf("torn tail: stats %+v, %d keys; want 1 record / 4 keys, torn", st, len(keys))
 	}
+	// The tolerated tear is healed on disk: the file now ends on the last
+	// good record boundary and replays as a cleanly sealed segment.
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(segHeaderSize+frame) {
+		t.Fatalf("heal left %v bytes (err %v), want %d", fi.Size(), err, segHeaderSize+frame)
+	}
+	st, keys, _ = collect(t, dir, "net", 0)
+	if st.Torn || st.Records != 1 || len(keys) != 4 {
+		t.Fatalf("post-heal replay: stats %+v, %d keys; want 1 clean record", st, len(keys))
+	}
+}
+
+// TestTornTailHealSurvivesSecondRestart is the double-restart sequence
+// that used to wedge startup: a power-loss tear in the final segment, a
+// restart (which tolerates the tear and opens a fresh segment after it),
+// then another restart. Without the replay-time heal, the torn segment is
+// no longer last in List order on the second restart and replay rejects
+// it as fatal mid-stream corruption — over acked records it had already,
+// correctly, dropped as unacked tail.
+func TestTornTailHealSurvivesSecondRestart(t *testing.T) {
+	dir := t.TempDir()
+	l1 := openTestLog(t, dir, 0, nil)
+	c, w := testBatch(0, 4)
+	if err := l1.Append(c, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Append(c, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frame := wire.FrameSize(2, 4)
+	if err := os.Truncate(segmentPath(dir, "net", 0, 0), int64(segHeaderSize+frame+frame/2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First restart: replay tolerates (and heals) the tear, then a new log
+	// opens a segment that sorts after the torn one.
+	if st, _, _ := collect(t, dir, "net", 0); !st.Torn {
+		t.Fatalf("first restart: stats %+v, want torn", st)
+	}
+	l2 := openTestLog(t, dir, 0, nil)
+	c2, w2 := testBatch(100, 3)
+	if err := l2.Append(c2, w2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart: the once-torn segment is mid-stream now; replay must
+	// see it as cleanly sealed and recover both processes' records.
+	st, keys, _ := collect(t, dir, "net", 0)
+	if st.Torn || st.Records != 2 || len(keys) != 7 {
+		t.Fatalf("second restart: stats %+v, %d keys; want 2 clean records / 7 keys", st, len(keys))
+	}
 }
 
 // TestMidStreamCorruptionFatal flips a byte in a sealed (non-final)
@@ -408,24 +464,28 @@ func FuzzWALDecode(f *testing.F) {
 	f.Add([]byte(segMagic))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := wire.Decoder{Dims: 2, MaxRows: 1 << 10}
-		records, keys, _ := ReplaySegment(data, dec, func(b *wire.Batch) error {
+		records, keys, good, _ := ReplaySegment(data, dec, func(b *wire.Batch) error {
 			if len(b.Coords) != 2 || len(b.Weights) != b.Rows() {
 				t.Fatalf("decoded batch malformed: %d coords, %d weights", len(b.Coords), len(b.Weights))
 			}
 			return nil
 		})
-		if records < 0 || keys < 0 {
-			t.Fatalf("negative stats: %d records, %d keys", records, keys)
+		if records < 0 || keys < 0 || good < 0 || good > len(data) {
+			t.Fatalf("stats out of range: %d records, %d keys, %d good of %d bytes", records, keys, good, len(data))
 		}
 
 		// Torn-tail contract: any prefix of a valid 2-record stream recovers
-		// exactly the whole records the prefix contains.
+		// exactly the whole records the prefix contains, and reports the
+		// boundary they end on (where a heal would truncate).
 		stream := append(append([]byte{}, valid...), valid...)
 		cut := len(data) % (len(stream) + 1)
-		records, keys, fault := ReplaySegment(stream[:cut], dec, func(*wire.Batch) error { return nil })
+		records, keys, good, fault := ReplaySegment(stream[:cut], dec, func(*wire.Batch) error { return nil })
 		wantRecords := cut / len(valid)
 		if records != wantRecords || keys != int64(4*wantRecords) {
 			t.Fatalf("prefix of %d bytes: %d records / %d keys, want %d / %d", cut, records, keys, wantRecords, 4*wantRecords)
+		}
+		if good != wantRecords*len(valid) {
+			t.Fatalf("prefix of %d bytes: good = %d, want boundary %d", cut, good, wantRecords*len(valid))
 		}
 		if onBoundary := cut%len(valid) == 0; onBoundary != (fault == nil) {
 			t.Fatalf("prefix of %d bytes: fault = %v, boundary = %v", cut, fault, onBoundary)
@@ -445,13 +505,22 @@ func TestReplayEmptyAndHeaderOnlySegments(t *testing.T) {
 	if st.Records != 0 || len(keys) != 0 || st.Torn {
 		t.Fatalf("header-only segment: stats %+v", st)
 	}
-	// Zero-byte final segment (crash between create and header write).
+	// Zero-byte final segment (crash between create and header write). It
+	// holds no records, so the heal removes it rather than leaving a
+	// tombstone every later replay would re-count as torn.
 	if err := os.WriteFile(segmentPath(dir, "net", 0, 1), nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	st, _, _ = collect(t, dir, "net", 0)
 	if !st.Torn {
 		t.Fatalf("empty final segment should count as torn, got %+v", st)
+	}
+	if _, err := os.Stat(segmentPath(dir, "net", 0, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("headerless segment not removed by heal: %v", err)
+	}
+	st, _, _ = collect(t, dir, "net", 0)
+	if st.Torn {
+		t.Fatalf("post-heal replay still torn: %+v", st)
 	}
 }
 

@@ -22,6 +22,12 @@ import (
 const (
 	DefaultBackoffBase = 100 * time.Millisecond
 	DefaultBackoffMax  = 5 * time.Second
+
+	// RetryAfterMax caps how long a Retry-After hint can make a client
+	// wait. A hint is the server asking for breathing room, not an
+	// instruction the client owes unbounded obedience — without a ceiling
+	// a misbehaving server could park a client for years with one header.
+	RetryAfterMax = 30 * time.Second
 )
 
 // Backoff produces capped exponentially growing waits with equal jitter:
@@ -72,13 +78,19 @@ func (b *Backoff) Next() time.Duration {
 func (b *Backoff) Reset() { b.attempts = 0 }
 
 // RetryAfter converts a Retry-After header into a wait: a positive whole
-// number of seconds is honored exactly, and anything else — zero,
-// negatives, HTTP-dates, garbage, an absent header — yields fallback.
-// Callers pass their backoff's Next as the fallback, so a server that
-// sends no usable hint gets the client's own growing schedule, and a
-// misbehaving one can never advertise its way into a hot retry loop.
+// number of seconds is honored up to RetryAfterMax, and anything else —
+// zero, negatives, HTTP-dates, garbage, an absent header — yields
+// fallback. Callers pass their backoff's Next as the fallback, so a
+// server that sends no usable hint gets the client's own growing
+// schedule, and a misbehaving one can never advertise its way into a hot
+// retry loop (zero hint) or an unbounded stall (absurd hint).
 func RetryAfter(h string, fallback time.Duration) time.Duration {
 	if s, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && s > 0 {
+		// Clamp before multiplying: a 19-digit hint would overflow the
+		// duration math into a negative wait.
+		if s >= int(RetryAfterMax/time.Second) {
+			return RetryAfterMax
+		}
 		return time.Duration(s) * time.Second
 	}
 	return fallback

@@ -67,6 +67,12 @@ func TestRetryAfter(t *testing.T) {
 		{"1", time.Second},
 		{"7", 7 * time.Second},
 		{" 2 ", 2 * time.Second},
+		// An absurd hint is clamped, not obeyed: the header is a request
+		// for breathing room, not a license to park the client forever.
+		{"31", RetryAfterMax},
+		{"999999999", RetryAfterMax},
+		{"99999999999", RetryAfterMax},    // ×1e9 would overflow time.Duration
+		{"9999999999999999999", fallback}, // overflows Atoi itself → unusable hint
 		// A zero or garbage hint must never produce a zero wait.
 		{"0", fallback},
 		{"-3", fallback},
