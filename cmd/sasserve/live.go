@@ -10,6 +10,12 @@ package main
 // queries see either the previous epoch or the new one, never a partial
 // index.
 //
+// The snapshot write path (writeSnapshotFile) and the WAL hooks make
+// this package part of the durability contract, so the durable analyzer
+// checks its Sync/Close/Rename error handling and open flags:
+//
+//sasvet:durable
+//
 // Ingestion is parallel and explicitly bounded. Each live summary runs N
 // per-core shards (-live-shards, default GOMAXPROCS), each a fully
 // independent Builder behind a bounded frame queue drained by its own worker
@@ -291,6 +297,7 @@ func (ls *liveSummary) cutBarrier(seq uint64) (wait, release func(), err error) 
 		}
 	}
 	wait = func() {
+		//sasvet:ok the workers only close the done channels; receiving on them is the rendezvous
 		for _, done := range dones {
 			<-done
 		}
@@ -314,6 +321,7 @@ func (ls *liveSummary) quiesce() {
 		sh.q <- ingestJob{done: dones[i]}
 	}
 	ls.qmu.RUnlock()
+	//sasvet:ok the workers only close the done channels; receiving on them is the rendezvous
 	for _, done := range dones {
 		<-done
 	}
@@ -800,12 +808,12 @@ func writeSnapshotFile(dir, name string, seq uint64, sum *core.Summary) (string,
 		return "", err
 	}
 	if _, err := sum.WriteTo(f); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return "", err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return "", err
 	}

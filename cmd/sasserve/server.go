@@ -121,7 +121,7 @@ func loadSummaryFile(name, path string, now time.Time) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //sasvet:ok opened read-only; there are no buffered writes whose loss a Close error could signal
 	info, err := f.Stat()
 	if err != nil {
 		return nil, err

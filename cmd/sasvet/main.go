@@ -1,0 +1,81 @@
+// Command sasvet runs the project-invariant analyzer suite over the
+// repository: maporder (deterministic output must not depend on map
+// iteration order), handoff (no use after channel send or sync.Pool
+// Put), durable (fsync/close/rename discipline on WAL and snapshot
+// paths), and hotpath (no allocation-forcing constructs in
+// //sasvet:hotpath functions). It also rejects every bare //sasvet:ok:
+// a suppression without a written reason is not a contract.
+//
+// Usage:
+//
+//	go run ./cmd/sasvet ./...
+//	go run ./cmd/sasvet -fix ./internal/wal
+//
+// Exit status is 1 when any diagnostic remains, so `make lint` and CI
+// can use it as a hard gate. -fix applies the suggested fixes the
+// analyzers attach (currently durable's missing-O_APPEND insertion),
+// re-prints what it fixed, and reports the diagnostics that remain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"golang.org/x/tools/go/analysis"
+
+	"structaware/internal/analysis/driver"
+	"structaware/internal/analysis/durable"
+	"structaware/internal/analysis/handoff"
+	"structaware/internal/analysis/hotpath"
+	"structaware/internal/analysis/maporder"
+)
+
+var suite = []*analysis.Analyzer{
+	maporder.Analyzer,
+	handoff.Analyzer,
+	durable.Analyzer,
+	hotpath.Analyzer,
+}
+
+func main() {
+	fix := flag.Bool("fix", false, "apply suggested fixes, then report what remains")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sasvet [-fix] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	res, err := driver.Run(suite, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sasvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *fix {
+		n, err := res.ApplyFixes()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sasvet: applying fixes: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("sasvet: applied %d suggested fix(es)\n", n)
+		// Re-run so the report reflects the rewritten sources.
+		res, err = driver.Run(suite, patterns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sasvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	for _, d := range res.Diags {
+		fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sasvet: %d diagnostic(s)\n", len(res.Diags))
+		os.Exit(1)
+	}
+}

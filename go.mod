@@ -1,3 +1,10 @@
 module structaware
 
 go 1.24
+
+// golang.org/x/tools is vendored (vendor/): the analyzer suite in
+// internal/analysis builds on go/analysis. The vendored subset is the
+// copy the Go 1.24 toolchain itself ships (GOROOT/src/cmd/vendor), so
+// no network access is needed to build; go.sum is not consulted in
+// vendor mode.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

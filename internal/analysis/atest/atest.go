@@ -1,0 +1,173 @@
+// Package atest is the analysistest-style harness for the sasvet
+// analyzers. golang.org/x/tools/go/analysis/analysistest is not in the
+// vendored x/tools subset (it drags in go/packages and friends), so
+// this package reimplements the part the suite needs: type-check a
+// testdata package, run one analyzer over it, and compare its
+// diagnostics against `// want "regexp"` comments in the source.
+//
+// Layout and comment grammar follow analysistest: testdata packages
+// live in testdata/src/<name> relative to the test, and an expectation
+// comment
+//
+//	x := f() // want "part of the expected message" "second diagnostic"
+//
+// asserts that each quoted regexp matches one diagnostic reported on
+// that line, and that no unmatched diagnostics remain.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"structaware/internal/analysis/driver"
+	"structaware/internal/analysis/load"
+)
+
+// Run type-checks testdata/src/<pkg> for each named package and
+// verifies a's diagnostics against the // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		t.Run(name, func(t *testing.T) {
+			t.Helper()
+			runOne(t, a, filepath.Join("testdata", "src", name))
+		})
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type gotDiag struct {
+	file    string
+	line    int
+	message string
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read testdata dir: %v", err)
+	}
+	var files []*ast.File
+	for _, de := range ents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	pkgName := files[0].Name.Name
+	tpkg, info, err := load.Check(fset, pkgName, files, load.StdImporter(fset))
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+
+	var got []gotDiag
+	lp := &load.Package{ImportPath: pkgName, Dir: dir, Files: files, Types: tpkg, Info: info}
+	err = driver.Exec(fset, lp, []*analysis.Analyzer{a}, func(_ string, d analysis.Diagnostic) {
+		pos := fset.Position(d.Pos)
+		got = append(got, gotDiag{file: pos.Filename, line: pos.Line, message: d.Message})
+	})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	want := expectations(t, fset, files)
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].file != got[j].file {
+			return got[i].file < got[j].file
+		}
+		if got[i].line != got[j].line {
+			return got[i].line < got[j].line
+		}
+		return got[i].message < got[j].message
+	})
+	for _, g := range got {
+		ok := false
+		for _, w := range want {
+			if !w.matched && w.file == g.file && w.line == g.line && w.re.MatchString(g.message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", g.file, g.line, g.message)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// wantRE extracts the quoted regexps of one // want comment.
+var wantToken = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectations collects every // want comment in the files.
+func expectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var want []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, found := strings.CutPrefix(c.Text, "// want ")
+				if !found {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				toks := wantToken.FindAllString(rest, -1)
+				if len(toks) == 0 {
+					t.Errorf("%s: malformed // want comment (no quoted regexp)", fmt.Sprintf("%s:%d", pos.Filename, pos.Line))
+					continue
+				}
+				for _, tok := range toks {
+					var pat string
+					if strings.HasPrefix(tok, "`") {
+						pat = strings.Trim(tok, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(tok)
+						if err != nil {
+							t.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, tok, err)
+							continue
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					want = append(want, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return want
+}

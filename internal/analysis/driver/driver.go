@@ -1,0 +1,209 @@
+// Package driver runs go/analysis analyzers over packages loaded by
+// internal/analysis/load and renders their diagnostics. It is the
+// multichecker behind cmd/sasvet: analyzer Requires are resolved per
+// package (facts are deliberately unsupported — the suite's invariants
+// are all package-local), diagnostics come back in deterministic
+// file/line order, and suggested fixes can be applied to the working
+// tree in place (`sasvet -fix`).
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"runtime"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+
+	"structaware/internal/analysis/load"
+	"structaware/internal/analysis/sasdir"
+)
+
+// Diag is one rendered diagnostic.
+type Diag struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	Fixes    []analysis.SuggestedFix
+}
+
+// Result holds a run's diagnostics plus the position table needed to
+// apply fixes.
+type Result struct {
+	fset  *token.FileSet
+	Diags []Diag
+}
+
+// Run loads the packages matching patterns and applies every analyzer
+// to each. Analyzer prerequisites (Requires) run first and feed
+// ResultOf; analyzers using facts are rejected up front.
+func Run(analyzers []*analysis.Analyzer, patterns []string) (*Result, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			return nil, fmt.Errorf("analyzer %s uses facts, which this driver does not support", a.Name)
+		}
+	}
+	fset := token.NewFileSet()
+	pkgs, err := load.Patterns(fset, patterns)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{fset: fset}
+	seen := make(map[string]bool) // dedupe (pos, analyzer, message)
+	report := func(name string, d analysis.Diagnostic) {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d:%d|%s|%s", pos.Filename, pos.Line, pos.Column, name, d.Message)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		res.Diags = append(res.Diags, Diag{Analyzer: name, Pos: pos, Message: d.Message, Fixes: d.SuggestedFixes})
+	}
+	for _, pkg := range pkgs {
+		if err := Exec(fset, pkg, analyzers, report); err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
+		}
+		// A bare //sasvet:ok is an unjustified escape hatch even when no
+		// diagnostic lands on its line: flag every one, so dead directives
+		// cannot linger and later silently swallow a real finding.
+		for _, pos := range sasdir.BareOKs(pkg.Files) {
+			report("sasvet", analysis.Diagnostic{
+				Pos:     pos,
+				Message: "//sasvet:ok requires a reason: write //sasvet:ok <why this is safe>",
+			})
+		}
+	}
+	sort.Slice(res.Diags, func(i, j int) bool {
+		a, b := res.Diags[i].Pos, res.Diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return res.Diags[i].Analyzer < res.Diags[j].Analyzer
+	})
+	return res, nil
+}
+
+// Exec applies the analyzers (and, memoized, their Requires closure)
+// to one type-checked package, reporting each top-level analyzer's
+// diagnostics through report. The analysistest-style harness in
+// internal/analysis/atest shares it.
+func Exec(fset *token.FileSet, pkg *load.Package, analyzers []*analysis.Analyzer, report func(string, analysis.Diagnostic)) error {
+	results := make(map[*analysis.Analyzer]any)
+	var exec func(a *analysis.Analyzer, wanted bool) error
+	exec = func(a *analysis.Analyzer, wanted bool) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		for _, req := range a.Requires {
+			if err := exec(req, false); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:     a,
+			Fset:         fset,
+			Files:        pkg.Files,
+			IgnoredFiles: pkg.IgnoredFiles,
+			Pkg:          pkg.Types,
+			TypesInfo:    pkg.Info,
+			TypesSizes:   types.SizesFor("gc", runtime.GOARCH),
+			ReadFile:     os.ReadFile,
+			ResultOf:     maps(results, a.Requires),
+			Report: func(d analysis.Diagnostic) {
+				if wanted {
+					report(a.Name, d)
+				}
+			},
+		}
+		out, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		if a.ResultType != nil && out == nil {
+			return fmt.Errorf("analyzer %s returned nil result", a.Name)
+		}
+		results[a] = out
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := exec(a, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maps(results map[*analysis.Analyzer]any, reqs []*analysis.Analyzer) map[*analysis.Analyzer]any {
+	m := make(map[*analysis.Analyzer]any, len(reqs))
+	for _, req := range reqs {
+		m[req] = results[req]
+	}
+	return m
+}
+
+// ApplyFixes applies every suggested fix in the result to the files on
+// disk, skipping fixes whose edits overlap an already-applied edit.
+// It returns how many fixes were applied.
+func (r *Result) ApplyFixes() (int, error) {
+	type edit struct {
+		start, end int // byte offsets
+		text       []byte
+	}
+	perFile := make(map[string][]edit)
+	applied := 0
+	for _, d := range r.Diags {
+		for _, fix := range d.Fixes {
+			ok := true
+			var staged []edit
+			for _, te := range fix.TextEdits {
+				start := r.fset.Position(te.Pos)
+				end := start
+				if te.End.IsValid() {
+					end = r.fset.Position(te.End)
+				}
+				if start.Filename == "" || end.Filename != start.Filename || end.Offset < start.Offset {
+					ok = false
+					break
+				}
+				staged = append(staged, edit{start.Offset, end.Offset, te.NewText})
+				perFile[start.Filename] = append(perFile[start.Filename], edit{start.Offset, end.Offset, te.NewText})
+			}
+			if ok && len(staged) > 0 {
+				applied++
+			}
+		}
+	}
+	for name, edits := range perFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return applied, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		var out []byte
+		last := 0
+		for _, e := range edits {
+			if e.start < last || e.end > len(src) {
+				continue // overlapping or stale edit: leave for a re-run
+			}
+			out = append(out, src[last:e.start]...)
+			out = append(out, e.text...)
+			last = e.end
+		}
+		out = append(out, src[last:]...)
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,294 @@
+// Package durable mechanically enforces the crash-durability contract
+// on packages annotated //sasvet:durable (the WAL and the snapshot
+// write paths). It encodes the lessons of PR 9's review cycle:
+//
+//   - a dropped error from (*os.File).Sync, (*os.File).Close, or
+//     os.Rename silently downgrades "acked and durable" to "acked and
+//     maybe on disk" — every one must be checked, assigned, or carry a
+//     written //sasvet:ok reason;
+//   - renaming a freshly written file into place without an fsync first
+//     lets a power loss publish the name with torn contents (the
+//     snapshot temp-file rule);
+//   - opening an append-only log with O_CREATE but without O_APPEND
+//     leaves writes at the fd offset, so a torn-write heal (Truncate)
+//     followed by a write lands past EOF and replay reads a zero-filled
+//     hole as a torn tail — silently dropping acked records. This one
+//     carries a suggested fix (`sasvet -fix` appends |os.O_APPEND).
+package durable
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"structaware/internal/analysis/sasdir"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "durable",
+	Doc:      "enforce fsync/close/rename error handling and append-mode log opens in //sasvet:durable packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !sasdir.PackageMarked(pass.Files, "durable") {
+		return nil, nil
+	}
+	sup := sasdir.Index(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// (1) dropped errors: a durability call in statement position.
+	ins.Preorder([]ast.Node{(*ast.ExprStmt)(nil), (*ast.DeferStmt)(nil)}, func(n ast.Node) {
+		var call *ast.CallExpr
+		deferred := false
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = n.Call
+			deferred = true
+		}
+		if call == nil {
+			return
+		}
+		if name := durabilityCall(pass, call); name != "" {
+			verb := "dropped"
+			if deferred {
+				verb = "deferred and dropped"
+			}
+			sup.Report(pass, analysis.Diagnostic{
+				Pos: call.Pos(),
+				End: call.End(),
+				Message: name + " error " + verb + ": on a durable write path an unchecked " + name +
+					" silently downgrades the durability the ack promised (PR 9); check it, or suppress with //sasvet:ok <reason>",
+			})
+		}
+	})
+
+	// (2) rename-without-sync and (3) O_CREATE without O_APPEND are
+	// per-function dataflow checks.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		checkRenameSync(pass, sup, fd)
+	})
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		checkOpenFlags(pass, sup, n.(*ast.CallExpr))
+	})
+	return nil, nil
+}
+
+// durabilityCall reports whether call is (*os.File).Sync, (*os.File).Close,
+// or os.Rename, returning a display name or "".
+func durabilityCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// os.Rename(...)
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "os" && sel.Sel.Name == "Rename" {
+				return "os.Rename"
+			}
+			return ""
+		}
+	}
+	// f.Sync() / f.Close() on an *os.File.
+	if sel.Sel.Name != "Sync" && sel.Sel.Name != "Close" {
+		return ""
+	}
+	if isOSFile(pass.TypesInfo.TypeOf(sel.X)) {
+		return "(*os.File)." + sel.Sel.Name
+	}
+	return ""
+}
+
+func isOSFile(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}
+
+// checkRenameSync flags os.Rename(tmp, dst) where tmp names a file this
+// function created and wrote (os.Create / os.OpenFile with a write
+// flag) but never Sync'd: a crash after the rename can publish the
+// final name with torn contents.
+func checkRenameSync(pass *analysis.Pass, sup *sasdir.Suppressions, fd *ast.FuncDecl) {
+	// file var -> the path variable it was opened from
+	opened := make(map[*types.Var]*types.Var)
+	synced := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// f, err := os.Create(tmp) / os.OpenFile(tmp, ...)
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					if pathVar := createdPath(pass, call); pathVar != nil && len(n.Lhs) >= 1 {
+						if id, ok := n.Lhs[0].(*ast.Ident); ok {
+							if fv := objVar(pass, id); fv != nil {
+								opened[fv] = pathVar
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if fv := objVar(pass, id); fv != nil {
+						synced[fv] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(opened) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || durabilityCall(pass, call) != "os.Rename" || len(call.Args) != 2 {
+			return true
+		}
+		src, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		srcVar := objVar(pass, src)
+		if srcVar == nil {
+			return true
+		}
+		for fv, pathVar := range opened {
+			if pathVar == srcVar && !synced[fv] {
+				sup.Report(pass, analysis.Diagnostic{
+					Pos: call.Pos(),
+					End: call.End(),
+					Message: "renaming " + src.Name + " without an fsync of the file written to it: a crash can publish the " +
+						"name with torn contents (the PR 9 snapshot rule: write, Sync, Close, then Rename); " +
+						"suppress with //sasvet:ok <reason>",
+				})
+			}
+		}
+		return true
+	})
+}
+
+// createdPath matches os.Create(path) and os.OpenFile(path, W, ...) and
+// returns the path argument's variable, or nil.
+func createdPath(pass *analysis.Pass, call *ast.CallExpr) *types.Var {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "os" {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Create":
+	case "OpenFile":
+		if len(call.Args) < 2 || !flagNamed(call.Args[1], "O_WRONLY") && !flagNamed(call.Args[1], "O_RDWR") {
+			return nil
+		}
+	default:
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objVar(pass, arg)
+}
+
+func objVar(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	if o, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return o
+	}
+	if o, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return o
+	}
+	return nil
+}
+
+// checkOpenFlags flags os.OpenFile with O_CREATE and a write mode but
+// neither O_APPEND nor O_TRUNC: an append-only log opened this way
+// writes at the fd offset, and after a torn-write heal that offset sits
+// past EOF, leaving a zero-filled hole replay reads as a torn tail.
+func checkOpenFlags(pass *analysis.Pass, sup *sasdir.Suppressions, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "OpenFile" || len(call.Args) != 3 {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "os" {
+		return
+	}
+	flags := call.Args[1]
+	if !flagNamed(flags, "O_CREATE") {
+		return
+	}
+	if !flagNamed(flags, "O_WRONLY") && !flagNamed(flags, "O_RDWR") {
+		return
+	}
+	if flagNamed(flags, "O_APPEND") || flagNamed(flags, "O_TRUNC") {
+		return
+	}
+	sup.Report(pass, analysis.Diagnostic{
+		Pos: flags.Pos(),
+		End: flags.End(),
+		Message: "O_CREATE open without O_APPEND (or O_TRUNC): writes land at the fd offset, so a torn-write heal " +
+			"followed by a write leaves a zero-filled hole that replay drops as a torn tail (the PR 9 WAL hole); " +
+			"add os.O_APPEND for logs or os.O_TRUNC for rewrites, or suppress with //sasvet:ok <reason>",
+		SuggestedFixes: []analysis.SuggestedFix{{
+			Message: "append os.O_APPEND to the open flags",
+			TextEdits: []analysis.TextEdit{{
+				Pos:     flags.End(),
+				End:     flags.End(),
+				NewText: []byte("|os.O_APPEND"),
+			}},
+		}},
+	})
+}
+
+// flagNamed reports whether the flags expression mentions os.<name>.
+func flagNamed(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package durable_test
+
+import (
+	"testing"
+
+	"structaware/internal/analysis/atest"
+	"structaware/internal/analysis/durable"
+)
+
+func TestDurable(t *testing.T) {
+	atest.Run(t, durable.Analyzer, "wal", "nodirective")
+}

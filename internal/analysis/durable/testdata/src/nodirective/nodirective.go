@@ -1,0 +1,13 @@
+// Package nodirective holds the same patterns without the
+// //sasvet:durable annotation, so durable must stay silent.
+package nodirective
+
+import "os"
+
+func open(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+}
+
+func drop(f *os.File) {
+	f.Close()
+}

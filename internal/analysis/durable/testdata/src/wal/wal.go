@@ -1,0 +1,75 @@
+// Package wal replays the PR 9 torn-write hole and the snapshot
+// temp-file discipline on a //sasvet:durable package.
+//
+//sasvet:durable
+package wal
+
+import "os"
+
+// openSegment replays the pre-fix PR 9 open verbatim: O_CREATE without
+// O_APPEND leaves writes at the fd offset, so a torn-write heal
+// (Truncate) followed by a write lands past EOF and replay reads a
+// zero-filled hole as a torn tail.
+func openSegment(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644) // want "without O_APPEND"
+}
+
+// openSegmentFixed is the post-fix open.
+func openSegmentFixed(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// writeSnapshot drops two Close errors and renames without a Sync: a
+// crash after the rename can publish the final name with torn contents.
+func writeSnapshot(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want `\(\*os\.File\)\.Close error dropped`
+		return err
+	}
+	f.Close()                    // want `\(\*os\.File\)\.Close error dropped`
+	return os.Rename(tmp, final) // want "renaming tmp without an fsync"
+}
+
+// writeSnapshotFixed follows the PR 9 rule: write, Sync, Close (both
+// checked), then Rename. The error-path Close carries a reason.
+func writeSnapshotFixed(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //sasvet:ok write already failed and the temp file is discarded
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //sasvet:ok Sync already failed, its error wins
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// rotate drops the rename error entirely.
+func rotate(old, cur string) {
+	os.Rename(cur, old) // want "os.Rename error dropped"
+}
+
+// rotateBare shows that a bare //sasvet:ok never suppresses: the reason
+// string is the contract.
+func rotateBare(old, cur string) {
+	//sasvet:ok
+	os.Rename(cur, old) // want "os.Rename error dropped"
+}
+
+// appendRecord defers a Sync whose error vanishes.
+func appendRecord(f *os.File, rec []byte) error {
+	defer f.Sync() // want `\(\*os\.File\)\.Sync error deferred and dropped`
+	_, err := f.Write(rec)
+	return err
+}

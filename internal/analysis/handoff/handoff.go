@@ -1,0 +1,270 @@
+// Package handoff flags use of a value after its ownership was handed
+// off — sent on a channel or returned to a sync.Pool — within the same
+// function. It encodes the contract behind the PR 7 enqueue bug: a
+// pooled *ingestBatch was sent to a shard worker's queue and then
+// b.Rows() was read for the ack counter, racing the worker that may
+// already have recycled the batch into the pool.
+//
+// A send statement `ch <- expr` or a call `pool.Put(x)` releases every
+// pointer-shaped local variable (pointer, slice, or map) appearing in
+// the sent expression: the receiver may mutate or recycle it
+// immediately. Any later read or write of such a variable on a path
+// that executes after the handoff — subsequent statements of the
+// handoff's block and of every enclosing block — is flagged, until the
+// variable is reassigned wholesale. //sasvet:ok <reason> suppresses.
+package handoff
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"structaware/internal/analysis/sasdir"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "handoff",
+	Doc:      "flag reads/writes of a value after it was sent on a channel or put back in a sync.Pool",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := sasdir.Index(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		if body != nil {
+			checkBody(pass, sup, body)
+		}
+	})
+	return nil, nil
+}
+
+// release is one ownership handoff: the released variable, where, and
+// through which mechanism.
+type release struct {
+	v    *types.Var
+	stmt ast.Stmt
+	kind string // "sent on a channel" or "released to a sync.Pool"
+}
+
+// checkBody finds every handoff in one function body and flags later
+// uses of the released variables. Nested function literals get their
+// own traversal (a use inside a FuncLit defined after the handoff runs
+// at an unknowable time; we still flag it — deferring or storing a
+// closure over a released value is exactly as racy).
+func checkBody(pass *analysis.Pass, sup *sasdir.Suppressions, body *ast.BlockStmt) {
+	var releases []release
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Releases inside a nested literal are handled by that
+			// literal's own visit (the inspector walks every FuncLit);
+			// collecting them here too would double-report.
+			return false
+		case *ast.SendStmt:
+			for _, v := range pointerVars(pass, n.Value) {
+				releases = append(releases, release{v: v, stmt: n, kind: "sent on a channel"})
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isPoolPut(pass, call) {
+				for _, arg := range call.Args {
+					for _, v := range pointerVars(pass, arg) {
+						releases = append(releases, release{v: v, stmt: n, kind: "released to a sync.Pool"})
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, rel := range releases {
+		flagUsesAfter(pass, sup, body, rel)
+	}
+}
+
+// pointerVars collects the pointer-shaped local variables referenced by
+// an expression: the ones whose aliases the receiving side now owns.
+// Plain value copies (ints, strings, structs) are not releases — the
+// receiver gets its own copy.
+func pointerVars(pass *analysis.Pass, e ast.Expr) []*types.Var {
+	var out []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Parent() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level variables have no single owner to transfer
+		}
+		switch v.Type().Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map:
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// isPoolPut matches pool.Put(x) where pool is a sync.Pool or *sync.Pool.
+func isPoolPut(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// flagUsesAfter walks the statements that execute after rel.stmt — the
+// statements following it in its own block and in every enclosing block
+// — and reports uses of rel.v, stopping at a wholesale reassignment.
+func flagUsesAfter(pass *analysis.Pass, sup *sasdir.Suppressions, body *ast.BlockStmt, rel release) {
+	after := stmtsAfter(body, rel.stmt)
+	reassigned := false
+	for _, s := range after {
+		if reassigned {
+			return
+		}
+		ast.Inspect(s, func(n ast.Node) bool {
+			if reassigned {
+				return false
+			}
+			if as, ok := n.(*ast.AssignStmt); ok {
+				// `v = ...` re-establishes ownership for everything after;
+				// but the RHS of that very assignment still reads v, and a
+				// partial write like v.f = x or v[i] = x is a use, not a
+				// reassignment.
+				for _, rhs := range as.Rhs {
+					flagIdents(pass, sup, rhs, rel)
+				}
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if pass.TypesInfo.Uses[id] == rel.v {
+							reassigned = true
+						}
+						continue
+					}
+					flagIdents(pass, sup, lhs, rel)
+				}
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				flagIdent(pass, sup, id, rel)
+			}
+			return true
+		})
+	}
+}
+
+func flagIdents(pass *analysis.Pass, sup *sasdir.Suppressions, e ast.Expr, rel release) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			flagIdent(pass, sup, id, rel)
+		}
+		return true
+	})
+}
+
+func flagIdent(pass *analysis.Pass, sup *sasdir.Suppressions, id *ast.Ident, rel release) {
+	if pass.TypesInfo.Uses[id] != rel.v {
+		return
+	}
+	sup.Report(pass, analysis.Diagnostic{
+		Pos: id.Pos(),
+		End: id.End(),
+		Message: fmt.Sprintf("%s is used after it was %s on line %d: ownership transferred, the receiver may have recycled it "+
+			"(the PR 7 enqueue use-after-release); read what you need before the handoff, or suppress with //sasvet:ok <reason>",
+			id.Name, rel.kind, pass.Fset.Position(rel.stmt.Pos()).Line),
+	})
+}
+
+// stmtsAfter returns the statements that execute strictly after target
+// on target's own control path: the suffix of each block on the path
+// from body down to target. Sibling branches (the else of target's if)
+// are correctly excluded; statements lexically before target inside an
+// enclosing loop are (deliberately, cheaply) ignored.
+func stmtsAfter(body *ast.BlockStmt, target ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	var walk func(stmts []ast.Stmt) bool
+	contains := func(s ast.Stmt) bool {
+		return s.Pos() <= target.Pos() && target.End() <= s.End()
+	}
+	walk = func(stmts []ast.Stmt) bool {
+		for i, s := range stmts {
+			if !contains(s) {
+				continue
+			}
+			// Descend into the child holding target, then take our suffix.
+			if s != target {
+				found := false
+				ast.Inspect(s, func(n ast.Node) bool {
+					if found {
+						return false
+					}
+					if blk, ok := n.(*ast.BlockStmt); ok {
+						if walk(blk.List) {
+							found = true
+							return false
+						}
+					}
+					if cc, ok := n.(*ast.CaseClause); ok {
+						if walk(cc.Body) {
+							found = true
+							return false
+						}
+					}
+					if cc, ok := n.(*ast.CommClause); ok {
+						if walk(cc.Body) {
+							found = true
+							return false
+						}
+					}
+					return true
+				})
+				if !found && s != target {
+					// target is s itself in statement position (e.g. a
+					// SendStmt used directly): treat like found.
+					if s.Pos() == target.Pos() && s.End() == target.End() {
+						found = true
+					}
+				}
+				if !found {
+					continue
+				}
+			}
+			out = append(out, stmts[i+1:]...)
+			return true
+		}
+		return false
+	}
+	walk(body.List)
+	return out
+}

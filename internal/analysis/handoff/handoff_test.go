@@ -1,0 +1,12 @@
+package handoff_test
+
+import (
+	"testing"
+
+	"structaware/internal/analysis/atest"
+	"structaware/internal/analysis/handoff"
+)
+
+func TestHandoff(t *testing.T) {
+	atest.Run(t, handoff.Analyzer, "handoff")
+}

@@ -1,0 +1,73 @@
+// Package handoff replays the PR 7 enqueue use-after-release: a pooled
+// batch was sent to a shard worker's queue and then read for the ack
+// counter, racing the worker that may already have recycled it.
+package handoff
+
+import "sync"
+
+type batch struct{ rows []uint64 }
+
+func (b *batch) Rows() int { return len(b.rows) }
+
+type job struct{ batch *batch }
+
+type shard struct{ q chan job }
+
+type counters struct{ accepted int64 }
+
+// enqueue replays the PR 7 bug verbatim: the batch is handed to the
+// shard worker, then b.Rows() is read for the ack counter.
+func enqueue(sh *shard, c *counters, b *batch) {
+	sh.q <- job{batch: b}
+	c.accepted += int64(b.Rows()) // want "b is used after it was sent on a channel"
+}
+
+// enqueueFixed reads what it needs before the handoff.
+func enqueueFixed(sh *shard, c *counters, b *batch) {
+	rows := int64(b.Rows())
+	sh.q <- job{batch: b}
+	c.accepted += rows
+}
+
+var bufPool sync.Pool
+
+// release replays the same contract for sync.Pool: once Put returns,
+// another goroutine may own the buffer.
+func release(buf []byte) int {
+	bufPool.Put(buf)
+	return len(buf) // want "buf is used after it was released to a sync.Pool"
+}
+
+// recycle reassigns the variable wholesale, which re-establishes
+// ownership: the new batch was never handed off.
+func recycle(p *sync.Pool, b *batch) int {
+	p.Put(b)
+	b = &batch{}
+	return b.Rows()
+}
+
+// branch proves path sensitivity: the else branch does not execute
+// after the send and must not be flagged.
+func branch(sh *shard, b *batch, ok bool) int {
+	if ok {
+		sh.q <- job{batch: b}
+	} else {
+		return b.Rows()
+	}
+	return 0
+}
+
+// deferredUse stores a closure over the released value: the closure
+// runs after the handoff, so the read inside it is exactly as racy.
+func deferredUse(sh *shard, b *batch) {
+	sh.q <- job{batch: b}
+	defer func() { _ = b.Rows() }() // want "b is used after it was sent on a channel"
+}
+
+// suppressed carries a written justification: the worker on the other
+// end of this queue only logs the pointer value, never dereferences.
+func suppressed(sh *shard, b *batch) uintptr {
+	sh.q <- job{batch: b}
+	//sasvet:ok worker treats the batch as read-only until the ack below is counted
+	return uintptr(len(b.rows))
+}

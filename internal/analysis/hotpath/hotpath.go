@@ -1,0 +1,192 @@
+// Package hotpath turns the repo's zero-steady-state-allocation
+// contract into an at-edit-time diagnostic. The hot paths (Builder
+// push, VarOpt Process, indexed estimates, wire decode, answer cache)
+// are pinned by AllocsPerRun tests, but those fire after the fact and
+// far from the offending line. Marking a function //sasvet:hotpath
+// makes the allocation-forcing constructs themselves light up:
+//
+//   - closures capturing local variables (the capture forces a heap
+//     allocation for the closure and often for the captured variable)
+//   - fmt.* calls (interface boxing of every argument, plus the
+//     formatter's own buffers)
+//   - boxing a non-pointer value into an interface (argument, return,
+//     or assignment position)
+//   - make/new inside a loop (the per-key loop must reuse buffers)
+//
+// Error paths earn suppressions, not exemptions: a //sasvet:ok "error
+// path" on a fmt.Errorf is self-documenting and cheap, and the next
+// fmt.Sprintf that creeps onto the per-key path is caught the moment it
+// is written.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"structaware/internal/analysis/sasdir"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "hotpath",
+	Doc:      "flag allocation-forcing constructs in functions marked //sasvet:hotpath",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := sasdir.Index(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || !sasdir.FuncMarked(fd, "hotpath") {
+			return
+		}
+		check(pass, sup, fd)
+	})
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, sup *sasdir.Suppressions, fd *ast.FuncDecl) {
+	report := func(n ast.Node, format string, args ...any) {
+		sup.Report(pass, analysis.Diagnostic{
+			Pos:     n.Pos(),
+			End:     n.End(),
+			Message: fmt.Sprintf(format, args...) + " in //sasvet:hotpath function " + fd.Name.Name + "; suppress with //sasvet:ok <reason>",
+		})
+	}
+	loopDepth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			ast.Inspect(loopBody(n), walk)
+			loopDepth--
+			// The loop header expressions still need a visit.
+			inspectHeader(n, walk)
+			return false
+		case *ast.FuncLit:
+			if caps := captures(pass, fd, n); len(caps) > 0 {
+				report(n, "closure captures %s, forcing a heap allocation", caps[0].Name())
+			}
+			return true // still scan the body for fmt/make/new
+		case *ast.CallExpr:
+			checkCall(pass, report, n, loopDepth)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// loopBody returns the body block of a for or range statement.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// inspectHeader visits the non-body parts of a loop statement (init,
+// condition, post, range expression) at the current loop depth.
+func inspectHeader(n ast.Node, walk func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		for _, e := range []ast.Node{n.Init, n.Cond, n.Post} {
+			if e != nil {
+				ast.Inspect(e, walk)
+			}
+		}
+	case *ast.RangeStmt:
+		if n.X != nil {
+			ast.Inspect(n.X, walk)
+		}
+	}
+}
+
+// checkCall flags fmt calls, make/new under a loop, and non-pointer
+// values boxed into interface parameters.
+func checkCall(pass *analysis.Pass, report func(ast.Node, string, ...any), call *ast.CallExpr, loopDepth int) {
+	// fmt.* — boxing plus formatting buffers.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				report(call, "fmt.%s allocates (argument boxing + formatter state)", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	// make/new inside the per-key loop.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "make" || b.Name() == "new") && loopDepth > 0 {
+			report(call, "%s inside a loop allocates per iteration; hoist and reuse the buffer", b.Name())
+			return
+		}
+	}
+	// Interface boxing of concrete non-pointer arguments.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				param = s.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil {
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg]
+		if at.Type == nil || at.IsNil() || at.Value != nil {
+			continue // nil and constants don't box per call the same way
+		}
+		switch at.Type.Underlying().(type) {
+		case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			continue // already a word-sized reference; no copy-to-heap
+		}
+		report(arg, "boxing non-pointer %s into interface %s allocates", at.Type, param)
+	}
+}
+
+// captures returns the variables a function literal captures from its
+// enclosing function (declared inside fd but outside the literal).
+func captures(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pkg() != pass.Pkg {
+			return true
+		}
+		// Captured = declared within the enclosing function's extent but
+		// before/outside the literal's extent.
+		if v.Pos() >= fd.Pos() && v.Pos() <= fd.End() && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}

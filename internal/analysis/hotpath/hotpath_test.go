@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"structaware/internal/analysis/atest"
+	"structaware/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	atest.Run(t, hotpath.Analyzer, "hot")
+}

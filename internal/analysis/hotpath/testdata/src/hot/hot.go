@@ -1,0 +1,65 @@
+// Package hot exercises the //sasvet:hotpath allocation contract: the
+// constructs that break the repo's AllocsPerRun pins must light up at
+// the line that introduces them.
+package hot
+
+import "fmt"
+
+// Push is the per-row hot path: no allocation per key allowed.
+//
+//sasvet:hotpath
+func Push(keys []uint64, seen map[uint64]int) error {
+	for _, k := range keys {
+		buf := make([]byte, 8) // want "make inside a loop"
+		_ = buf
+		seen[k]++
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("empty batch") // want `fmt\.Errorf allocates`
+	}
+	return nil
+}
+
+// Process captures a local in a closure, forcing it to the heap.
+//
+//sasvet:hotpath
+func Process(items []int) int {
+	total := 0
+	fn := func() { total++ } // want "closure captures total"
+	fn()
+	return total
+}
+
+type sample struct{ w float64 }
+
+func sink(v any) { _ = v }
+
+// Record boxes a struct into an interface argument.
+//
+//sasvet:hotpath
+func Record(s sample) {
+	sink(s) // want "boxing non-pointer"
+}
+
+// RecordPtr passes a pointer: word-sized, no copy to the heap.
+//
+//sasvet:hotpath
+func RecordPtr(s *sample) {
+	sink(s)
+}
+
+// PushChecked suppresses the error-path allocation with a reason.
+//
+//sasvet:hotpath
+func PushChecked(keys []uint64) error {
+	if len(keys) > 1<<20 {
+		//sasvet:ok error path, runs at most once per oversized batch
+		return fmt.Errorf("batch too large: %d", len(keys))
+	}
+	return nil
+}
+
+// cold is unmarked: the same constructs are fine off the hot path.
+func cold(keys []uint64) string {
+	return fmt.Sprintf("%d keys", len(keys))
+}

@@ -1,0 +1,235 @@
+// Package load type-checks Go packages for the sasvet analyzer suite
+// without golang.org/x/tools/go/packages (only a thin slice of x/tools
+// is vendored — see vendor/modules.txt). The trick is the one the
+// toolchain itself uses: `go list -export -json -deps` compiles every
+// dependency into the build cache and reports the path of each
+// package's export data, and the standard library's gc importer
+// (go/importer) reads that export data back. Target packages are then
+// parsed from source and type-checked with that importer, which is all
+// a go/analysis pass needs when no analyzer uses facts. Everything is
+// offline: no module downloads, no GOPATH assumptions, and vendored
+// third-party imports resolve exactly as the build does.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked target package, ready to be handed to an
+// analysis pass.
+type Package struct {
+	ImportPath   string
+	Dir          string
+	Files        []*ast.File
+	IgnoredFiles []string // test files: analyzed by `go test -vet=all`, not here
+	Types        *types.Package
+	Info         *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	CgoFiles     []string
+	Standard     bool
+	DepOnly      bool
+	Export       string
+	ImportMap    map[string]string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// Patterns loads and type-checks the packages matching the go package
+// patterns (e.g. "./..."), returning them in deterministic ImportPath
+// order. All positions are relative to fset.
+func Patterns(fset *token.FileSet, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	exports := make(map[string]string)
+	var targets []*listPkg
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			p := lp
+			targets = append(targets, &p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	base := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var pkgs []*Package
+	for _, lp := range targets {
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported by sasvet", lp.ImportPath)
+		}
+		p, err := check(fset, lp, base)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to export-data readers using the
+// go list -export table.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// mapped applies a package's ImportMap (vendor and test-variant import
+// rewrites) in front of the shared gc importer.
+type mapped struct {
+	m    map[string]string
+	base types.ImporterFrom
+}
+
+func (mi mapped) Import(path string) (*types.Package, error) {
+	return mi.ImportFrom(path, "", 0)
+}
+
+func (mi mapped) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if r, ok := mi.m[path]; ok {
+		path = r
+	}
+	return mi.base.ImportFrom(path, dir, mode)
+}
+
+// check parses and type-checks one target package from source.
+func check(fset *token.FileSet, lp *listPkg, base types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var ignored []string
+	for _, name := range lp.TestGoFiles {
+		ignored = append(ignored, filepath.Join(lp.Dir, name))
+	}
+	for _, name := range lp.XTestGoFiles {
+		ignored = append(ignored, filepath.Join(lp.Dir, name))
+	}
+	imp := types.Importer(base)
+	if len(lp.ImportMap) > 0 {
+		if from, ok := base.(types.ImporterFrom); ok {
+			imp = mapped{m: lp.ImportMap, base: from}
+		}
+	}
+	pkg, info, err := Check(fset, lp.ImportPath, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath:   lp.ImportPath,
+		Dir:          lp.Dir,
+		Files:        files,
+		IgnoredFiles: ignored,
+		Types:        pkg,
+		Info:         info,
+	}, nil
+}
+
+// Check type-checks one package's parsed files with every Info map an
+// analysis pass may consult filled in. It is shared with the
+// analysistest-style harness in internal/analysis/atest.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// StdImporter returns an importer for standard-library packages that
+// resolves export data lazily via `go list -export`, one batch per
+// distinct import set. The analysistest-style harness uses it to check
+// testdata packages, which live outside the module and import only std.
+func StdImporter(fset *token.FileSet) types.Importer {
+	cache := &stdCache{exports: make(map[string]string)}
+	return importer.ForCompiler(fset, "gc", cache.lookup)
+}
+
+type stdCache struct {
+	mu      sync.Mutex
+	exports map[string]string
+}
+
+func (c *stdCache) lookup(path string) (io.ReadCloser, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	file, ok := c.exports[path]
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.ImportPath}}\t{{.Export}}", "--", path)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.Bytes())
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			ip, exp, found := strings.Cut(line, "\t")
+			if found && exp != "" {
+				c.exports[ip] = exp
+			}
+		}
+		file, ok = c.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,389 @@
+// Package maporder flags range-over-map loops that can leak Go's
+// randomized map iteration order into output that must be
+// deterministic. It encodes the contract behind the PR 6 wavelet bug:
+// coefficient sums were accumulated by ranging over a
+// map[uint64]float64, so two servers holding bit-identical summaries
+// returned different floats for the same query (float addition is not
+// associative) and bit-for-bit serving broke.
+//
+// The analyzer runs only in packages annotated //sasvet:deterministic.
+// A map range there is flagged when its body is order-sensitive —
+// floating-point accumulation, a serialization/encoding call, or an
+// append whose slice is never sorted later in the function — or when
+// the loop sits anywhere on a call path from an Estimate* or Marshal*
+// function of the package, unless the body is one of the blessed
+// order-insensitive shapes (collect-keys-then-sort, map-to-map rebuild,
+// integer counting). The escape hatch is //sasvet:ok <reason>, reason
+// required.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"structaware/internal/analysis/sasdir"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flag nondeterministic map iteration feeding deterministic output (estimates, serialization)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !sasdir.PackageMarked(pass.Files, "deterministic") {
+		return nil, nil
+	}
+	sup := sasdir.Index(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	reach := reachable(pass)
+
+	// Visit every function body once so each range statement is
+	// attributed to its innermost enclosing named function.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := classify(pass, fd, rs, obj, reach); reason != "" {
+				sup.Report(pass, analysis.Diagnostic{
+					Pos: rs.Pos(),
+					End: rs.X.End(),
+					Message: "map iteration order is nondeterministic and this loop " + reason +
+						"; iterate sorted keys instead (the PR 6 wavelet estimate bug), or suppress with //sasvet:ok <reason>",
+				})
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// classify decides whether a map-range loop can leak iteration order,
+// returning a human-readable reason or "".
+func classify(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj *types.Func, reach map[*types.Func]string) string {
+	if r := orderSensitive(pass, fd, rs); r != "" {
+		return r
+	}
+	if root, ok := reach[obj]; ok && !benignBody(pass, fd, rs) {
+		return "is reachable from " + root + " (a deterministic-output entry point)"
+	}
+	return ""
+}
+
+// orderSensitive reports the first order-sensitive construct in the
+// loop body: float accumulation, serialization calls, or appends whose
+// slice is never sorted afterwards.
+func orderSensitive(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) string {
+	var reason string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if isFloatAccumulation(pass, n) {
+				reason = "accumulates floating-point values (addition order changes the bits)"
+				return false
+			}
+			for _, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isAppend(pass, call) {
+					if target := assignTarget(pass, n); target != nil && !sortedLater(pass, fd, rs, target) {
+						reason = "appends to " + target.Name() + " which is never sorted afterwards"
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name := calleeName(n); serializing(name) {
+				reason = "feeds serialization via " + name
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// isFloatAccumulation matches `x += expr` / `x -= ...` etc. and
+// `x = x + expr` where x is floating point.
+func isFloatAccumulation(pass *analysis.Pass, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return len(as.Lhs) == 1 && isFloat(pass.TypesInfo.TypeOf(as.Lhs[0]))
+	case token.ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 || !isFloat(pass.TypesInfo.TypeOf(as.Lhs[0])) {
+			return false
+		}
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB && bin.Op != token.MUL) {
+			return false
+		}
+		lobj := exprObj(pass, as.Lhs[0])
+		return lobj != nil && (exprObj(pass, bin.X) == lobj || exprObj(pass, bin.Y) == lobj)
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if t == nil {
+			return false
+		}
+		b, ok = t.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// serializing matches callee names that write bytes out in call order.
+func serializing(name string) bool {
+	for _, p := range []string{"Write", "Marshal", "Encode", "Fprint", "Print", "Sprint", "Append"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName extracts the bare name of a call's callee ("WriteAxis",
+// "Encode"), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// assignTarget resolves the variable an append assignment grows, when
+// it is a plain identifier.
+func assignTarget(pass *analysis.Pass, as *ast.AssignStmt) *types.Var {
+	if len(as.Lhs) != 1 {
+		return nil
+	}
+	v, _ := exprObj(pass, as.Lhs[0]).(*types.Var)
+	return v
+}
+
+func exprObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := pass.TypesInfo.Uses[e]; o != nil {
+			return o
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// sortedLater reports whether, after the range loop, the function calls
+// a sort (sort.*, slices.*, xsort.*, or any *Sort* function) that
+// mentions v, or returns/passes v to a function whose name says it
+// sorts. An unsorted escape (plain return) does not count.
+func sortedLater(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rs.End() {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !sortingCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && exprObj(pass, id) == v {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortingCall matches sort.X(...), slices.SortX(...), xsort.X(...) and
+// method calls whose name contains "Sort".
+func sortingCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		switch id.Name {
+		case "sort", "slices", "xsort":
+			return true
+		}
+	}
+	return strings.Contains(sel.Sel.Name, "Sort")
+}
+
+// benignBody reports whether a map-range body is one of the blessed
+// order-insensitive shapes: every statement either collects keys into a
+// slice that IS sorted later, rebuilds another map (m[k] = v), deletes
+// from a map, or bumps an integer. Any call (other than append/delete
+// builtins), float write, or other side effect disqualifies it.
+func benignBody(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	benign := true
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if !benign {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				switch l := lhs.(type) {
+				case *ast.IndexExpr:
+					// m[k] = v into a map is order-insensitive.
+					t := pass.TypesInfo.TypeOf(l.X)
+					if t == nil {
+						benign = false
+					} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+						benign = false
+					}
+				case *ast.Ident:
+					if isFloat(pass.TypesInfo.TypeOf(l)) {
+						benign = false
+						break
+					}
+					// keys = append(keys, k) is fine iff sorted later.
+					if i < len(n.Rhs) {
+						if call, ok := n.Rhs[i].(*ast.CallExpr); ok && isAppend(pass, call) {
+							if v := assignTarget(pass, n); v == nil || !sortedLater(pass, fd, rs, v) {
+								benign = false
+							}
+							break
+						}
+					}
+					if n.Tok == token.ADD_ASSIGN || n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+						// integer counters and scalar bookkeeping are
+						// commutative; anything else is suspect
+						if !isInteger(pass.TypesInfo.TypeOf(l)) && n.Tok != token.DEFINE {
+							benign = false
+						}
+					}
+				default:
+					benign = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !isInteger(pass.TypesInfo.TypeOf(n.X)) {
+				benign = false
+			}
+		case *ast.CallExpr:
+			switch name := calleeName(n); name {
+			case "append", "delete", "len", "cap", "max", "min":
+			default:
+				benign = false
+			}
+			return false
+		}
+		return true
+	})
+	return benign
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// reachable builds the package-internal call graph and returns every
+// function reachable from an Estimate* or Marshal* entry point, mapped
+// to the name of one such root.
+func reachable(pass *analysis.Pass) map[*types.Func]string {
+	callees := make(map[*types.Func][]*types.Func)
+	decls := make(map[*types.Func]bool)
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = true
+			if strings.HasPrefix(fd.Name.Name, "Estimate") || strings.HasPrefix(fd.Name.Name, "Marshal") {
+				roots = append(roots, obj)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee, ok := exprObj(pass, call.Fun).(*types.Func); ok && callee.Pkg() == pass.Pkg {
+					callees[obj] = append(callees[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+	reach := make(map[*types.Func]string)
+	var visit func(fn *types.Func, root string)
+	visit = func(fn *types.Func, root string) {
+		if _, seen := reach[fn]; seen || !decls[fn] {
+			return
+		}
+		reach[fn] = root
+		for _, c := range callees[fn] {
+			visit(c, root)
+		}
+	}
+	for _, r := range roots {
+		visit(r, r.Name())
+	}
+	return reach
+}

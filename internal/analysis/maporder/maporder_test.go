@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"structaware/internal/analysis/atest"
+	"structaware/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	atest.Run(t, maporder.Analyzer, "det", "nodirective")
+}

@@ -1,0 +1,90 @@
+// Package det replays the PR 6 wavelet estimate bug: coefficient
+// contributions were accumulated by ranging over a map, so float
+// addition order followed Go's randomized map iteration and two servers
+// holding bit-identical summaries disagreed on the same query.
+//
+//sasvet:deterministic
+package det
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type summary struct {
+	coeff map[uint64]float64
+}
+
+// EstimateRange replays the PR 6 bug verbatim: the accumulation order
+// follows map iteration order, and float addition is not associative.
+func (s *summary) EstimateRange() float64 {
+	var total float64
+	for _, v := range s.coeff { // want "accumulates floating-point"
+		total += v
+	}
+	return total
+}
+
+// EstimateSorted is the canonical fix: collect keys, sort, iterate.
+func (s *summary) EstimateSorted() float64 {
+	keys := make([]uint64, 0, len(s.coeff))
+	for k := range s.coeff {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var total float64
+	for _, k := range keys {
+		total += s.coeff[k]
+	}
+	return total
+}
+
+// MarshalCoeffs writes bytes in iteration order: serialization output
+// differs run to run.
+func MarshalCoeffs(s *summary, w io.Writer) {
+	for k, v := range s.coeff { // want "feeds serialization"
+		fmt.Fprintf(w, "%d=%g;", k, v)
+	}
+}
+
+// Keys leaks iteration order through an unsorted slice.
+func Keys(s *summary) []uint64 {
+	var out []uint64
+	for k := range s.coeff { // want "never sorted afterwards"
+		out = append(out, k)
+	}
+	return out
+}
+
+// EstimateAll's helper is order-sensitive only via reachability: the
+// loop body just calls out, but the call path starts at an Estimate*
+// entry point whose answer must be bit-stable.
+func EstimateAll(s *summary) float64 {
+	helperVisit(s, func(k uint64) {})
+	return 0
+}
+
+func helperVisit(s *summary, sink func(uint64)) {
+	for k := range s.coeff { // want "reachable from EstimateAll"
+		sink(k)
+	}
+}
+
+// Count is order-insensitive bookkeeping: integer counting is blessed.
+func Count(s *summary) int {
+	n := 0
+	for range s.coeff {
+		n++
+	}
+	return n
+}
+
+// DebugDump carries a reasoned suppression: ordering genuinely does not
+// matter for operator-facing debug output.
+func DebugDump(s *summary) {
+	//sasvet:ok debug output for operators, ordering is irrelevant
+	for k, v := range s.coeff {
+		fmt.Printf("%d=%g\n", k, v)
+	}
+}

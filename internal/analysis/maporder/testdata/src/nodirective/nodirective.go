@@ -1,0 +1,13 @@
+// Package nodirective has the same bug shape as the det package but no
+// //sasvet:deterministic annotation, so maporder must stay silent.
+package nodirective
+
+type s struct{ m map[uint64]float64 }
+
+func (x *s) EstimateRange() float64 {
+	var total float64
+	for _, v := range x.m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,159 @@
+// Package sasdir parses the //sasvet: source directives the analyzer
+// suite in internal/analysis is driven by. The grammar is deliberately
+// tiny:
+//
+//	//sasvet:deterministic        package-scope: bit-for-bit output contract
+//	//sasvet:durable              package-scope: crash-durability contract
+//	//sasvet:hotpath              function-scope: zero-alloc steady state
+//	//sasvet:ok <reason>          line-scope: suppress one diagnostic, with
+//	                              a written justification (required)
+//
+// Package-scope markers may appear in any comment of any file of the
+// package (conventionally the package doc comment). A function-scope
+// marker must appear in the function's doc comment. A suppression
+// applies to diagnostics reported on its own line (trailing comment) or,
+// when the comment stands alone, on the next source line — the same
+// placement rule as //nolint and //lint:ignore. A bare //sasvet:ok with
+// no reason suppresses nothing; the analyzers report it as its own
+// finding so an unjustified escape hatch cannot pass the lint gate.
+package sasdir
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const prefix = "//sasvet:"
+
+// directive is one parsed //sasvet: comment line.
+type directive struct {
+	pos  token.Pos
+	name string // "ok", "hotpath", ...
+	arg  string // rest of the line, space-trimmed ("" when absent)
+}
+
+// parse returns the directive in a single comment line, if any.
+// Directives are machine-readable comments: no space after //, exact
+// lowercase name. "//sasvet: ok" or "// sasvet:ok" are NOT directives
+// (and gofmt would not produce them).
+func parse(c *ast.Comment) (directive, bool) {
+	text, found := strings.CutPrefix(c.Text, prefix)
+	if !found {
+		return directive{}, false
+	}
+	name, arg, _ := strings.Cut(text, " ")
+	if name == "" || strings.ContainsAny(name, " \t") {
+		return directive{}, false
+	}
+	return directive{pos: c.Slash, name: name, arg: strings.TrimSpace(arg)}, true
+}
+
+// PackageMarked reports whether any comment in any of the package's
+// files is the package-scope directive //sasvet:<name>.
+func PackageMarked(files []*ast.File, name string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parse(c); ok && d.name == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// FuncMarked reports whether fn's doc comment carries the
+// function-scope directive //sasvet:<name>.
+func FuncMarked(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := parse(c); ok && d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// BareOKs returns the position of every //sasvet:ok directive that
+// carries no reason. The driver reports each one: a reasonless escape
+// hatch must not pass the lint gate, whether or not a diagnostic lands
+// on its line today.
+func BareOKs(files []*ast.File) []token.Pos {
+	var bad []token.Pos
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, okc := parse(c); okc && d.name == "ok" && d.arg == "" {
+					bad = append(bad, c.Slash)
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// An ok is one //sasvet:ok suppression comment.
+type ok struct {
+	pos    token.Pos
+	reason string
+}
+
+// Suppressions indexes every //sasvet:ok comment in a pass's files by
+// (file, line). Build one per Run and route every report through
+// Report.
+type Suppressions struct {
+	fset *token.FileSet
+	oks  map[string]map[int]ok // filename -> line the suppression covers -> directive
+}
+
+// Index scans the pass's files for //sasvet:ok directives.
+func Index(pass *analysis.Pass) *Suppressions {
+	s := &Suppressions{fset: pass.Fset, oks: make(map[string]map[int]ok)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, okc := parse(c)
+				if !okc || d.name != "ok" {
+					continue
+				}
+				pos := pass.Fset.Position(c.Slash)
+				line := pos.Line
+				// A comment alone on its line covers the next line; a
+				// trailing comment covers its own. "Alone" means nothing but
+				// whitespace precedes it, which the column reveals without
+				// re-reading the file only approximately — so instead treat
+				// the directive as covering both its own line and the next.
+				m := s.oks[pos.Filename]
+				if m == nil {
+					m = make(map[int]ok)
+					s.oks[pos.Filename] = m
+				}
+				m[line] = ok{pos: c.Slash, reason: d.arg}
+				if _, taken := m[line+1]; !taken {
+					m[line+1] = ok{pos: c.Slash, reason: d.arg}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Report emits d through the pass unless a reasoned //sasvet:ok covers
+// d.Pos's line. A bare //sasvet:ok (no reason) never suppresses — the
+// diagnostic goes through, and the driver separately flags the
+// directive itself as needing a reason.
+func (s *Suppressions) Report(pass *analysis.Pass, d analysis.Diagnostic) {
+	pos := s.fset.Position(d.Pos)
+	if m := s.oks[pos.Filename]; m != nil {
+		if o, covered := m[pos.Line]; covered && o.reason != "" {
+			return
+		}
+	}
+	pass.Report(d)
+}

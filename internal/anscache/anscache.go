@@ -81,6 +81,8 @@ func (c *Cache) shardOf(key string) *shard {
 // it to the front of its shard's LRU order. The returned bytes are shared —
 // callers must treat them as immutable (the serving layer writes them
 // straight to the response).
+//
+//sasvet:hotpath
 func (c *Cache) Get(key string) ([]byte, bool) {
 	if c == nil {
 		return nil, false
@@ -103,6 +105,8 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 // Put inserts (or refreshes) an answer, evicting the shard's least recently
 // used entry when the shard is full. The cache keeps its own reference to
 // val; callers must not mutate it afterwards.
+//
+//sasvet:hotpath
 func (c *Cache) Put(key string, val []byte) {
 	if c == nil {
 		return

@@ -125,11 +125,14 @@ func (g *Ingester) maxSlots() int { return 4 * g.cap }
 // coordinates are tracked and may be nil otherwise; zero-weight keys advance
 // the row index but never enter the reservoir. Steady-state pushes do not
 // allocate.
+//
+//sasvet:hotpath
 func (g *Ingester) Push(pt []uint64, w float64) error {
 	if g.done {
 		return ErrFinalized
 	}
 	if g.dims > 0 && len(pt) != g.dims {
+		//sasvet:ok rejection path; a malformed point never reaches the per-row loop
 		return fmt.Errorf("ingest: point has %d dims, want %d", len(pt), g.dims)
 	}
 	if err := g.pushWeight(w); err != nil {
@@ -146,15 +149,19 @@ func (g *Ingester) Push(pt []uint64, w float64) error {
 // axis d and weights[i] its weight, exactly as len(weights) Push calls but
 // without materializing a point per key — the batch fast path of the
 // dataset-backed and streaming builders.
+//
+//sasvet:hotpath
 func (g *Ingester) PushBatch(cols [][]uint64, weights []float64) error {
 	if g.done {
 		return ErrFinalized
 	}
 	if g.dims > 0 && len(cols) != g.dims {
+		//sasvet:ok rejection path; a malformed batch never reaches the per-row loop
 		return fmt.Errorf("ingest: batch has %d columns, want %d", len(cols), g.dims)
 	}
 	for d := range cols {
 		if len(cols[d]) != len(weights) {
+			//sasvet:ok rejection path; a malformed batch never reaches the per-row loop
 			return fmt.Errorf("ingest: column %d has %d rows for %d weights", d, len(cols[d]), len(weights))
 		}
 	}
@@ -176,6 +183,8 @@ func (g *Ingester) PushBatch(cols [][]uint64, weights []float64) error {
 // PushWeights consumes a batch of weight-only keys. It is only valid on an
 // Ingester that does not track coordinates (Config.Dims == 0), e.g. the
 // dataset-backed two-pass guide scan, where keys are recovered by row index.
+//
+//sasvet:hotpath
 func (g *Ingester) PushWeights(weights []float64) error {
 	if g.done {
 		return ErrFinalized

@@ -37,6 +37,12 @@
 // cost is Θ(log s + answer + touched words) rather than carrying a fixed
 // s/64-word term — selective queries on large samples stay cheap even with
 // many concurrent readers.
+//
+// Answers must be bit-identical across replicas and across repeated
+// queries (the answer cache and the bit-for-bit serving tests depend on
+// it), so the package is under the maporder analyzer's watch:
+//
+//sasvet:deterministic
 package queryidx
 
 import (
@@ -478,6 +484,8 @@ func (ix *Index) sumBits(sc *scratch) float64 {
 
 // EstimateRange returns the unbiased HT estimate of the weight in box r,
 // bit-for-bit identical to the linear scan over the sample.
+//
+//sasvet:hotpath
 func (ix *Index) EstimateRange(r structure.Range) float64 {
 	sc := ix.acquire()
 	defer ix.pool.Put(sc)
@@ -510,6 +518,8 @@ func (ix *Index) EstimateQuery(q structure.Query) float64 {
 // estimate (bit-identical to EstimateQuery of the whole batch). Each box is
 // marked once and OR-ed into a union bitmap, halving the index work of
 // computing the two separately — the serving daemon's batched endpoint.
+//
+//sasvet:hotpath
 func (ix *Index) EstimateRanges(q structure.Query) (ests []float64, total float64) {
 	ests = make([]float64, len(q))
 	union := ix.acquire()

@@ -155,6 +155,8 @@ func (st *Stream) Tau() float64 { return st.tau }
 // non-finite weights are rejected. Steady-state calls are allocation-free:
 // the demotion buffer is reused and the heap and light pools are bounded by
 // the capacity.
+//
+//sasvet:hotpath
 func (st *Stream) Process(index int, w float64) error {
 	if err := ipps.ValidateWeight(w); err != nil {
 		return err
@@ -198,6 +200,7 @@ func (st *Stream) Process(index int, w float64) error {
 		t++
 	}
 	if t < 2 {
+		//sasvet:ok invariant-violation path; allocating while failing loudly is fine
 		return fmt.Errorf("varopt: internal error, %d small candidates", t)
 	}
 	tauNew := L / float64(t-1)
@@ -233,6 +236,7 @@ func (st *Stream) Process(index int, w float64) error {
 	st.scratch = demoted[:0] // keep the (possibly grown) buffer for reuse
 	st.tau = tauNew
 	if len(st.heavy)+len(st.light) != st.k {
+		//sasvet:ok invariant-violation path; allocating while failing loudly is fine
 		return fmt.Errorf("varopt: reservoir size %d want %d", len(st.heavy)+len(st.light), st.k)
 	}
 	return nil

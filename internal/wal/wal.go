@@ -42,6 +42,12 @@
 // data is in the page cache the moment write() returns, and only an OS
 // crash or power loss can lose up to SyncEvery of acks. PolicyOff is the
 // caller's signal to not open a log at all.
+//
+// Every file operation here is on the durability contract (the PR 9
+// torn-write hole lived in this package), so the durable analyzer
+// checks Sync/Close/Rename error handling and open flags:
+//
+//sasvet:durable
 package wal
 
 import (
@@ -226,13 +232,13 @@ func (l *Log) openSegment(base, sub uint64) error {
 	hdr = append(hdr, segVersion, 0)
 	hdr = binary.LittleEndian.AppendUint64(hdr, base)
 	if _, err := f.Write(hdr); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(path)
 		return err
 	}
 	if l.opts.Policy == PolicyAlways {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			err = errors.Join(err, f.Close())
 			os.Remove(path)
 			return err
 		}
@@ -444,7 +450,9 @@ func SyncDir(dir string, logf func(format string, a ...any)) {
 	d, err := os.Open(dir)
 	if err == nil {
 		err = d.Sync()
-		d.Close()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil && logf != nil {
 		logf("fsync dir %s: %v", dir, err)

@@ -19,6 +19,13 @@
 //     coefficients. Kept for faithful reproduction of the query-time
 //     experiment (Fig. 3c), where this costs ~(2 log X)(2 log Y) rectangle
 //     reconstructions of (log X)(log Y) lookups each.
+//
+// Estimates and serialized summaries must be bit-identical across
+// replicas holding the same summary (the PR 6 bug was map-iteration
+// order leaking into float accumulation here), so the package is under
+// the maporder analyzer's watch:
+//
+//sasvet:deterministic
 package wavelet
 
 import (
@@ -279,6 +286,7 @@ func accumulate2D(xs, ys []uint64, ws []float64, bitsX, bitsY int) map[uint64]fl
 		if i == big {
 			continue
 		}
+		//sasvet:ok each key occurs once per part, so every += lands on its own cell; cross-part order is the slice order
 		for k, v := range m {
 			all[k] += v
 		}
